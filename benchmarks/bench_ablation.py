@@ -1,0 +1,192 @@
+"""A1-A3: ablations of the design choices DESIGN.md calls out.
+
+A1 -- node-size scalability (Section 3.2's "optimally scalable"):
+     channel structure is invariant in node_side; area grows only
+     through the cell pitch, so small sides leave the leading constant
+     to the wiring.
+A2 -- odd L: the scheme uses L-1 wiring layers; geometry equals the
+     (L-1)-layer layout while volume pays for all L.
+A3 -- node orders: the paper's orders vs. random orders for collinear
+     layouts (the whole scheme rests on low-cutwidth orders).
+"""
+
+import random
+
+from repro.collinear.engine import collinear_layout
+from repro.collinear.formulas import hypercube_tracks, kary_tracks
+from repro.collinear.orders import binary_order, mixed_radix_order
+from repro.core import layout_hypercube, measure
+from repro.topology import Hypercube, KAryNCube
+
+
+def test_a1_node_size_scalability(benchmark, report):
+    rows = []
+    base_tracks = None
+    for side in (5, 8, 16, 32):
+        lay = layout_hypercube(6, node_side=side)
+        if base_tracks is None:
+            base_tracks = (lay.meta["row_tracks"], lay.meta["col_tracks"])
+        assert (lay.meta["row_tracks"], lay.meta["col_tracks"]) == base_tracks
+        m = measure(lay)
+        rows.append([side, m.width, m.height, m.area, m.max_wire])
+    report(
+        "A1: 6-cube layout vs node side (channels invariant; pitch grows)",
+        ["node side", "width", "height", "area", "max wire"],
+        rows,
+    )
+    benchmark(layout_hypercube, 6, node_side=16)
+
+
+def test_a2_odd_layer_geometry(benchmark, report):
+    rows = []
+    for L in (3, 5, 7, 9):
+        odd = measure(layout_hypercube(8, layers=L, node_side="min"))
+        even = measure(layout_hypercube(8, layers=L - 1, node_side="min"))
+        assert odd.area == even.area
+        assert odd.volume == even.area * L
+        rows.append([
+            L, odd.area, even.area, odd.volume, even.volume,
+            f"{odd.volume / even.volume:.3f}",
+        ])
+    report(
+        "A2: odd L equals L-1 in area; volume pays the idle layer "
+        "(the paper's L^2-1 denominators)",
+        ["L", "area (L)", "area (L-1)", "volume (L)", "volume (L-1)",
+         "volume ratio"],
+        rows,
+    )
+    benchmark(layout_hypercube, 6, layers=5)
+
+
+def test_a4_exact_optimality_certificates(benchmark, report):
+    """The paper's collinear counts vs the true (exact DP) cutwidth."""
+    from repro.collinear.cutwidth import exact_cutwidth
+    from repro.collinear.formulas import (
+        complete_graph_tracks,
+        mixed_radix_ghc_tracks,
+    )
+    from repro.topology import CompleteGraph, GeneralizedHypercube
+
+    rows = []
+    for name, net, paper in (
+        ("K7", CompleteGraph(7), complete_graph_tracks(7)),
+        ("4-cube", Hypercube(4), hypercube_tracks(4)),
+        ("3-ary 2-cube", KAryNCube(3, 2), kary_tracks(3, 2)),
+        ("4-ary 2-cube", KAryNCube(4, 2), kary_tracks(4, 2)),
+        ("GHC(4,4)", GeneralizedHypercube((4, 4)),
+         mixed_radix_ghc_tracks((4, 4))),
+    ):
+        opt = exact_cutwidth(net)
+        rows.append([name, paper, opt,
+                     "exactly optimal" if paper == opt else
+                     f"paper +{paper - opt} (engine achieves {opt})"])
+    report(
+        "A4: paper collinear track counts vs exact cutwidth (DP)",
+        ["network", "paper", "true optimum", "verdict"],
+        rows,
+    )
+    benchmark(exact_cutwidth, Hypercube(4))
+
+
+def test_a5_placement_ablation(benchmark, report):
+    """Generic-grid fallback: index-order vs optimized placement.
+
+    For the graphs without a product structure (the Section 4.3
+    'similar strategies' families and ref. [17]'s shuffle-exchange),
+    the swap-search placement cuts the dedicated-track count and hence
+    the area substantially."""
+    from repro.core import measure
+    from repro.core.schemes import layout_generic_grid
+    from repro.topology import DeBruijn, ShuffleExchange, StarGraph
+
+    rows = []
+    for net in (ShuffleExchange(5), DeBruijn(5), StarGraph(4)):
+        plain_lay = layout_generic_grid(net, layers=4)
+        opt_lay = layout_generic_grid(net, layers=4, optimize=True)
+        plain, opt = measure(plain_lay), measure(opt_lay)
+        rows.append([
+            net.name,
+            plain_lay.meta["extra_link_count"],
+            opt_lay.meta["extra_link_count"],
+            plain.area, opt.area,
+            f"{plain.area / opt.area:.2f}",
+        ])
+        assert opt.area < plain.area
+    report(
+        "A5: generic-grid placement -- index order vs swap search",
+        ["network", "extra links", "optimized", "area", "optimized",
+         "area ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_generic_grid, args=(ShuffleExchange(4),),
+        kwargs={"optimize": True}, rounds=1, iterations=1,
+    )
+
+
+def test_a6_two_sided_channels(benchmark, report):
+    """Two-sided collinear channels: same height, ~15-25% shorter
+    wires.  The paper keeps all tracks on one side because the 2-D
+    scheme needs the other side for cluster strips; this quantifies
+    what that choice costs at the collinear level."""
+    from repro.collinear.two_sided import two_sided_collinear_layout
+    from repro.core import layout_collinear_network, measure
+    from repro.topology import CompleteGraph
+
+    rows = []
+    for net in (CompleteGraph(9), Hypercube(5), KAryNCube(5, 2)):
+        one = measure(layout_collinear_network(net))
+        two = measure(two_sided_collinear_layout(net))
+        assert two.total_wire < one.total_wire
+        rows.append([
+            net.name, one.height, two.height,
+            one.max_wire, two.max_wire,
+            one.total_wire, two.total_wire,
+            f"{one.total_wire / two.total_wire:.2f}",
+        ])
+    report(
+        "A6: one-sided (paper) vs two-sided collinear channels",
+        ["network", "H (1-side)", "H (2-side)", "max wire", "2-side",
+         "total wire", "2-side", "wire ratio"],
+        rows,
+    )
+    benchmark(two_sided_collinear_layout, CompleteGraph(9))
+
+
+def test_a3_order_ablation(benchmark, report):
+    rng = random.Random(2000)
+    rows = []
+
+    net = Hypercube(8)
+    paper = collinear_layout(net.nodes, net.edges, binary_order(8))
+    shuffled = list(net.nodes)
+    rng.shuffle(shuffled)
+    rand = collinear_layout(net.nodes, net.edges, shuffled)
+    assert paper.num_tracks == hypercube_tracks(8) < rand.num_tracks
+    rows.append([
+        "8-cube", hypercube_tracks(8), paper.num_tracks, rand.num_tracks,
+        f"{rand.num_tracks / paper.num_tracks:.2f}",
+    ])
+
+    knet = KAryNCube(4, 3)
+    paper_k = collinear_layout(
+        knet.nodes, knet.edges, mixed_radix_order([4] * 3)
+    )
+    shuffled = list(knet.nodes)
+    rng.shuffle(shuffled)
+    rand_k = collinear_layout(knet.nodes, knet.edges, shuffled)
+    assert paper_k.num_tracks == kary_tracks(4, 3) < rand_k.num_tracks
+    rows.append([
+        "4-ary 3-cube", kary_tracks(4, 3), paper_k.num_tracks,
+        rand_k.num_tracks,
+        f"{rand_k.num_tracks / paper_k.num_tracks:.2f}",
+    ])
+    report(
+        "A3: paper node orders vs random orders (collinear tracks)",
+        ["network", "paper formula", "paper order", "random order",
+         "blow-up"],
+        rows,
+    )
+    benchmark(
+        collinear_layout, net.nodes, net.edges, binary_order(8)
+    )

@@ -1,0 +1,63 @@
+"""E4.2: Section 4.2 -- butterfly networks as GHC clusters.
+
+Regenerates:
+
+* the structural reduction: row-pair clusters form a hypercube quotient
+  with exactly 4 parallel links per adjacent pair;
+* the L-layer area vs 4 N^2/(L^2 log2^2 N) and the max wire vs
+  2N/(L log2 N).
+"""
+
+from repro.bench.harness import comparison_row
+from repro.core import layout_butterfly, measure
+from repro.core.analysis import butterfly_prediction
+from repro.topology import Butterfly, quotient
+
+
+def test_quotient_structure(benchmark, report):
+    rows = []
+    for m in (2, 3, 4, 5):
+        bf = Butterfly(m)
+        q = quotient(bf, bf.row_pair_partition())
+        mult = set(q.multiplicity().values())
+        assert mult == {4}
+        rows.append([m, bf.num_nodes, len(q.clusters), sorted(mult)[0]])
+    report(
+        "E4.2a: butterfly row-pair quotient = hypercube with 4 links/pair",
+        ["m", "N", "clusters", "link multiplicity"],
+        rows,
+    )
+    bf = Butterfly(4)
+    benchmark(quotient, bf, bf.row_pair_partition())
+
+
+def test_area_sweep(benchmark, report):
+    rows = []
+    for m in (3, 4, 5, 6):
+        for L in (2, 4):
+            lay = layout_butterfly(m, layers=L)
+            meas = measure(lay)
+            p = butterfly_prediction(m, L)
+            rows.append(
+                comparison_row([m, p.num_nodes, L], round(p.area), meas.area)
+            )
+    report(
+        "E4.2b: L-layer butterfly area vs 4 N^2/(L^2 log2^2 N)",
+        ["m", "N", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(layout_butterfly, args=(5,), rounds=1, iterations=1)
+
+
+def test_max_wire(report, benchmark):
+    rows = []
+    for L in (2, 4, 8):
+        m = measure(layout_butterfly(5, layers=L))
+        p = butterfly_prediction(5, L)
+        rows.append(comparison_row([5, L], round(p.max_wire, 1), m.max_wire))
+    report(
+        "E4.2c: butterfly max wire vs 2N/(L log2 N)",
+        ["m", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_butterfly, 3, layers=4)

@@ -1,0 +1,84 @@
+"""E1/E2: the introduction's claims (1)-(4) and the Section 2.4 track
+arithmetic.
+
+E1 sweeps L on a 10-cube (minimal node squares) and prints the measured
+improvement factors of the multilayer scheme next to the ideal L^2/4
+and L/2 factors and the folding baseline.  E2 checks the per-channel
+per-layer track count ceil(h / floor(L/2)) exactly.
+"""
+
+from repro.core import (
+    layout_hypercube,
+    layout_kary,
+    measure,
+)
+from repro.core.folding import fold_layout
+from repro.core.metrics import weighted_diameter
+from repro.grid.validate import validate_layout
+from repro.collinear.formulas import kary_tracks
+
+
+DIM = 10
+SWEEP = (2, 4, 8, 16)
+
+
+def test_e1_claims_sweep(benchmark, report):
+    base_lay = layout_hypercube(DIM, layers=2, node_side="min")
+    base = measure(base_lay)
+    base_path = weighted_diameter(base_lay, max_sources=4)
+
+    rows = []
+    for L in SWEEP:
+        lay = layout_hypercube(DIM, layers=L, node_side="min")
+        m = measure(lay)
+        # The folding baseline is *constructed* (a real validated
+        # multilayer 3-D layout), not just the analytic transform.
+        folded_lay = fold_layout(base_lay, L)
+        if L > 2:
+            validate_layout(folded_lay)
+        folded = measure(folded_lay)
+        path = weighted_diameter(lay, max_sources=4)
+        folded_path = weighted_diameter(folded_lay, max_sources=4)
+        rows.append([
+            L,
+            f"{base.area / m.area:.2f}",
+            f"{L * L / 4:.0f}",
+            f"{base.area / folded.area:.2f}",
+            f"{base.volume / m.volume:.2f}",
+            f"{L / 2:.0f}",
+            f"{base.max_wire / m.max_wire:.2f}",
+            f"{base.max_wire / folded.max_wire:.2f}",
+            f"{base_path / path:.2f}",
+            f"{base_path / folded_path:.2f}",
+        ])
+    report(
+        "E1: claims (1)-(4) on the 10-cube -- multilayer scheme vs the "
+        "constructed folding baseline, improvements over L=2",
+        ["L", "area x", "ideal", "area x (fold)", "volume x", "ideal",
+         "wire x", "wire x (fold)", "path x", "path x (fold)"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_hypercube, args=(DIM,),
+        kwargs={"layers": 8, "node_side": "min"}, rounds=1, iterations=1,
+    )
+
+
+def test_e2_track_split_arithmetic(benchmark, report):
+    rows = []
+    k, n = 4, 4
+    f = kary_tracks(k, n // 2)
+    for L in (2, 3, 4, 6, 8, 10):
+        lay = layout_kary(k, n, layers=L)
+        G = max(L // 2, 1)
+        expect = -(-f // G)
+        got = set(lay.meta["row_channel_extents"])
+        assert got == {expect}, (L, got, expect)
+        rows.append([L, G, f, expect])
+    report(
+        "E2: tracks per layer above a row = ceil(f_k(n/2) / floor(L/2)) "
+        f"(k={k}, n={n})",
+        ["L", "groups", "row tracks", "per-layer tracks"],
+        rows,
+    )
+    benchmark(layout_kary, k, n, layers=4)

@@ -1,0 +1,60 @@
+"""E10: the cost side of "lower cost and/or higher performance".
+
+Section 2.2 prices a layout as a function of A, L and L_A.  Under a
+manufacturing cost model (per-layer process premium + defect-driven
+yield), the multilayer layouts' L^2/4 area shrink buys more than the
+extra layers cost, while folding pays the active-layer premium on
+undiminished silicon volume.
+"""
+
+from repro.core import layout_hypercube, layout_kary, measure
+from repro.core.cost import CostModel, chip_cost
+from repro.core.folding import fold_layout
+
+
+def test_cost_vs_layers(benchmark, report):
+    model = CostModel(defect_density=2e-6)
+    base = layout_hypercube(10, layers=2, node_side="min")
+    rows = []
+    base_cost = None
+    for L in (2, 4, 8, 16):
+        lay = layout_hypercube(10, layers=L, node_side="min")
+        c = chip_cost(lay, model)
+        if base_cost is None:
+            base_cost = c.total
+        folded_cost = chip_cost(fold_layout(base, L), model).total if L > 2 else c.total
+        rows.append([
+            L, lay.area, f"{c.yield_fraction:.3f}", f"{c.total:,.0f}",
+            f"{base_cost / c.total:.2f}",
+            f"{base_cost / folded_cost:.2f}",
+        ])
+    report(
+        "E10: 10-cube chip cost vs L (defect yield + layer premiums); "
+        "multilayer cost falls, folding's barely moves",
+        ["L", "area", "yield", "cost", "cost x (scheme)", "cost x (folded)"],
+        rows,
+    )
+    benchmark(chip_cost, base, model)
+
+
+def test_cost_optimum_exists(report, benchmark):
+    """With a steep per-layer premium there is an interior optimum L --
+    the engineering trade-off the paper's 'at reasonable cost' nods to."""
+    model = CostModel(wiring_layer_premium=0.6)
+    rows = []
+    costs = {}
+    for L in (2, 4, 8, 16, 32):
+        lay = layout_kary(4, 4, layers=L, node_side="min")
+        c = chip_cost(lay, model)
+        costs[L] = c.total
+        rows.append([L, lay.area, f"{c.total:,.0f}"])
+    best = min(costs, key=costs.__getitem__)
+    rows.append(["best", "->", f"L={best}"])
+    assert 2 < best < 32  # interior optimum under the steep premium
+    report(
+        "E10b: steep layer premium (0.6/layer) => interior optimum L "
+        "(4-ary 4-cube)",
+        ["L", "area", "cost"],
+        rows,
+    )
+    benchmark(layout_kary, 4, 2, layers=4)

@@ -1,0 +1,61 @@
+"""F1-F4: the paper's figures, regenerated and timed.
+
+Figure 2 -- collinear 3-ary 2-cube (8 tracks);
+Figure 3 -- collinear K_9 (20 tracks);
+Figure 4 -- collinear 4-cube (10 tracks);
+Figure 1 -- recursive-grid top view (grid of blocks + channels).
+"""
+
+from repro.collinear import (
+    complete_recursive,
+    hypercube_recursive,
+    kary_recursive,
+)
+from repro.core import layout_ccc
+from repro.grid.validate import validate_layout
+from repro.viz import ascii_collinear, svg_layout
+
+
+def test_figure2_collinear_kary(benchmark, report):
+    lay = benchmark(kary_recursive, 3, 2)
+    assert lay.num_tracks == 8
+    art = ascii_collinear(lay)
+    report(
+        "F2: collinear 3-ary 2-cube",
+        ["figure", "paper tracks", "measured", "optimal (max cut)"],
+        [["Fig. 2", 8, lay.num_tracks, lay.max_cut()]],
+    )
+    print(art)
+
+
+def test_figure3_collinear_k9(benchmark, report):
+    lay = benchmark(complete_recursive, 9)
+    assert lay.num_tracks == 20
+    report(
+        "F3: collinear K9",
+        ["figure", "paper tracks", "measured", "optimal (max cut)"],
+        [["Fig. 3", 20, lay.num_tracks, lay.max_cut()]],
+    )
+
+
+def test_figure4_collinear_4cube(benchmark, report):
+    lay = benchmark(hypercube_recursive, 4)
+    assert lay.num_tracks == 10
+    report(
+        "F4: collinear 4-cube",
+        ["figure", "paper tracks", "measured", "optimal (max cut)"],
+        [["Fig. 4", 10, lay.num_tracks, lay.max_cut()]],
+    )
+
+
+def test_figure1_recursive_grid(benchmark, report):
+    lay = benchmark.pedantic(layout_ccc, args=(3,), rounds=1, iterations=1)
+    validate_layout(lay)
+    svg = svg_layout(lay)
+    assert "<svg" in svg
+    report(
+        "F1: recursive grid layout top view (CCC(3) blocks)",
+        ["figure", "blocks", "grid", "area"],
+        [["Fig. 1", lay.meta["clusters"],
+          f"{lay.meta['rows']}x{lay.meta['cols']}", lay.area]],
+    )

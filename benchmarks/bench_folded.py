@@ -1,0 +1,91 @@
+"""E5.3: Section 5.3 -- folded hypercubes and enhanced cubes.
+
+Regenerates the 49 N^2/(9 L^2) and 100 N^2/(9 L^2) area terms from the
+dedicated-extra-track construction (one horizontal + one vertical track
+per diameter/random link) and checks the track accounting exactly:
+N/2 extra tracks per direction for the folded hypercube, ~N for the
+enhanced cube.
+"""
+
+from repro.bench.harness import comparison_row
+from repro.core import (
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_hypercube,
+    measure,
+)
+from repro.core.analysis import (
+    enhanced_cube_prediction,
+    folded_hypercube_prediction,
+)
+
+
+def test_folded_area(benchmark, report):
+    rows = []
+    for n in (4, 6, 8):
+        for L in (2, 4):
+            m = measure(layout_folded_hypercube(n, layers=L, node_side="min"))
+            p = folded_hypercube_prediction(n, L)
+            rows.append(comparison_row([n, 1 << n, L], round(p.area), m.area))
+    report(
+        "E5.3a: folded hypercube area vs 49 N^2/(9 L^2)",
+        ["n", "N", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_folded_hypercube, args=(8,), kwargs={"node_side": "min"},
+        rounds=1, iterations=1,
+    )
+
+
+def test_extra_track_accounting(report, benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        plain = layout_hypercube(n)
+        folded = layout_folded_hypercube(n)
+        N = 1 << n
+        dh = sum(folded.meta["row_tracks"]) - sum(plain.meta["row_tracks"])
+        dv = sum(folded.meta["col_tracks"]) - sum(plain.meta["col_tracks"])
+        assert dh == N // 2 and dv == N // 2
+        rows.append([n, N, N // 2, dh, dv])
+    report(
+        "E5.3b: diameter links consume exactly N/2 extra tracks per "
+        "direction (paper's accounting)",
+        ["n", "N", "paper N/2", "extra H tracks", "extra V tracks"],
+        rows,
+    )
+    benchmark(layout_folded_hypercube, 5)
+
+
+def test_enhanced_area(report, benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        m = measure(layout_enhanced_cube(n, node_side="min"))
+        p = enhanced_cube_prediction(n, 2)
+        rows.append(comparison_row([n, 1 << n], round(p.area), m.area))
+    report(
+        "E5.3c: enhanced cube area vs 100 N^2/(9 L^2) "
+        "(paper bound is conservative: random links that land in-row "
+        "route as ordinary links)",
+        ["n", "N", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_enhanced_cube, 5)
+
+
+def test_family_ordering(report, benchmark):
+    """hypercube < folded < enhanced, at every L (Section 5 overall)."""
+    rows = []
+    for L in (2, 4, 8):
+        h = measure(layout_hypercube(6, layers=L, node_side="min")).area
+        f = measure(layout_folded_hypercube(6, layers=L, node_side="min")).area
+        e = measure(layout_enhanced_cube(6, layers=L, node_side="min")).area
+        assert h < f < e
+        rows.append([L, h, f, e, f"{f / h:.2f}", f"{e / h:.2f}"])
+    report(
+        "E5.3d: area ordering hypercube/folded/enhanced "
+        "(paper constants 16/9 : 49/9 : 100/9 -> ratios 3.06 and 6.25)",
+        ["L", "hypercube", "folded", "enhanced", "folded/hc", "enhanced/hc"],
+        rows,
+    )
+    benchmark(layout_folded_hypercube, 6, layers=4)

@@ -1,0 +1,85 @@
+"""E4.1: Section 4.1 -- generalized hypercubes.
+
+Regenerates:
+
+* the collinear recurrence f(m+1) = r f(m) + |r^2/4| exactly (and the
+  mixed-radix variant);
+* the L-layer area vs r^2 N^2/(4 L^2), incl. the odd-L variant;
+* the maximum wire length vs r N/(2L) and the routing-path wire total
+  vs r N/L (claim 4 at the family level).
+"""
+
+from repro.bench.harness import comparison_row
+from repro.collinear.formulas import ghc_tracks, mixed_radix_ghc_tracks
+from repro.collinear.recursions import ghc_recursive
+from repro.core import layout_ghc, measure
+from repro.core.analysis import ghc_prediction
+from repro.core.metrics import weighted_diameter
+
+
+def test_collinear_recurrence(benchmark, report):
+    rows = []
+    for radices in ((3, 3), (4, 4), (3, 4), (5, 5), (3, 3, 3)):
+        lay = ghc_recursive(radices)
+        want = mixed_radix_ghc_tracks(radices)
+        assert lay.num_tracks == want
+        rows.append([str(radices), want, lay.num_tracks, lay.max_cut()])
+    report(
+        "E4.1a: GHC collinear recurrence (paper) vs construction vs max cut",
+        ["radices", "paper f", "constructed", "max cut (left-edge optimum)"],
+        rows,
+    )
+    benchmark(ghc_recursive, (4, 4))
+
+
+def test_area_sweep(benchmark, report):
+    rows = []
+    for r, n in ((4, 2), (6, 2), (8, 2), (4, 3)):
+        for L in (2, 4):
+            m = measure(layout_ghc((r,) * n, layers=L, node_side="min"))
+            p = ghc_prediction(r, n, L)
+            rows.append(comparison_row([r, n, L], round(p.area), m.area))
+    report(
+        "E4.1b: L-layer GHC area vs r^2 N^2/(4 L^2)",
+        ["r", "n", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_ghc, args=((8, 8),), kwargs={"node_side": "min"},
+        rounds=1, iterations=1,
+    )
+
+
+def test_odd_layers(report, benchmark):
+    rows = []
+    for L in (3, 5):
+        m = measure(layout_ghc((6, 6), layers=L, node_side="min"))
+        p = ghc_prediction(6, 2, L)
+        rows.append(comparison_row([L], round(p.area), m.area))
+    report(
+        "E4.1c: odd-L GHC area vs r^2 N^2/(4 (L^2-1))",
+        ["L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_ghc, (4, 4), layers=3)
+
+
+def test_wire_lengths(report, benchmark):
+    rows = []
+    for L in (2, 4, 8):
+        lay = layout_ghc((6, 6), layers=L, node_side="min")
+        m = measure(lay)
+        p = ghc_prediction(6, 2, L)
+        path = weighted_diameter(lay, max_sources=6)
+        rows.append([
+            L, round(p.max_wire, 1), m.max_wire,
+            f"{m.max_wire / p.max_wire:.2f}",
+            round(p.path_wire, 1), path, f"{path / p.path_wire:.2f}",
+        ])
+    report(
+        "E4.1d: GHC max wire vs rN/(2L); routing-path wire vs rN/L",
+        ["L", "paper wire", "measured", "ratio",
+         "paper path", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_ghc, (6, 6), layers=4)

@@ -1,0 +1,67 @@
+"""E5.1: Section 5.1 -- hypercubes.
+
+Regenerates the |2N/3| collinear track counts exactly and the L-layer
+area / max-wire leading terms (16 N^2/(9 L^2), 2N/(3L)), with a size
+sweep showing the measured/paper ratio approaching 1 from above as the
+o() node-area terms fade.
+"""
+
+from repro.bench.harness import comparison_row
+from repro.collinear.engine import collinear_layout
+from repro.collinear.formulas import hypercube_tracks
+from repro.collinear.orders import binary_order
+from repro.core import layout_hypercube, measure
+from repro.core.analysis import hypercube_prediction
+from repro.topology import Hypercube
+
+
+def test_collinear_tracks(benchmark, report):
+    rows = []
+    for n in range(1, 12):
+        net = Hypercube(n)
+        lay = collinear_layout(net.nodes, net.edges, binary_order(n))
+        assert lay.num_tracks == hypercube_tracks(n)
+        rows.append([n, 1 << n, hypercube_tracks(n), lay.num_tracks])
+    report(
+        "E5.1a: collinear hypercube tracks = floor(2N/3), exact",
+        ["n", "N", "paper", "measured"],
+        rows,
+    )
+    net = Hypercube(8)
+    benchmark(collinear_layout, net.nodes, net.edges, binary_order(8))
+
+
+def test_area_convergence(benchmark, report):
+    rows = []
+    for n in (6, 8, 10, 12):
+        for L in (2, 8):
+            m = measure(layout_hypercube(n, layers=L, node_side="min"))
+            p = hypercube_prediction(n, L)
+            rows.append(comparison_row([n, 1 << n, L], round(p.area), m.area))
+    report(
+        "E5.1b: L-layer hypercube area vs 16 N^2/(9 L^2) "
+        "(ratio falls toward 1 as N grows)",
+        ["n", "N", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_hypercube, args=(10,), kwargs={"node_side": "min"},
+        rounds=1, iterations=1,
+    )
+
+
+def test_max_wire(report, benchmark):
+    rows = []
+    for n in (8, 10):
+        for L in (2, 4, 8):
+            m = measure(layout_hypercube(n, layers=L, node_side="min"))
+            p = hypercube_prediction(n, L)
+            rows.append(
+                comparison_row([n, L], round(p.max_wire, 1), m.max_wire)
+            )
+    report(
+        "E5.1c: hypercube max wire vs 2N/(3L)",
+        ["n", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_hypercube, 8, layers=4, node_side="min")

@@ -1,0 +1,95 @@
+"""E3.1: Section 3.1 -- k-ary n-cube collinear tracks and L-layer area.
+
+Regenerates, for sweeps of (k, n, L):
+
+* the collinear track counts f_k(n) = 2(k^n - 1)/(k - 1), exactly;
+* the L-layer area against 16 N^2/(L^2 k^2) (+ the odd-L variant);
+* the folded-order maximum wire length against the O(N/(L k^2)) bound.
+"""
+
+import pytest
+
+from repro.bench.harness import comparison_row
+from repro.collinear.formulas import kary_tracks
+from repro.collinear.orders import mixed_radix_order
+from repro.collinear.engine import collinear_layout
+from repro.core import layout_kary, measure
+from repro.core.analysis import kary_prediction
+from repro.topology import KAryNCube
+
+
+def test_collinear_track_formula(benchmark, report):
+    rows = []
+    for k in (3, 4, 5, 8):
+        for n in (1, 2, 3):
+            net = KAryNCube(k, n)
+            lay = collinear_layout(
+                net.nodes, net.edges, mixed_radix_order([k] * n)
+            )
+            assert lay.num_tracks == kary_tracks(k, n)
+            rows.append([k, n, kary_tracks(k, n), lay.num_tracks])
+    report(
+        "E3.1a: collinear k-ary n-cube tracks, f_k(n) = 2(k^n-1)/(k-1)",
+        ["k", "n", "paper", "measured"],
+        rows,
+    )
+    benchmark(collinear_layout, KAryNCube(4, 3).nodes, KAryNCube(4, 3).edges,
+              mixed_radix_order([4] * 3))
+
+
+def test_area_sweep_even_layers(benchmark, report):
+    rows = []
+    for k, n in ((4, 2), (4, 4), (6, 4), (8, 2), (8, 4)):
+        for L in (2, 4, 8):
+            m = measure(layout_kary(k, n, layers=L, node_side="min"))
+            p = kary_prediction(k, n, L)
+            rows.append(comparison_row([k, n, L], round(p.area), m.area))
+    report(
+        "E3.1b: L-layer k-ary n-cube area vs 16 N^2/(L^2 k^2)",
+        ["k", "n", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_kary, args=(6, 4), kwargs={"layers": 4, "node_side": "min"},
+        rounds=1, iterations=1,
+    )
+
+
+def test_odd_layer_area(report, benchmark):
+    rows = []
+    for L in (3, 5, 7):
+        m = measure(layout_kary(4, 4, layers=L, node_side="min"))
+        p = kary_prediction(4, 4, L)
+        rows.append(comparison_row([L], round(p.area), m.area))
+        even = measure(layout_kary(4, 4, layers=L - 1, node_side="min"))
+        assert m.area == even.area  # odd L geometrically equals L-1
+    report(
+        "E3.1c: odd-L area vs 16 N^2/((L^2-1) k^2)",
+        ["L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark(layout_kary, 4, 2, layers=3)
+
+
+def test_folded_max_wire(report, benchmark):
+    rows = []
+    folded_wires = []
+    for k in (4, 8, 16):
+        n = 2
+        plain = measure(layout_kary(k, n, layers=2, node_side="min"))
+        folded = measure(
+            layout_kary(k, n, layers=2, node_side="min", folded=True)
+        )
+        bound = kary_prediction(k, n, 2).max_wire
+        rows.append([k, plain.max_wire, folded.max_wire, round(bound, 1)])
+        folded_wires.append(folded.max_wire)
+        # O(N/(Lk^2)) with a small constant: for n=2 the bound is O(1)
+        # in k, while the unfolded wire grows linearly.
+        assert folded.max_wire <= 4 * bound
+    assert folded_wires[0] == folded_wires[-1]  # flat in k, as O() demands
+    report(
+        "E3.1d: folding rows/columns cuts max wire to O(N/(L k^2))",
+        ["k", "plain max wire", "folded max wire", "O() normalizer"],
+        rows,
+    )
+    benchmark(layout_kary, 8, 2, layers=2, folded=True)

@@ -1,0 +1,104 @@
+"""E6: the abstract's optimality claims.
+
+"The proposed layouts ... are optimal within a small constant factor
+under both the Thompson model and the multilayer grid model", with
+butterfly/GHC/HSN/ISN layouts "optimal within 2 + o(1) from a trivial
+lower bound under the multilayer grid model".
+
+The trivial lower bound is bisection-based: area >= (B/L)^2.  This
+bench tabulates measured area / lower bound per family and L; the
+per-side factor is the square root of the tabulated value.
+"""
+
+import math
+
+from repro.core import (
+    layout_complete,
+    layout_ghc,
+    layout_hsn,
+    layout_hypercube,
+    layout_kary,
+    measure,
+)
+from repro.core.bounds import (
+    area_lower_bound,
+    bisection_formula,
+    kernighan_lin,
+    optimality_factor,
+)
+from repro.topology import CompleteGraph, HSN
+
+
+def test_optimality_factors(benchmark, report):
+    rows = []
+    cases = [
+        ("hypercube n=10", lambda L: layout_hypercube(10, layers=L, node_side="min"),
+         bisection_formula("hypercube", 10)),
+        ("4-ary 4-cube", lambda L: layout_kary(4, 4, layers=L, node_side="min"),
+         bisection_formula("kary", 4, 4)),
+        ("GHC(8,8)", lambda L: layout_ghc((8, 8), layers=L, node_side="min"),
+         bisection_formula("ghc", 8, 2)),
+        ("K16 (collinear)", lambda L: layout_complete(16, layers=L),
+         bisection_formula("complete", 16)),
+    ]
+    for name, build, bis in cases:
+        for L in (2, 4):
+            m = measure(build(L))
+            f = optimality_factor(m.area, bis, L)
+            rows.append([
+                name, L, bis, area_lower_bound(bis, L), m.area,
+                f"{f:.2f}", f"{math.sqrt(f):.2f}",
+            ])
+            if "collinear" in name:
+                # Collinear layouts keep their full width at every L:
+                # the factor *grows* with L -- exactly the Section 2.2
+                # argument for designing 2-D multilayer layouts instead.
+                assert f < 64
+            else:
+                assert f < 24  # "small constant factor"
+    report(
+        "E6a: measured area vs trivial bisection bound (B/L)^2 "
+        "(per-side factor = sqrt of area factor; the collinear K16's "
+        "growing factor is Section 2.2's case against 1-D layouts)",
+        ["layout", "L", "B", "lower bound", "measured", "area factor",
+         "side factor"],
+        rows,
+    )
+    benchmark(layout_hypercube, 8, layers=4, node_side="min")
+
+
+def test_hsn_factor(report, benchmark):
+    """HSN/HHN optimality factor, falling with size.
+
+    The bisection of a 2-level HSN is its quotient K_r's (r/2)^2 cut
+    (nucleus edges never cross a cluster-aligned bisection); KL
+    certifies that value computationally at small sizes.  Hypercube
+    nuclei (HHN) keep the clusters sparse -- the regime the paper's
+    N^2/(4L^2) formula actually covers (a K_r nucleus makes the
+    cluster strips Theta(r^2)-tall and the total area N^{2.5}; see
+    DESIGN.md findings).  The factor falls monotonically toward the
+    asymptotic constant as N grows."""
+    from repro.topology import Hypercube
+
+    rows = []
+    factors = []
+    for dim in (2, 3, 4):
+        r = 1 << dim
+        net = HSN(Hypercube(dim), 2)
+        lay = layout_hsn(Hypercube(dim), 2)
+        m = measure(lay)
+        b_formula = r * r // 4
+        if net.num_nodes <= 80:
+            assert kernighan_lin(net) == b_formula
+        f = optimality_factor(m.area, b_formula, 2)
+        factors.append(f)
+        rows.append([f"HHN(dim={dim})", net.num_nodes, b_formula, m.area,
+                     f"{f:.1f}"])
+    assert factors == sorted(factors, reverse=True)
+    report(
+        "E6b: HHN area vs bisection bound (B = r^2/4, KL-certified); "
+        "factor falls with N toward the asymptotic constant",
+        ["layout", "N", "B", "measured area", "factor"],
+        rows,
+    )
+    benchmark(kernighan_lin, HSN(CompleteGraph(4), 2))

@@ -1,0 +1,69 @@
+"""E7: the introduction's performance argument, quantified.
+
+"...the maximum length of wires can be reduced by a factor of
+approximately t [and] the maximum total length of wires along the
+routing path ... leading to lower cost and/or higher performance."
+
+Under a standard wire-delay model (repeatered linear delay, plus an
+unbuffered RC variant), the multilayer layouts' shorter wires turn
+directly into faster clocks and lower message latencies, while the
+folded baseline's performance is pinned at the 2-layer level.
+"""
+
+from repro.core import layout_hypercube
+from repro.core.delay import DelayModel, performance
+from repro.core.folding import fold_layout
+
+
+def test_clock_and_latency_vs_layers(benchmark, report):
+    base = layout_hypercube(10, layers=2, node_side="min")
+    base_rep = performance(base, max_sources=8)
+    rows = []
+    for L in (2, 4, 8, 16):
+        lay = layout_hypercube(10, layers=L, node_side="min")
+        rep = performance(lay, max_sources=8)
+        folded_rep = performance(fold_layout(base, L), max_sources=8)
+        rows.append([
+            L,
+            f"{rep.clock_period:.0f}",
+            f"{base_rep.clock_period / rep.clock_period:.2f}",
+            f"{base_rep.clock_period / folded_rep.clock_period:.2f}",
+            f"{rep.worst_latency:.0f}",
+            f"{base_rep.worst_latency / rep.worst_latency:.2f}",
+            f"{base_rep.avg_latency / rep.avg_latency:.2f}",
+        ])
+    report(
+        "E7a: 10-cube clock period and message latency vs L "
+        "(linear wire delay; folding stays at 1.00x)",
+        ["L", "clock", "clock speedup", "clock speedup (fold)",
+         "worst latency", "latency speedup", "avg speedup"],
+        rows,
+    )
+    benchmark.pedantic(
+        performance, args=(base,), kwargs={"max_sources": 8},
+        rounds=1, iterations=1,
+    )
+
+
+def test_rc_wires_amplify(report, benchmark):
+    rc = DelayModel(alpha=0.0, beta=0.05, router_delay=20.0)
+    rows = []
+    base_rep = None
+    for L in (2, 4, 8):
+        lay = layout_hypercube(10, layers=L, node_side="min")
+        rep = performance(lay, rc, max_sources=4)
+        if base_rep is None:
+            base_rep = rep
+        rows.append([
+            L,
+            f"{rep.max_wire_delay:.0f}",
+            f"{base_rep.max_wire_delay / max(rep.max_wire_delay, 1e-9):.2f}",
+            f"{base_rep.clock_period / rep.clock_period:.2f}",
+        ])
+    report(
+        "E7b: unbuffered RC wires -- quadratic delay makes the L/2 wire "
+        "reduction a ~(L/2)^2 delay win",
+        ["L", "max wire delay", "delay ratio", "clock speedup"],
+        rows,
+    )
+    benchmark(performance, layout_hypercube(8, node_side="min"), rc)

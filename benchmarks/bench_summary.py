@@ -1,0 +1,98 @@
+"""E0: the complete results matrix.
+
+One row per network family the paper lays out: the paper's leading-term
+formulas next to the measured, validated layouts at a reference size
+and L = 4.  This is the paper's Section 6 summary ("the proposed
+layouts are the best reported ... optimal within a small constant
+factor"), regenerated as a single table.
+"""
+
+from repro.core import measure
+from repro.core.analysis import (
+    butterfly_prediction,
+    ccc_prediction,
+    enhanced_cube_prediction,
+    folded_hypercube_prediction,
+    ghc_prediction,
+    hsn_prediction,
+    hypercube_prediction,
+    isn_prediction,
+    kary_prediction,
+    reduced_hypercube_prediction,
+)
+from repro.core.schemes import (
+    layout_butterfly,
+    layout_ccc,
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_ghc,
+    layout_hsn,
+    layout_hypercube,
+    layout_isn,
+    layout_kary,
+    layout_reduced_hypercube,
+)
+from repro.grid.validate import validate_layout
+from repro.topology import CompleteGraph
+
+L = 4
+
+
+def test_results_matrix(benchmark, report):
+    cases = [
+        ("k-ary n-cube (4,4)", lambda: layout_kary(4, 4, layers=L, node_side="min"),
+         kary_prediction(4, 4, L)),
+        ("hypercube n=8", lambda: layout_hypercube(8, layers=L, node_side="min"),
+         hypercube_prediction(8, L)),
+        ("GHC (8,8)", lambda: layout_ghc((8, 8), layers=L, node_side="min"),
+         ghc_prediction(8, 2, L)),
+        ("butterfly m=4", lambda: layout_butterfly(4, layers=L),
+         butterfly_prediction(4, L)),
+        ("ISN m=4", lambda: layout_isn(4, layers=L), isn_prediction(4, L)),
+        ("HSN (K8, l=2)", lambda: layout_hsn(CompleteGraph(8), 2, layers=L),
+         hsn_prediction(8, 2, L)),
+        ("CCC n=5", lambda: layout_ccc(5, layers=L), ccc_prediction(5, L)),
+        ("reduced hypercube n=4",
+         lambda: layout_reduced_hypercube(4, layers=L),
+         reduced_hypercube_prediction(4, L)),
+        ("folded hypercube n=6",
+         lambda: layout_folded_hypercube(6, layers=L, node_side="min"),
+         folded_hypercube_prediction(6, L)),
+        ("enhanced cube n=6",
+         lambda: layout_enhanced_cube(6, layers=L, node_side="min"),
+         enhanced_cube_prediction(6, L)),
+    ]
+    # Cluster families (butterfly/ISN/HSN/CCC/RH) have log^2 N factors
+    # in their leading terms: at bench-scale N those terms are tiny and
+    # the measured area is block-dominated, so their ratios are large
+    # and fall only slowly with N (see the per-family benches for the
+    # convergence sweeps).  Product families are channel-dominated
+    # already.
+    cluster_families = {"butterfly m=4", "ISN m=4", "HSN (K8, l=2)",
+                        "CCC n=5", "reduced hypercube n=4"}
+    rows = []
+    for name, build, pred in cases:
+        lay = build()
+        validate_layout(lay)
+        m = measure(lay)
+        ratio = m.area / pred.area
+        regime = "blocks (o() dominated)" if name in cluster_families else "channels"
+        if name not in cluster_families:
+            assert ratio < 8  # channel-dominated families sit near the formula
+        rows.append([
+            name, pred.num_nodes,
+            round(pred.area), m.area, f"{ratio:.2f}", regime,
+            "-" if pred.max_wire is None else round(pred.max_wire),
+            m.max_wire,
+        ])
+    report(
+        f"E0: the paper's results matrix at L={L} "
+        "(all layouts validated; ratios carry the finite-size o() terms)",
+        ["family", "N", "paper area", "measured", "ratio", "regime at this N",
+         "paper wire", "measured"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_hypercube, args=(8,), kwargs={"layers": L}, rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,97 @@
+"""E4.3: Section 4.3 -- HSN/HHN area and the ISN-vs-butterfly factors.
+
+Regenerates:
+
+* the L-layer HSN area vs N^2/(4 L^2) (quotient = GHC over N/r
+  clusters with r^2/4-track complete-graph channels);
+* HHN = HSN with a hypercube nucleus, same asymptotics;
+* ISN area ~ butterfly/4 and wire ~ butterfly/2.
+"""
+
+from repro.bench.harness import comparison_row
+from repro.core import layout_butterfly, layout_hsn, layout_isn, measure
+from repro.core.analysis import hsn_prediction, isn_prediction
+from repro.core.metrics import weighted_diameter
+from repro.topology import CompleteGraph, Hypercube
+
+
+def test_hsn_area(benchmark, report):
+    rows = []
+    for r, l in ((4, 2), (6, 2), (8, 2), (3, 3), (4, 3)):
+        for L in (2, 4):
+            m = measure(layout_hsn(CompleteGraph(r), l, layers=L))
+            p = hsn_prediction(r, l, L)
+            rows.append(
+                comparison_row([r, l, r**l, L], round(p.area), m.area)
+            )
+    report(
+        "E4.3a: L-layer HSN area vs N^2/(4 L^2)",
+        ["r", "levels", "N", "L", "paper", "measured", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_hsn, args=(CompleteGraph(8), 2), rounds=1, iterations=1
+    )
+
+
+def test_hhn_matches_hsn_asymptotics(report, benchmark):
+    rows = []
+    for dim in (2, 3):
+        r = 1 << dim
+        hsn = measure(layout_hsn(CompleteGraph(r), 2))
+        hhn = measure(layout_hsn(Hypercube(dim), 2))
+        rows.append([dim, r * r, hsn.area, hhn.area,
+                     f"{hhn.area / hsn.area:.2f}"])
+    report(
+        "E4.3b: HHN (hypercube nucleus) vs HSN (complete nucleus) area "
+        "(same quotient channels; HHN's sparser nuclei cost no more)",
+        ["nucleus dim", "N", "HSN area", "HHN area", "HHN/HSN"],
+        rows,
+    )
+    for _, _, hsn_area, hhn_area, _ in rows:
+        assert hhn_area <= hsn_area * 1.2
+    benchmark(layout_hsn, Hypercube(2), 2)
+
+
+def test_isn_vs_butterfly(report, benchmark):
+    """The paper's factors (area 4x, wire 2x) are channel-level and
+    asymptotic: the ISN halves every channel's track count *exactly*
+    (its quotient multiplicity is 2 vs the butterfly's 4), which we
+    assert, while the measured total-area ratio at feasible sizes is
+    diluted by the identical cluster blocks both share and climbs
+    toward 4 only as the channels outgrow the blocks."""
+    rows = []
+    for m in (3, 4, 5):
+        bf_lay = layout_butterfly(m)
+        isn_lay = layout_isn(m)
+        bf, isn = measure(bf_lay), measure(isn_lay)
+        # Channel-level factor 2 per direction (=> 4 in area), exact up
+        # to the +1-per-channel block-attachment overhead.
+        bf_tracks = sum(bf_lay.meta["row_tracks"]) + sum(bf_lay.meta["col_tracks"])
+        isn_tracks = sum(isn_lay.meta["row_tracks"]) + sum(isn_lay.meta["col_tracks"])
+        channels = bf_lay.meta["rows"] + bf_lay.meta["cols"]
+        assert bf_tracks <= 2 * isn_tracks <= bf_tracks + 2 * channels
+        area_ratio = bf.area / isn.area
+        wire_ratio = bf.max_wire / isn.max_wire
+        path_ratio = weighted_diameter(bf_lay, max_sources=2) / max(
+            weighted_diameter(isn_lay, max_sources=2), 1
+        )
+        rows.append([
+            m, f"{bf_tracks / isn_tracks:.2f}", f"{area_ratio:.2f}",
+            f"{wire_ratio:.2f}", f"{path_ratio:.2f}",
+        ])
+        assert area_ratio > 1.4
+        assert wire_ratio > 1.1
+    report(
+        "E4.3c: butterfly/ISN -- channel tracks exactly 2x per direction "
+        "(paper's asymptotic area 4x, wire 2x); measured totals diluted "
+        "by the shared cluster blocks",
+        ["m", "track ratio (exact 2)", "area ratio (->4)",
+         "wire ratio (->2)", "path ratio"],
+        rows,
+    )
+    # The predictions encode the same factors by construction.
+    from repro.core.analysis import butterfly_prediction
+
+    assert isn_prediction(4, 2).area * 4 == butterfly_prediction(4, 2).area
+    benchmark(layout_isn, 3)

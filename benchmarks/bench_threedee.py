@@ -1,0 +1,67 @@
+"""E8: the multilayer 3-D grid model (Section 2.2-2.3).
+
+The paper defines the 3-D model and defers concrete layouts to future
+work; this bench measures the natural deck-stacking construction for
+product networks against the 2-D multilayer layout of the same network
+under the same total layer budget: footprint, volume and max wire all
+improve, quantifying why the 3-D model exists.
+"""
+
+from repro.core import layout_kary, measure
+from repro.core.threedee import layout_product_3d
+from repro.grid.validate import validate_layout
+from repro.topology import Ring
+
+
+def test_3d_vs_2d_torus(benchmark, report):
+    rows = []
+    for k, L in ((4, 8), (4, 16), (6, 12)):
+        lay3 = layout_product_3d(Ring(k), Ring(k), Ring(k), layers=L)
+        validate_layout(lay3)
+        m3 = measure(lay3)
+        m2 = measure(layout_kary(k, 3, layers=L))
+        rows.append([
+            f"{k}x{k}x{k}", L,
+            m2.area, m3.area, f"{m2.area / m3.area:.2f}",
+            m2.volume, m3.volume, f"{m2.volume / m3.volume:.2f}",
+            m2.max_wire, m3.max_wire,
+        ])
+        assert m3.area < m2.area
+        assert m3.volume < m2.volume
+    report(
+        "E8: 3-D deck stacking vs 2-D multilayer layout of the same "
+        "torus at equal L",
+        ["torus", "L", "2-D area", "3-D area", "ratio",
+         "2-D vol", "3-D vol", "ratio", "2-D wire", "3-D wire"],
+        rows,
+    )
+    benchmark.pedantic(
+        layout_product_3d, args=(Ring(4), Ring(4), Ring(4)),
+        kwargs={"layers": 8}, rounds=1, iterations=1,
+    )
+
+
+def test_riser_overhead(report, benchmark):
+    """Risers reuse free pin offsets: zero extra tracks, zero extra
+    area -- the stacking dimension is 'free' in plan view."""
+    rows = []
+    for k in (3, 4):
+        lay3 = layout_product_3d(Ring(k), Ring(k), Ring(k), layers=2 * k)
+        m3 = measure(lay3)
+        # A single deck alone (the A x B slice at its share of layers),
+        # with the same node squares the 3-D layout uses.
+        deck = layout_kary(k, 2, layers=2, node_side=lay3.meta["node_side"])
+        md = measure(deck)
+        rows.append([
+            f"{k}^3", m3.width, md.width, m3.height, md.height,
+            sum(1 for w in lay3.wires if w.riser is not None),
+        ])
+        assert m3.width <= md.width + 2
+        assert m3.height <= md.height + 2
+    report(
+        "E8b: 3-D footprint equals one deck's footprint "
+        "(risers consume no tracks)",
+        ["torus", "3-D W", "deck W", "3-D H", "deck H", "risers"],
+        rows,
+    )
+    benchmark(layout_product_3d, Ring(3), Ring(3), Ring(3), layers=6)

@@ -1,0 +1,125 @@
+"""E9: end-to-end traffic performance on multilayer layouts.
+
+Closing the paper's claim chain with a message-level simulation: the
+same network, the same e-cube routes and the same traffic kernels run
+faster on the L-layer layout because every link is a shorter wire.
+The folding baseline, whose wires keep their 2-layer lengths, gains
+nothing.
+"""
+
+from repro.core import layout_hypercube
+from repro.core.folding import fold_layout
+from repro.routing import (
+    bit_complement,
+    dimension_order_route,
+    random_permutation,
+    simulate,
+    transpose,
+)
+from repro.topology import Hypercube
+
+DIM = 8
+
+
+def _route(net):
+    return lambda s, d: dimension_order_route(net, s, d)
+
+
+def test_traffic_kernels_vs_layers(benchmark, report):
+    net = Hypercube(DIM)
+    route = _route(net)
+    kernels = {
+        "bit-complement": bit_complement(net),
+        "transpose": transpose(net),
+        "random-perm": random_permutation(net),
+    }
+    base_lay = layout_hypercube(DIM, layers=2, node_side="min")
+    rows = []
+    base_results = {}
+    for L in (2, 4, 8):
+        lay = layout_hypercube(DIM, layers=L, node_side="min")
+        for name, msgs in kernels.items():
+            res = simulate(net, msgs, layout=lay, router=route)
+            if L == 2:
+                base_results[name] = res
+            base = base_results[name]
+            rows.append([
+                name, L, res.makespan,
+                f"{base.makespan / res.makespan:.2f}",
+                f"{res.avg_latency:.0f}",
+                f"{base.avg_latency / res.avg_latency:.2f}",
+            ])
+    report(
+        f"E9a: {DIM}-cube traffic kernels across L "
+        "(store-and-forward, layout-derived link delays)",
+        ["kernel", "L", "makespan", "speedup", "avg latency", "speedup"],
+        rows,
+    )
+    benchmark.pedantic(
+        simulate, args=(net, kernels["random-perm"]),
+        kwargs={"layout": base_lay, "router": route},
+        rounds=1, iterations=1,
+    )
+
+
+def test_latency_vs_load_curve(report, benchmark):
+    """E9c: the classic latency-vs-injection-rate curve, per layout.
+
+    Shorter wires shift the whole curve down: at every load level the
+    L=8 layout delivers lower average latency."""
+    from repro.routing import rate_injection
+
+    net = Hypercube(6)
+    route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+    lay2 = layout_hypercube(6, layers=2, node_side="min")
+    lay8 = layout_hypercube(6, layers=8, node_side="min")
+    rows = []
+    for rate in (0.002, 0.01, 0.03):
+        msgs = rate_injection(net, rate=rate, duration=300)
+        r2 = simulate(net, msgs, layout=lay2, router=route)
+        r8 = simulate(net, msgs, layout=lay8, router=route)
+        assert r8.avg_latency < r2.avg_latency
+        rows.append([
+            rate, r2.messages, f"{r2.avg_latency:.0f}",
+            f"{r8.avg_latency:.0f}",
+            f"{r2.avg_latency / r8.avg_latency:.2f}",
+        ])
+    report(
+        "E9c: 6-cube latency vs injection rate (uniform random traffic)",
+        ["rate", "messages", "avg latency L=2", "avg latency L=8",
+         "speedup"],
+        rows,
+    )
+    benchmark(
+        simulate, net, rate_injection(net, rate=0.01, duration=100),
+        layout=lay2, router=route,
+    )
+
+
+def test_folding_gains_nothing(report, benchmark):
+    net = Hypercube(DIM)
+    route = _route(net)
+    msgs = bit_complement(net)
+    base_lay = layout_hypercube(DIM, layers=2)
+    base = simulate(net, msgs, layout=base_lay, router=route)
+    rows = []
+    for L in (4, 8):
+        folded = fold_layout(base_lay, L)
+        res = simulate(net, msgs, layout=folded, router=route)
+        multi = simulate(
+            net, msgs,
+            layout=layout_hypercube(DIM, layers=L), router=route,
+        )
+        assert res.makespan == base.makespan  # folding: zero gain
+        assert multi.makespan < base.makespan
+        rows.append([
+            L, base.makespan, res.makespan, multi.makespan,
+            f"{base.makespan / multi.makespan:.2f}",
+        ])
+    report(
+        "E9b: bit-complement makespan -- folded layout gains exactly "
+        "nothing; the multilayer design wins",
+        ["L", "L=2", "folded", "multilayer", "multilayer speedup"],
+        rows,
+    )
+    benchmark(simulate, net, msgs, layout=base_lay, router=route)

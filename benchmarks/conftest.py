@@ -1,0 +1,41 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one paper artifact (table/figure/closed form)
+and reports paper-vs-measured rows.  Reports are printed (visible with
+``pytest -s``) and appended to ``benchmarks/results/<bench>.txt`` so
+EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import format_table
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """report(title, headers, rows): print + persist a comparison table."""
+    RESULTS.mkdir(exist_ok=True)
+    out_file = RESULTS / f"{request.node.module.__name__}.txt"
+
+    def _report(title: str, headers, rows) -> None:
+        text = f"\n== {title} ==\n{format_table(headers, rows)}\n"
+        print(text)
+        with out_file.open("a") as fh:
+            fh.write(text)
+
+    return _report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results():
+    """Start each bench session with clean result files."""
+    if RESULTS.exists():
+        for f in RESULTS.glob("*.txt"):
+            f.unlink()
+    yield

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A guided tour of the library's public API, end to end.
+
+Walks one network -- the 6-cube -- through everything the library can
+do with it: topology facts, collinear layout with an optimality
+certificate, 2-D multilayer layout with validation, the folding
+baseline, model classification, lower bounds, rendering, cost,
+performance, routing, simulation and serialization.
+
+Run:  python examples/api_tour.py
+"""
+
+import tempfile
+
+from repro import (
+    DelayModel,
+    Hypercube,
+    ascii_collinear,
+    bisection_formula,
+    dump_layout,
+    fold_layout,
+    hypercube_tracks,
+    layout_hypercube,
+    load_layout,
+    measure,
+    optimality_factor,
+    paper_prediction,
+    performance,
+    svg_layout,
+    validate_layout,
+)
+from repro.collinear import binary_order, collinear_layout
+from repro.core.cost import CostModel, chip_cost
+from repro.core.inspect import area_breakdown, channel_report
+from repro.core.models import model_of
+from repro.routing import bit_complement, dimension_order_route, simulate
+
+N_DIM = 6
+
+
+def main() -> None:
+    # --- 1. topology ----------------------------------------------------
+    net = Hypercube(N_DIM)
+    print(f"network: {net.name} -- N={net.num_nodes}, links={net.num_edges},"
+          f" degree={net.max_degree}, diameter={net.diameter()}")
+
+    # --- 2. collinear layout with optimality certificate ----------------
+    col = collinear_layout(net.nodes, net.edges, binary_order(N_DIM))
+    print(f"\ncollinear tracks: {col.num_tracks} "
+          f"(paper |2N/3| = {hypercube_tracks(N_DIM)}; "
+          f"max-cut certificate = {col.max_cut()})")
+    print(ascii_collinear(col, cell_width=2, label_nodes=False).splitlines()[0],
+          "... (first track row)")
+
+    # --- 3. 2-D multilayer layout ---------------------------------------
+    lay = layout_hypercube(N_DIM, layers=8)
+    validate_layout(lay)
+    m = measure(lay)
+    pred = paper_prediction("hypercube", N_DIM, layers=8)
+    print(f"\nL=8 layout: area={m.area} (paper leading term "
+          f"{pred.area:.0f}), max wire={m.max_wire}")
+    print(f"model: {model_of(lay).name}")
+    rep = channel_report(lay)
+    bd = area_breakdown(lay)
+    print(f"channels: busiest row={rep.busiest_row} tracks; "
+          f"channel share of width={bd['channel_share_w']:.2f}")
+
+    # --- 4. the folding baseline ----------------------------------------
+    base = layout_hypercube(N_DIM, layers=2)
+    folded = fold_layout(base, 8)
+    validate_layout(folded)
+    print(f"\nfolded baseline: area {measure(base).area} -> "
+          f"{measure(folded).area}, max wire unchanged at "
+          f"{measure(folded).max_wire}; model: {model_of(folded).name}")
+
+    # --- 5. lower bound ---------------------------------------------------
+    B = bisection_formula("hypercube", N_DIM)
+    print(f"\nbisection B={B}; area factor over (B/L)^2: "
+          f"{optimality_factor(m.area, B, 8):.1f}")
+
+    # --- 6. cost & performance -------------------------------------------
+    cost = chip_cost(lay, CostModel(defect_density=1e-5))
+    perf = performance(lay, DelayModel(), max_sources=8)
+    print(f"cost: {cost.total:,.0f} (yield {cost.yield_fraction:.2f}); "
+          f"clock period {perf.clock_period:.0f}")
+
+    # --- 7. routing & simulation ----------------------------------------
+    route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+    res = simulate(net, bit_complement(net), layout=lay, router=route,
+                   mode="cut_through", message_length=4)
+    print(f"bit-complement on this layout: makespan {res.makespan}, "
+          f"avg latency {res.avg_latency:.0f}")
+
+    # --- 8. rendering & serialization ------------------------------------
+    with tempfile.NamedTemporaryFile("w", suffix=".svg", delete=False) as fh:
+        fh.write(svg_layout(lay, legend=True))
+        svg_path = fh.name
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        json_path = fh.name
+    dump_layout(lay, json_path)
+    back = load_layout(json_path)
+    assert back.summary() == lay.summary()
+    print(f"\nSVG -> {svg_path}\nJSON round-trip OK -> {json_path}")
+
+
+if __name__ == "__main__":
+    main()

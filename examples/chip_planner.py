@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A chip-planning scenario built on the library's public API.
+
+The paper's introduction motivates multilayer layout with single-chip
+multiprocessors: given a die budget (grid area per layer), a process
+(number of wiring layers) and a target node count, which interconnect
+should you fabricate?  This script answers that question the way a
+designer would use the library:
+
+1. enumerate candidate topologies at ~the target node count;
+2. lay each out under the process's layer budget;
+3. reject candidates whose layout exceeds the die;
+4. rank the rest by maximum wire length (clock-limiting) and volume.
+
+Run:  python examples/chip_planner.py [target_nodes] [layers] [die_side]
+"""
+
+import sys
+
+from repro import measure, validate_layout
+from repro.core.schemes import layout_network
+from repro.topology import (
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    GeneralizedHypercube,
+    Hypercube,
+    KAryNCube,
+)
+from repro.bench import print_table
+
+
+def candidates(target: int):
+    """Topologies with node counts within 2x of the target."""
+    nets = []
+    n = 1
+    while 2**n <= 2 * target:
+        if 2**n >= target // 2:
+            nets.append(Hypercube(n))
+        n += 1
+    for k in (3, 4, 5, 6, 8):
+        for dim in (2, 3, 4):
+            if target // 2 <= k**dim <= 2 * target:
+                nets.append(KAryNCube(k, dim))
+    for r in (3, 4, 5, 6):
+        for dim in (2, 3):
+            if target // 2 <= r**dim <= 2 * target:
+                nets.append(GeneralizedHypercube((r,) * dim))
+    for m in (2, 3, 4, 5):
+        if target // 2 <= (m + 1) * 2**m <= 2 * target:
+            nets.append(Butterfly(m))
+    for n_ in (3, 4, 5):
+        if target // 2 <= n_ * 2**n_ <= 2 * target:
+            nets.append(CubeConnectedCycles(n_))
+    for r in (4, 5, 6, 8):
+        if target // 2 <= r * r <= 2 * target:
+            nets.append(HSN(CompleteGraph(r), 2))
+    return nets
+
+
+def main() -> None:
+    target = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    layers = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    die_side = int(sys.argv[3]) if len(sys.argv) > 3 else 400
+
+    print(
+        f"Planning a ~{target}-node fabric on a {die_side}x{die_side} die "
+        f"with {layers} wiring layers\n"
+    )
+    rows, rejected = [], []
+    for net in candidates(target):
+        lay = layout_network(net, layers=layers)
+        validate_layout(lay)
+        m = measure(lay)
+        fits = m.width <= die_side and m.height <= die_side
+        row = [
+            net.name, net.num_nodes, net.max_degree,
+            m.width, m.height, m.max_wire, m.volume,
+            "yes" if fits else "NO",
+        ]
+        (rows if fits else rejected).append(row)
+
+    rows.sort(key=lambda r: (r[5], r[6]))  # max wire, then volume
+    print_table(
+        "candidates that fit the die (best clock potential first)",
+        ["network", "N", "deg", "W", "H", "max wire", "volume", "fits"],
+        rows,
+    )
+    if rejected:
+        print_table(
+            "rejected (layout exceeds the die)",
+            ["network", "N", "deg", "W", "H", "max wire", "volume", "fits"],
+            rejected,
+        )
+    if rows:
+        print(f"\nRecommended fabric: {rows[0][0]} "
+              f"(max wire {rows[0][5]}, volume {rows[0][6]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Claims (1)-(4): multilayer design vs. folding vs. collinear stacking.
+
+For each network, the same Thompson (L = 2) layout can "use" L layers
+three ways; only designing for the multilayer model up front (the
+paper's contribution) wins on all four metrics:
+
+                       area        volume      max wire    path wire
+  multilayer scheme    ~ L^2/4 x   ~ L/2 x     ~ L/2 x     ~ L/2 x
+  folded Thompson      ~ L/2  x    1 x         1 x         1 x
+  multilayer collinear <= L/2 x    >= 1 x      1 x         1 x
+
+Run:  python examples/multilayer_scaling.py
+"""
+
+from repro import (
+    Hypercube,
+    collinear_multilayer_metrics,
+    fold_metrics,
+    layout_collinear_network,
+    layout_hypercube,
+    layout_kary,
+    measure,
+)
+from repro.bench import print_table
+from repro.core.metrics import weighted_diameter
+
+
+def hypercube_study(n: int = 10) -> None:
+    base_lay = layout_hypercube(n, layers=2, node_side="min")
+    base = measure(base_lay)
+    base_path = weighted_diameter(base_lay, max_sources=4)
+    col_base = measure(layout_collinear_network(Hypercube(n)))
+
+    rows = []
+    for L in (2, 4, 8, 16):
+        multi_lay = layout_hypercube(n, layers=L, node_side="min")
+        multi = measure(multi_lay)
+        folded = fold_metrics(base, L)
+        collinear = collinear_multilayer_metrics(col_base, L)
+        path = weighted_diameter(multi_lay, max_sources=4)
+        rows.append([
+            L,
+            f"{base.area / multi.area:.2f}",
+            f"{L * L / 4:.0f}",
+            f"{base.area / folded.area:.2f}",
+            f"{base.volume / multi.volume:.2f}",
+            f"{base.max_wire / multi.max_wire:.2f}",
+            f"{base_path / path:.2f}",
+            f"{col_base.area / collinear.area:.2f}",
+        ])
+    print_table(
+        f"{n}-cube: improvement factors over the L=2 layout",
+        ["L", "area x (scheme)", "ideal L^2/4", "area x (folded)",
+         "volume x", "max wire x", "path wire x", "area x (collinear)"],
+        rows,
+    )
+
+
+def kary_study(k: int = 4, n: int = 4) -> None:
+    base = measure(layout_kary(k, n, layers=2, node_side="min"))
+    rows = []
+    for L in (2, 4, 8):
+        m = measure(layout_kary(k, n, layers=L, node_side="min"))
+        folded = fold_metrics(base, L)
+        rows.append([
+            L, m.area, f"{base.area / m.area:.2f}",
+            f"{base.area / folded.area:.2f}",
+            m.max_wire, f"{base.max_wire / m.max_wire:.2f}",
+        ])
+    print_table(
+        f"{k}-ary {n}-cube: multilayer vs folding",
+        ["L", "area", "area x", "area x (folded)", "max wire", "wire x"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    hypercube_study()
+    kary_study()

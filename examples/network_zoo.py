@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The network zoo: every family the paper lays out, side by side.
+
+Builds each supported topology at a comparable scale, routes it under
+L = 4 wiring layers, validates it, and tabulates nodes, links, area,
+volume and wire metrics -- the practical "which fabric should my chip
+use?" comparison that motivates the paper's introduction.
+
+Run:  python examples/network_zoo.py
+"""
+
+from repro import measure, validate_layout
+from repro.core.schemes import layout_cayley, layout_kary_cluster, layout_network
+from repro.grid.validate import check_topology
+from repro.topology import (
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    EnhancedCube,
+    FoldedHypercube,
+    GeneralizedHypercube,
+    Hypercube,
+    IndirectSwapNetwork,
+    KAryNCube,
+    ReducedHypercube,
+    Ring,
+    StarGraph,
+)
+from repro.bench import print_table
+
+LAYERS = 4
+
+ZOO = [
+    Ring(16),
+    KAryNCube(4, 2),
+    KAryNCube(3, 3),
+    Hypercube(5),
+    FoldedHypercube(5),
+    EnhancedCube(5),
+    CompleteGraph(12),
+    GeneralizedHypercube((4, 4)),
+    Butterfly(3),
+    IndirectSwapNetwork(3),
+    CubeConnectedCycles(4),
+    ReducedHypercube(4),
+    HSN(CompleteGraph(4), 2),
+    StarGraph(4),
+]
+
+
+def main() -> None:
+    rows = []
+    for net in ZOO:
+        lay = layout_network(net, layers=LAYERS)
+        validate_layout(lay)
+        check_topology(lay, net.edges)
+        m = measure(lay)
+        rows.append([
+            net.name,
+            net.num_nodes,
+            net.num_edges,
+            net.max_degree,
+            m.width,
+            m.height,
+            m.area,
+            m.volume,
+            m.max_wire,
+        ])
+    print_table(
+        f"network zoo under L={LAYERS} wiring layers (all validated)",
+        ["network", "N", "links", "deg", "W", "H", "area", "volume",
+         "max wire"],
+        rows,
+    )
+
+    # A k-ary n-cube cluster, Section 3.2's packaging-aware design.
+    lay = layout_kary_cluster(4, 2, 4, layers=LAYERS)
+    validate_layout(lay)
+    m = measure(lay)
+    print(
+        f"\nk-ary n-cube cluster-c (k=4, n=2, c=4 hypercube clusters): "
+        f"area {m.area}, volume {m.volume} -- vs plain 4-ary 2-cube "
+        f"area {measure(layout_network(KAryNCube(4, 2), layers=LAYERS)).area}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate the paper's four figures.
+
+* Figure 1 -- top view of a recursive grid layout (blocks in a 2-D grid
+  with channels between them): rendered from the CCC(3) cluster layout.
+* Figure 2 -- collinear layout of a 3-ary 2-cube (8 tracks).
+* Figure 3 -- collinear layout of K_9 (20 tracks).
+* Figure 4 -- collinear layout of a 4-cube (10 tracks).
+
+ASCII art goes to stdout; SVG files are written next to this script
+(figure1.svg .. figure4.svg) with layer-colored wires.
+
+Run:  python examples/paper_figures.py
+"""
+
+import pathlib
+
+from repro import ascii_collinear, svg_layout
+from repro.collinear import (
+    complete_recursive,
+    hypercube_recursive,
+    kary_recursive,
+)
+from repro.core import (
+    layout_ccc,
+    layout_collinear_network,
+)
+from repro.topology import CompleteGraph, Hypercube, KAryNCube
+
+OUT = pathlib.Path(__file__).resolve().parent
+
+
+def figure(n: int, title: str, art: str, svg: str) -> None:
+    print(f"\n=== Figure {n}: {title} ===")
+    print(art)
+    path = OUT / f"figure{n}.svg"
+    path.write_text(svg)
+    print(f"[SVG written to {path}]")
+
+
+def main() -> None:
+    # Figure 2: collinear 3-ary 2-cube.
+    lay2 = kary_recursive(3, 2)
+    geo2 = layout_collinear_network(
+        KAryNCube(3, 2), order=lay2.order, name="figure2"
+    )
+    figure(
+        2,
+        f"collinear 3-ary 2-cube, {lay2.num_tracks} tracks "
+        "(paper: f_3(2) = 8)",
+        ascii_collinear(lay2),
+        svg_layout(geo2),
+    )
+
+    # Figure 3: collinear K_9.
+    lay3 = complete_recursive(9)
+    geo3 = layout_collinear_network(CompleteGraph(9), name="figure3")
+    figure(
+        3,
+        f"collinear K9, {lay3.num_tracks} tracks (paper: |81/4| = 20)",
+        ascii_collinear(lay3),
+        svg_layout(geo3),
+    )
+
+    # Figure 4: collinear 4-cube.
+    lay4 = hypercube_recursive(4)
+    geo4 = layout_collinear_network(
+        Hypercube(4), order=lay4.order, name="figure4"
+    )
+    figure(
+        4,
+        f"collinear 4-cube, {lay4.num_tracks} tracks (paper: |2*16/3| = 10)",
+        ascii_collinear(lay4),
+        svg_layout(geo4),
+    )
+
+    # Figure 1: recursive grid layout top view -- a grid of cluster
+    # blocks with routing channels between them (CCC(3): 8 cycle
+    # blocks arranged 4 x 2 around its quotient 3-cube).
+    ccc = layout_ccc(3)
+    print("\n=== Figure 1: recursive grid layout top view (CCC(3)) ===")
+    print(
+        f"blocks: {ccc.meta['clusters']}  grid: {ccc.meta['rows']}x"
+        f"{ccc.meta['cols']}  row channels: {ccc.meta['row_tracks']} "
+        f"col channels: {ccc.meta['col_tracks']}"
+    )
+    path = OUT / "figure1.svg"
+    path.write_text(svg_layout(ccc))
+    print(f"[SVG written to {path}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Performance study: from layout geometry to network performance.
+
+Reproduces the paper's performance argument end to end for the 8-cube:
+
+1. lay the network out under L = 2, 4, 8, 16 (and fold the L = 2
+   layout as the baseline);
+2. derive per-link delays from the routed wire lengths;
+3. run classic traffic kernels (bit complement, transpose, random
+   permutation) through a store-and-forward and a cut-through
+   simulator with e-cube routing;
+4. report clock-period and traffic speedups.
+
+Run:  python examples/performance_study.py
+"""
+
+from repro import DelayModel, layout_hypercube, performance
+from repro.bench import print_table
+from repro.core.folding import fold_layout
+from repro.routing import (
+    bit_complement,
+    dimension_order_route,
+    random_permutation,
+    simulate,
+    transpose,
+)
+from repro.topology import Hypercube
+
+DIM = 8
+
+
+def main() -> None:
+    net = Hypercube(DIM)
+    route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+    kernels = {
+        "bit-complement": bit_complement(net),
+        "transpose": transpose(net),
+        "random permutation": random_permutation(net),
+    }
+
+    layouts = {
+        L: layout_hypercube(DIM, layers=L, node_side="min")
+        for L in (2, 4, 8, 16)
+    }
+    folded = fold_layout(layouts[2], 8)
+
+    # Clock potential (performance module).
+    rows = []
+    base = performance(layouts[2], max_sources=8)
+    for L, lay in layouts.items():
+        rep = performance(lay, max_sources=8)
+        rows.append([
+            L, f"{rep.clock_period:.0f}",
+            f"{base.clock_period / rep.clock_period:.2f}",
+            f"{rep.worst_latency:.0f}",
+            f"{base.worst_latency / rep.worst_latency:.2f}",
+        ])
+    rep_f = performance(folded, max_sources=8)
+    rows.append([
+        "8 (folded)", f"{rep_f.clock_period:.0f}",
+        f"{base.clock_period / rep_f.clock_period:.2f}",
+        f"{rep_f.worst_latency:.0f}",
+        f"{base.worst_latency / rep_f.worst_latency:.2f}",
+    ])
+    print_table(
+        f"{DIM}-cube clock and latency potential vs layers",
+        ["L", "clock", "speedup", "worst latency", "speedup"],
+        rows,
+    )
+
+    # Traffic simulation, both switching modes.
+    for mode, length in (("store_forward", 4), ("cut_through", 4)):
+        rows = []
+        base_res = {}
+        for L, lay in layouts.items():
+            for name, msgs in kernels.items():
+                res = simulate(
+                    net, msgs, layout=lay, router=route, mode=mode,
+                    message_length=length,
+                )
+                if L == 2:
+                    base_res[name] = res.makespan
+                rows.append([
+                    name, L, res.makespan,
+                    f"{base_res[name] / res.makespan:.2f}",
+                ])
+        print_table(
+            f"{DIM}-cube {mode} traffic (message length {length} flits)",
+            ["kernel", "L", "makespan", "speedup"],
+            rows,
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: lay out a hypercube under the multilayer grid model.
+
+Builds the 256-node hypercube layout of Section 5.1 for several layer
+counts, validates each against the model's legality rules, and compares
+the measured area/volume/wire length with the paper's leading terms
+(16 N^2 / (9 L^2), etc.).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Hypercube,
+    layout_hypercube,
+    measure,
+    paper_prediction,
+    validate_layout,
+)
+from repro.bench import print_table
+from repro.grid.validate import check_topology
+
+
+def main() -> None:
+    n = 8
+    net = Hypercube(n)
+    print(f"Network: {net.name} with N={net.num_nodes} nodes, "
+          f"{net.num_edges} links")
+
+    rows = []
+    for layers in (2, 4, 8, 16):
+        layout = layout_hypercube(n, layers=layers, node_side="min")
+
+        # Every layout is checked against the multilayer grid model:
+        # per-layer edge-disjointness, via stacking, pin rules ... and
+        # the routed wires must reproduce the hypercube exactly.
+        validate_layout(layout)
+        check_topology(layout, net.edges)
+
+        m = measure(layout)
+        p = paper_prediction("hypercube", n, layers=layers)
+        rows.append([
+            layers,
+            m.area,
+            round(p.area),
+            f"{m.area / p.area:.2f}",
+            m.volume,
+            m.max_wire,
+            round(p.max_wire),
+        ])
+
+    print_table(
+        f"{n}-cube under L wiring layers (measured vs Section 5.1)",
+        ["L", "area", "paper area", "area ratio", "volume", "max wire",
+         "paper wire"],
+        rows,
+    )
+    print(
+        "\nThe measured/paper area ratio carries the node squares and the\n"
+        "ceil() of track grouping -- both o(1) as N grows; the L^2 trend\n"
+        "(claim 1 of the paper) is visible down the 'area' column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""repro: multilayer VLSI layout for interconnection networks.
+
+A from-scratch reproduction of
+
+    Chi-Hsiang Yeh, Emmanouel A. Varvarigos, Behrooz Parhami,
+    "Multilayer VLSI Layout for Interconnection Networks", ICPP 2000.
+
+The library provides:
+
+* the **multilayer grid model** substrate (:mod:`repro.grid`): grid
+  geometry, wires with per-segment layers, layouts, and a legality
+  validator;
+* **network topologies** (:mod:`repro.topology`): every family the
+  paper lays out, built from scratch;
+* **collinear layouts** (:mod:`repro.collinear`): the generic
+  order-plus-left-edge engine and the paper's explicit recursions with
+  their exact track-count formulas;
+* the **layout schemes** (:mod:`repro.core`): the orthogonal multilayer
+  scheme, the recursive grid (PN-cluster) scheme, extra-link routing,
+  the folding baselines and the paper's closed-form predictions;
+* **rendering** (:mod:`repro.viz`): ASCII and SVG.
+
+Quick start::
+
+    from repro import layout_hypercube, validate_layout, measure
+
+    lay = layout_hypercube(8, layers=8)   # 256-node hypercube, 8 layers
+    validate_layout(lay)                  # multilayer grid model rules
+    print(measure(lay).as_dict())
+"""
+
+from repro.collinear import (
+    CollinearLayout,
+    collinear_layout,
+    complete_graph_tracks,
+    exact_cutwidth,
+    ghc_tracks,
+    hypercube_tracks,
+    kary_tracks,
+    optimal_order,
+)
+from repro.core import (
+    DelayModel,
+    area_lower_bound,
+    bisection_formula,
+    build_orthogonal_layout,
+    collinear_multilayer_metrics,
+    exact_bisection,
+    fold_layout,
+    fold_metrics,
+    layout_butterfly,
+    layout_ccc,
+    layout_collinear_network,
+    layout_complete,
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_ghc,
+    layout_hsn,
+    layout_hypercube,
+    layout_isn,
+    layout_kary,
+    layout_network,
+    layout_product,
+    layout_product_3d,
+    layout_reduced_hypercube,
+    measure,
+    optimality_factor,
+    paper_prediction,
+    performance,
+)
+from repro.grid.io import dump_layout, layout_from_json, layout_to_json, load_layout
+from repro.grid import GridLayout, LayoutError, validate_layout
+from repro.topology import (
+    HHN,
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    EnhancedCube,
+    FoldedHypercube,
+    GeneralizedHypercube,
+    Hypercube,
+    IndirectSwapNetwork,
+    KAryNCube,
+    Mesh,
+    ProductNetwork,
+    ReducedHypercube,
+    Ring,
+    StarGraph,
+)
+from repro.viz import ascii_collinear, ascii_grid_layout, svg_layout
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # grid
+    "GridLayout",
+    "LayoutError",
+    "validate_layout",
+    # collinear
+    "CollinearLayout",
+    "collinear_layout",
+    "kary_tracks",
+    "complete_graph_tracks",
+    "ghc_tracks",
+    "hypercube_tracks",
+    "exact_cutwidth",
+    "optimal_order",
+    # topologies
+    "Ring",
+    "Mesh",
+    "KAryNCube",
+    "Hypercube",
+    "FoldedHypercube",
+    "EnhancedCube",
+    "CompleteGraph",
+    "GeneralizedHypercube",
+    "ProductNetwork",
+    "Butterfly",
+    "CubeConnectedCycles",
+    "ReducedHypercube",
+    "HSN",
+    "HHN",
+    "IndirectSwapNetwork",
+    "StarGraph",
+    # schemes
+    "build_orthogonal_layout",
+    "layout_network",
+    "layout_kary",
+    "layout_hypercube",
+    "layout_ghc",
+    "layout_complete",
+    "layout_product",
+    "layout_collinear_network",
+    "layout_product_3d",
+    "layout_butterfly",
+    "layout_isn",
+    "layout_ccc",
+    "layout_reduced_hypercube",
+    "layout_hsn",
+    "layout_folded_hypercube",
+    "layout_enhanced_cube",
+    # analysis
+    "fold_metrics",
+    "fold_layout",
+    "collinear_multilayer_metrics",
+    "paper_prediction",
+    "measure",
+    "exact_bisection",
+    "bisection_formula",
+    "area_lower_bound",
+    "optimality_factor",
+    "DelayModel",
+    "performance",
+    # io
+    "layout_to_json",
+    "layout_from_json",
+    "dump_layout",
+    "load_layout",
+    # viz
+    "ascii_collinear",
+    "ascii_grid_layout",
+    "svg_layout",
+]

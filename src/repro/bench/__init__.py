@@ -1,0 +1,5 @@
+"""Benchmark/report harness shared by benches and examples."""
+
+from repro.bench.harness import comparison_row, print_table
+
+__all__ = ["print_table", "comparison_row"]

@@ -1,0 +1,53 @@
+"""Plain-text tables for paper-vs-measured reporting.
+
+Every bench regenerates one of the paper's results as rows of
+(parameters, paper leading term, measured value, ratio); these helpers
+render them uniformly so EXPERIMENTS.md can quote bench output
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["print_table", "comparison_row", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    cols = len(headers)
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(cols)
+    ]
+    def line(items):
+        return "  ".join(s.rjust(w) for s, w in zip(items, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out += [line(r) for r in cells]
+    return "\n".join(out)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def comparison_row(params: Sequence, paper: float, measured: float) -> list:
+    """A standard (params..., paper, measured, measured/paper) row."""
+    ratio = measured / paper if paper else float("nan")
+    return [*params, paper, measured, ratio]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e6 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:,.3f}" if abs(v) < 100 else f"{v:,.1f}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)

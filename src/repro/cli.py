@@ -1,0 +1,362 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+layout   build a layout for a named network, print metrics, optionally
+         validate and write SVG/JSON
+zoo      lay out the whole network zoo at a given L and tabulate
+figures  regenerate the paper's collinear figures as ASCII
+predict  print the paper's closed-form predictions for a family
+simulate run a traffic kernel through a network on its layout
+cost     price a layout under the cost model (area, layers, yield)
+fold     geometrically fold a network's Thompson layout into L layers
+stack    3-D deck stacking for a torus (A x B x C of rings)
+
+Network specs for ``layout`` are ``family:arg,arg,...``, e.g.::
+
+    python -m repro layout hypercube:8 --layers 8 --svg cube.svg
+    python -m repro layout kary:4,3 --layers 4 --validate
+    python -m repro layout butterfly:4 --json bf.json
+    python -m repro predict hypercube:10 --layers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import print_table
+from repro.core import layout_network, measure, paper_prediction
+from repro.core.schemes import layout_cayley
+from repro.grid.io import dump_layout
+from repro.grid.validate import check_topology, validate_layout
+from repro.topology import (
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    DeBruijn,
+    EnhancedCube,
+    FoldedHypercube,
+    GeneralizedHypercube,
+    Hypercube,
+    IndirectSwapNetwork,
+    KAryNCube,
+    KAryNCubeCluster,
+    Mesh,
+    ReducedHypercube,
+    Ring,
+    ShuffleExchange,
+    StarConnectedCycles,
+    StarGraph,
+    WrappedButterfly,
+)
+from repro.viz import ascii_collinear, svg_layout
+
+__all__ = ["main", "parse_network"]
+
+_FAMILIES = {
+    "ring": lambda k: Ring(k),
+    "mesh": lambda k, n: Mesh(k, n),
+    "kary": lambda k, n: KAryNCube(k, n),
+    "hypercube": lambda n: Hypercube(n),
+    "folded-hypercube": lambda n: FoldedHypercube(n),
+    "enhanced-cube": lambda n: EnhancedCube(n),
+    "complete": lambda n: CompleteGraph(n),
+    "ghc": lambda *rs: GeneralizedHypercube(rs),
+    "butterfly": lambda m: Butterfly(m),
+    "isn": lambda m: IndirectSwapNetwork(m),
+    "ccc": lambda n: CubeConnectedCycles(n),
+    "reduced-hypercube": lambda n: ReducedHypercube(n),
+    "hsn": lambda r, l: HSN(CompleteGraph(r), l),
+    "hhn": lambda d, l: HSN(Hypercube(d), l),
+    "kary-cluster": lambda k, n, c: KAryNCubeCluster(k, n, c),
+    "star": lambda n: StarGraph(n),
+    "wrapped-butterfly": lambda m: WrappedButterfly(m),
+    "shuffle-exchange": lambda n: ShuffleExchange(n),
+    "de-bruijn": lambda n: DeBruijn(n),
+    "scc": lambda n: StarConnectedCycles(n),
+}
+
+
+def parse_network(spec: str):
+    """Parse ``family:arg,arg`` into a Network instance."""
+    family, _, argstr = spec.partition(":")
+    family = family.strip().lower()
+    if family not in _FAMILIES:
+        raise SystemExit(
+            f"unknown network family {family!r}; known: "
+            f"{', '.join(sorted(_FAMILIES))}"
+        )
+    try:
+        args = [int(a) for a in argstr.split(",") if a.strip() != ""]
+        return _FAMILIES[family](*args)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"bad arguments for {family!r}: {exc}") from exc
+
+
+def _cmd_layout(args) -> int:
+    net = parse_network(args.network)
+    if isinstance(net, StarGraph):
+        lay = layout_cayley(net, layers=args.layers)
+    else:
+        lay = layout_network(net, layers=args.layers)
+    if args.validate:
+        validate_layout(lay)
+        check_topology(lay, net.edges)
+        print("validation: OK (multilayer grid model + exact topology)")
+    m = measure(lay)
+    print_table(
+        f"{net.name} under L={args.layers}",
+        ["N", "links", "W", "H", "area", "volume", "max wire"],
+        [[net.num_nodes, net.num_edges, m.width, m.height, m.area,
+          m.volume, m.max_wire]],
+    )
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(svg_layout(lay))
+        print(f"SVG written to {args.svg}")
+    if args.json:
+        dump_layout(lay, args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    from repro.core.schemes import layout_generic_grid
+
+    def dispatch(net, layers):
+        if isinstance(net, (ShuffleExchange, DeBruijn)):
+            return layout_generic_grid(net, layers=layers, optimize=True)
+        if isinstance(net, StarGraph):
+            return layout_cayley(net, layers=layers)
+        return layout_network(net, layers=layers)
+
+    zoo = [
+        Ring(12), KAryNCube(4, 2), Hypercube(5), FoldedHypercube(4),
+        CompleteGraph(10), GeneralizedHypercube((4, 4)), Butterfly(3),
+        WrappedButterfly(3), IndirectSwapNetwork(3),
+        CubeConnectedCycles(4), ReducedHypercube(4),
+        HSN(CompleteGraph(4), 2), StarGraph(4), StarConnectedCycles(4),
+        ShuffleExchange(5), DeBruijn(5),
+    ]
+    rows = []
+    for net in zoo:
+        lay = dispatch(net, layers=args.layers)
+        validate_layout(lay)
+        m = measure(lay)
+        rows.append([net.name, net.num_nodes, m.area, m.volume, m.max_wire])
+    print_table(
+        f"network zoo at L={args.layers}",
+        ["network", "N", "area", "volume", "max wire"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.collinear import (
+        complete_recursive,
+        hypercube_recursive,
+        kary_recursive,
+    )
+
+    for title, lay in (
+        ("Figure 2: 3-ary 2-cube (8 tracks)", kary_recursive(3, 2)),
+        ("Figure 3: K9 (20 tracks)", complete_recursive(9)),
+        ("Figure 4: 4-cube (10 tracks)", hypercube_recursive(4)),
+    ):
+        print(f"\n=== {title} ===")
+        print(ascii_collinear(lay))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    family, _, argstr = args.network.partition(":")
+    params = [int(a) for a in argstr.split(",") if a.strip()]
+    p = paper_prediction(family, *params, layers=args.layers)
+    print_table(
+        f"paper leading terms: {family}{tuple(params)} at L={args.layers}",
+        ["N", "area", "volume", "max wire", "path wire"],
+        [[p.num_nodes, round(p.area, 1), round(p.volume, 1),
+          None if p.max_wire is None else round(p.max_wire, 1),
+          None if p.path_wire is None else round(p.path_wire, 1)]],
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.routing import (
+        all_to_all,
+        bit_complement,
+        hot_spot,
+        random_permutation,
+        simulate,
+        transpose,
+    )
+
+    net = parse_network(args.network)
+    lay = layout_network(net, layers=args.layers)
+    kernels = {
+        "bit-complement": bit_complement,
+        "transpose": transpose,
+        "random": random_permutation,
+        "all-to-all": all_to_all,
+        "hot-spot": hot_spot,
+    }
+    if args.kernel not in kernels:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; known: {', '.join(kernels)}"
+        )
+    msgs = kernels[args.kernel](net)
+    res = simulate(
+        net, msgs, layout=lay, mode=args.mode,
+        message_length=args.message_length,
+    )
+    print_table(
+        f"{net.name} L={args.layers}: {args.kernel} ({args.mode})",
+        ["messages", "makespan", "avg latency", "max latency",
+         "max link load"],
+        [[res.messages, res.makespan, f"{res.avg_latency:.1f}",
+          res.max_latency, res.max_link_load]],
+    )
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.core.cost import CostModel, chip_cost
+
+    net = parse_network(args.network)
+    model = CostModel(defect_density=args.defect_density)
+    rows = []
+    for L in args.layer_sweep or [args.layers]:
+        lay = layout_network(net, layers=L)
+        c = chip_cost(lay, model)
+        rows.append([L, c.area, f"{c.yield_fraction:.3f}", f"{c.total:,.1f}"])
+    print_table(
+        f"{net.name} chip cost",
+        ["L", "area", "yield", "cost"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_fold(args) -> int:
+    from repro.core.folding import fold_layout
+
+    net = parse_network(args.network)
+    base = layout_network(net, layers=2)
+    folded = fold_layout(base, args.layers)
+    validate_layout(folded)
+    mb, mf = measure(base), measure(folded)
+    print_table(
+        f"folding {net.name} into L={args.layers}",
+        ["", "area", "volume", "max wire"],
+        [
+            ["Thompson", mb.area, mb.volume, mb.max_wire],
+            ["folded", mf.area, mf.volume, mf.max_wire],
+        ],
+    )
+    if args.svg:
+        from repro.viz import svg_layer_stack
+
+        with open(args.svg, "w") as fh:
+            fh.write(svg_layer_stack(folded))
+        print(f"exploded SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_stack(args) -> int:
+    from repro.core.threedee import layout_product_3d
+    from repro.topology import Ring
+
+    k = args.k
+    lay = layout_product_3d(Ring(k), Ring(k), Ring(k), layers=args.layers)
+    validate_layout(lay)
+    m = measure(lay)
+    two_d = measure(
+        layout_network(parse_network(f"kary:{k},3"), layers=args.layers)
+    )
+    print_table(
+        f"{k}x{k}x{k} torus, 3-D decks vs 2-D at L={args.layers}",
+        ["", "area", "volume", "max wire"],
+        [
+            ["3-D stacked", m.area, m.volume, m.max_wire],
+            ["2-D layout", two_d.area, two_d.volume, two_d.max_wire],
+        ],
+    )
+    if args.svg:
+        from repro.viz import svg_layer_stack
+
+        with open(args.svg, "w") as fh:
+            fh.write(svg_layer_stack(lay))
+        print(f"exploded SVG written to {args.svg}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multilayer VLSI layout for interconnection networks "
+        "(Yeh, Varvarigos & Parhami, ICPP 2000).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("layout", help="lay out one network")
+    p.add_argument("network", help="family:args, e.g. hypercube:8 or kary:4,3")
+    p.add_argument("--layers", "-L", type=int, default=2)
+    p.add_argument("--validate", action="store_true")
+    p.add_argument("--svg", metavar="FILE")
+    p.add_argument("--json", metavar="FILE")
+    p.set_defaults(fn=_cmd_layout)
+
+    p = sub.add_parser("zoo", help="lay out the network zoo")
+    p.add_argument("--layers", "-L", type=int, default=4)
+    p.set_defaults(fn=_cmd_zoo)
+
+    p = sub.add_parser("figures", help="print the paper's figures (ASCII)")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("predict", help="print paper closed forms")
+    p.add_argument("network", help="family:args, e.g. hypercube:10")
+    p.add_argument("--layers", "-L", type=int, default=2)
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("simulate", help="run a traffic kernel")
+    p.add_argument("network")
+    p.add_argument("--layers", "-L", type=int, default=2)
+    p.add_argument("--kernel", default="bit-complement")
+    p.add_argument("--mode", default="store_forward",
+                   choices=["store_forward", "cut_through"])
+    p.add_argument("--message-length", type=int, default=1)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("cost", help="price a layout")
+    p.add_argument("network")
+    p.add_argument("--layers", "-L", type=int, default=2)
+    p.add_argument("--layer-sweep", type=int, nargs="*")
+    p.add_argument("--defect-density", type=float, default=0.0)
+    p.set_defaults(fn=_cmd_cost)
+
+    p = sub.add_parser("fold", help="fold a Thompson layout into L layers")
+    p.add_argument("network")
+    p.add_argument("--layers", "-L", type=int, default=4)
+    p.add_argument("--svg", metavar="FILE")
+    p.set_defaults(fn=_cmd_fold)
+
+    p = sub.add_parser("stack", help="3-D deck stacking for a k^3 torus")
+    p.add_argument("k", type=int)
+    p.add_argument("--layers", "-L", type=int, default=8)
+    p.add_argument("--svg", metavar="FILE")
+    p.set_defaults(fn=_cmd_stack)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Collinear (one-dimensional) layouts.
+
+A *collinear layout* places all nodes of a network along a line and
+routes every edge in one of a stack of parallel tracks (Section 3.1).
+The paper builds its 2-D orthogonal layouts out of collinear layouts of
+the row and column subnetworks, so this package is the combinatorial
+core of the reproduction:
+
+* :class:`~repro.collinear.engine.CollinearLayout` -- order + left-edge
+  track assignment for an arbitrary graph, with the max-cut optimality
+  certificate.
+* :mod:`~repro.collinear.orders` -- the node orders under which the
+  paper's track counts are met (mixed-radix lexicographic for k-ary
+  n-cubes and generalized hypercubes, binary for hypercubes).
+* :mod:`~repro.collinear.recursions` -- the paper's explicit bottom-up
+  constructions (ring -> k-ary n-cube, complete graph -> generalized
+  hypercube, 2-cube -> hypercube), reproducing Figures 2-4.
+* :mod:`~repro.collinear.formulas` -- closed-form track counts
+  (f_k(n), |N^2/4|, |2N/3|, the GHC recurrence).
+"""
+
+from repro.collinear.engine import CollinearLayout, collinear_layout
+from repro.collinear.formulas import (
+    complete_graph_tracks,
+    ghc_tracks,
+    hypercube_tracks,
+    kary_tracks,
+    mixed_radix_ghc_tracks,
+)
+from repro.collinear.orders import (
+    binary_order,
+    folded_linear_order,
+    identity_order,
+    mixed_radix_order,
+)
+from repro.collinear.cutwidth import exact_cutwidth, optimal_order
+from repro.collinear.product import product_collinear
+from repro.collinear.recursions import (
+    complete_recursive,
+    ghc_recursive,
+    hypercube_recursive,
+    kary_recursive,
+    ring_recursive,
+)
+from repro.collinear.two_sided import two_sided_collinear_layout
+
+__all__ = [
+    "CollinearLayout",
+    "collinear_layout",
+    "kary_tracks",
+    "complete_graph_tracks",
+    "ghc_tracks",
+    "mixed_radix_ghc_tracks",
+    "hypercube_tracks",
+    "identity_order",
+    "binary_order",
+    "mixed_radix_order",
+    "folded_linear_order",
+    "ring_recursive",
+    "kary_recursive",
+    "complete_recursive",
+    "ghc_recursive",
+    "hypercube_recursive",
+    "exact_cutwidth",
+    "optimal_order",
+    "product_collinear",
+    "two_sided_collinear_layout",
+]

@@ -1,0 +1,157 @@
+"""Exact minimum cutwidth: the true optimum for collinear layouts.
+
+A collinear layout under a node order needs exactly max-cut(order)
+tracks (left-edge optimality), so the *minimum over orders* -- the
+graph's cutwidth -- is the best any collinear layout can do.  This
+module computes it exactly by dynamic programming over vertex subsets:
+
+    dp[S] = min over v in S of max(dp[S - v], cut(S))
+
+where ``cut(S)`` counts edges between S and its complement.  O(2^n n)
+time with bitmask adjacency; practical to ~20 nodes, which covers the
+instances needed to certify the paper's orders:
+
+* the ring's 2 tracks and K_N's |N^2/4| are exactly optimal;
+* binary order achieves the hypercube's true cutwidth (|2N/3|,
+  Harper); the 3-ary 2-cube's 8 tracks are exactly optimal;
+* the left-edge GHC(4,4) layout (18 tracks, beating the paper's
+  recurrence value of 20) is certified optimal too.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Network
+
+__all__ = ["exact_cutwidth", "optimal_order"]
+
+
+def _bit_adjacency(network: Network) -> list[int]:
+    index = network.index
+    adj = [0] * network.num_nodes
+    for u, v in network.edges:
+        iu, iv = index[u], index[v]
+        adj[iu] |= 1 << iv
+        adj[iv] |= 1 << iu
+    return adj
+
+
+def exact_cutwidth(network: Network, *, limit: int = 20) -> int:
+    """The graph's exact cutwidth (minimum collinear track count).
+
+    Raises ``ValueError`` beyond ``limit`` nodes (the DP holds 2^n
+    entries).  Parallel edges each count toward the cut.
+    """
+    n = network.num_nodes
+    if n > limit:
+        raise ValueError(
+            f"exact cutwidth DP is exponential; {n} nodes > limit {limit}"
+        )
+    if n <= 1:
+        return 0
+    # Multigraph support: count parallel edges in the cut.
+    index = network.index
+    weights: dict[tuple[int, int], int] = {}
+    for u, v in network.edges:
+        iu, iv = sorted((index[u], index[v]))
+        weights[(iu, iv)] = weights.get((iu, iv), 0) + 1
+    adj = _bit_adjacency(network)
+
+    def cut_of(s: int) -> int:
+        total = 0
+        for (iu, iv), wt in weights.items():
+            if ((s >> iu) & 1) != ((s >> iv) & 1):
+                total += wt
+        return total
+
+    # Incremental cut: cut(S) = cut(S \ v) + deg_w(v, outside) - deg_w(v, S\v)
+    # computed on the fly from weighted adjacency rows.
+    wadj: list[dict[int, int]] = [dict() for _ in range(n)]
+    for (iu, iv), wt in weights.items():
+        wadj[iu][iv] = wt
+        wadj[iv][iu] = wt
+
+    size = 1 << n
+    INF = float("inf")
+    dp = [INF] * size
+    cut = [0] * size
+    dp[0] = 0
+    for s in range(1, size):
+        v = (s & -s).bit_length() - 1
+        prev = s & (s - 1)
+        # cut(S) from cut(prev): edges of v to outside(S) add, to prev drop.
+        delta = 0
+        for w, wt in wadj[v].items():
+            if (prev >> w) & 1:
+                delta -= wt
+            else:
+                delta += wt
+        cut[s] = cut[prev] + delta
+        best = INF
+        t = s
+        while t:
+            u = (t & -t).bit_length() - 1
+            t &= t - 1
+            # Removing u last: recompute cut(S) is the same for all u;
+            # candidate = max(dp[S - u], cut(S)).
+            cand = dp[s ^ (1 << u)]
+            if cand < best:
+                best = cand
+        dp[s] = max(best, cut[s])
+    return int(dp[size - 1])
+
+
+def optimal_order(network: Network, *, limit: int = 18) -> list:
+    """An order achieving the exact cutwidth, by DP backtracking."""
+    n = network.num_nodes
+    if n > limit:
+        raise ValueError(f"{n} nodes > limit {limit}")
+    if n == 0:
+        return []
+    index = network.index
+    nodes = list(network.nodes)
+    weights: dict[tuple[int, int], int] = {}
+    for u, v in network.edges:
+        iu, iv = sorted((index[u], index[v]))
+        weights[(iu, iv)] = weights.get((iu, iv), 0) + 1
+    wadj: list[dict[int, int]] = [dict() for _ in range(n)]
+    for (iu, iv), wt in weights.items():
+        wadj[iu][iv] = wt
+        wadj[iv][iu] = wt
+
+    size = 1 << n
+    INF = float("inf")
+    dp = [INF] * size
+    cut = [0] * size
+    dp[0] = 0
+    for s in range(1, size):
+        v = (s & -s).bit_length() - 1
+        prev = s & (s - 1)
+        delta = 0
+        for w, wt in wadj[v].items():
+            delta += -wt if (prev >> w) & 1 else wt
+        cut[s] = cut[prev] + delta
+        best = INF
+        t = s
+        while t:
+            u = (t & -t).bit_length() - 1
+            t &= t - 1
+            cand = dp[s ^ (1 << u)]
+            if cand < best:
+                best = cand
+        dp[s] = max(best, cut[s])
+
+    # Backtrack: peel off a final vertex that realizes dp[S].
+    order_rev: list[int] = []
+    s = size - 1
+    while s:
+        t = s
+        while t:
+            u = (t & -t).bit_length() - 1
+            t &= t - 1
+            if max(dp[s ^ (1 << u)], cut[s]) == dp[s]:
+                order_rev.append(u)
+                s ^= 1 << u
+                break
+        else:  # pragma: no cover - dp invariant guarantees a choice
+            raise AssertionError("dp backtrack failed")
+    return [nodes[i] for i in reversed(order_rev)]

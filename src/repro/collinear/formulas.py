@@ -1,0 +1,82 @@
+"""Closed-form collinear track counts from the paper.
+
+Each function returns the exact integer the paper derives; tests assert
+the constructive layouts meet them exactly (not just asymptotically).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "kary_tracks",
+    "complete_graph_tracks",
+    "ghc_tracks",
+    "mixed_radix_ghc_tracks",
+    "hypercube_tracks",
+]
+
+
+def kary_tracks(k: int, n: int) -> int:
+    """f_k(n) = 2 (k^n - 1) / (k - 1)  (Section 3.1).
+
+    Recurrence: f_k(1) = 2 (a ring needs two tracks), and
+    f_k(n+1) = k f_k(n) + 2 (stack k copies, add an adjacent-edges track
+    and a wrap track).  For k = 2, a "ring" of two nodes is a double
+    edge in the torus reading of the recursion; the closed form still
+    evaluates (f_2(n) = 2 (2^n - 1)), but binary k-ary n-cubes are
+    better handled as hypercubes (Section 5.1).
+    """
+    if k < 2:
+        raise ValueError("k-ary n-cube needs k >= 2")
+    if n < 1:
+        raise ValueError("n >= 1")
+    return 2 * (k**n - 1) // (k - 1)
+
+
+def complete_graph_tracks(n: int) -> int:
+    """|N^2/4|: the strictly optimal collinear layout of K_N
+    (Section 4.1, Figure 3, ref. [30])."""
+    if n < 1:
+        raise ValueError("N >= 1")
+    return (n * n) // 4
+
+
+def ghc_tracks(r: int, n: int) -> int:
+    """(N - 1) |r^2/4| / (r - 1) for the radix-r, n-dimensional
+    generalized hypercube (Section 4.1)."""
+    if r < 2:
+        raise ValueError("radix >= 2")
+    if n < 1:
+        raise ValueError("n >= 1")
+    return (r**n - 1) * (r * r // 4) // (r - 1)
+
+
+def mixed_radix_ghc_tracks(radices: Sequence[int]) -> int:
+    """The general mixed-radix recurrence of Section 4.1:
+    f(1) = |r_0^2/4|,  f(m+1) = r_m f(m) + |r_m^2/4|.
+
+    ``radices`` is (r_{n-1}, ..., r_0), most significant first, matching
+    :func:`repro.collinear.orders.mixed_radix_order`.
+    """
+    rs = list(radices)
+    if not rs:
+        raise ValueError("at least one radix")
+    if any(r < 2 for r in rs):
+        raise ValueError("all radices >= 2")
+    f = rs[-1] ** 2 // 4
+    for r in reversed(rs[:-1]):
+        f = r * f + r * r // 4
+    return f
+
+
+def hypercube_tracks(dim: int) -> int:
+    """|2N/3| tracks for the n-cube (Section 5.1, refs [28, 31]).
+
+    This equals the cut-width of the hypercube under binary order:
+    (2^{n+1} - 2)/3 for even n, (2^{n+1} - 1)/3 for odd n -- i.e.
+    floor(2N/3) with N = 2^n.
+    """
+    if dim < 1:
+        raise ValueError("dim >= 1")
+    return (2 * (1 << dim)) // 3

@@ -1,0 +1,70 @@
+"""Collinear layouts of Cartesian products, composed from the factors.
+
+All three of the paper's recursions (ring -> k-ary n-cube, K_r -> GHC,
+2-cube -> hypercube) are instances of one composition: given collinear
+layouts of A (f_A tracks) and B (f_B tracks),
+
+    f(A x B)  <=  |A| * f_B + f_A .
+
+Construction: order the product lexicographically with B's position
+major -- node (a, b) at position pos_B(b) * |A| + pos_A(a).  Then
+
+* each B-edge appears |A| times (one per A-node), the copies shifted by
+  one; copy ``a`` reuses B's track assignment at offset
+  ``pos_A(a) * f_B`` (the "interleaved copies" of Section 3.1);
+* each A-edge appears |B| times, each confined to one block of |A|
+  consecutive positions, so A's own track assignment serves all blocks
+  simultaneously in ``f_A`` extra tracks.
+
+With A = ring (2 tracks) this is exactly f_k(n+1) = k f_k(n) + 2; with
+A = K_r it is the GHC recurrence.  The generic engine can beat the
+composition (left-edge may interleave the copies more cleverly), which
+tests assert as ``engine <= composition``.
+"""
+
+from __future__ import annotations
+
+from repro.collinear.engine import CollinearLayout
+
+__all__ = ["product_collinear"]
+
+
+def product_collinear(
+    a_lay: CollinearLayout, b_lay: CollinearLayout
+) -> CollinearLayout:
+    """Compose collinear layouts of factors A and B into one of A x B.
+
+    Nodes of the result are ``(a, b)`` pairs.  Track count is exactly
+    ``len(A) * B.num_tracks + A.num_tracks``.
+    """
+    na = a_lay.num_nodes
+    fa, fb = a_lay.num_tracks, b_lay.num_tracks
+
+    order = [(a, b) for b in b_lay.order for a in a_lay.order]
+    edges = []
+    tracks = []
+
+    # B-edges, one copy per A-node; copy with A-position p uses B's
+    # track assignment shifted by p * f_B.
+    for e, (b1, b2) in enumerate(b_lay.edges):
+        for a in a_lay.order:
+            p = a_lay.pos[a]
+            edges.append(((a, b1), (a, b2)))
+            tracks.append(p * fb + b_lay.tracks[e])
+
+    # A-edges, one copy per B-node, all inside disjoint blocks: A's own
+    # assignment works verbatim in f_A shared tracks on top.
+    base = na * fb
+    for e, (a1, a2) in enumerate(a_lay.edges):
+        for b in b_lay.order:
+            edges.append(((a1, b), (a2, b)))
+            tracks.append(base + a_lay.tracks[e])
+
+    lay = CollinearLayout(
+        order=order,
+        edges=edges,
+        tracks=tracks,
+        num_tracks=na * fb + fa,
+    )
+    lay.check()
+    return lay

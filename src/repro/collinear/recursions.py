@@ -1,0 +1,267 @@
+"""The paper's explicit bottom-up collinear constructions.
+
+These reproduce the exact structures of Figures 2-4: the track of every
+edge is determined by the recursion (copies stack their track ranges;
+each doubling step adds the connecting tracks on top), not by a packing
+heuristic.  The generic engine (left-edge over the same node order)
+achieves the same counts -- tests assert both -- but the explicit form
+is what the figures show and what the area accounting in Sections 3-5
+quotes.
+
+Conventions
+-----------
+* k-ary n-cube / GHC nodes are digit tuples ``(d_{n-1}, ..., d_0)``.
+* The recursion adds dimensions from *most* significant to *least*:
+  the paper starts with a ring/complete graph on ``r_0``-ish digits and
+  interleaves copies so the newest digit varies fastest along the line.
+  Concretely, the position of node ``(d_{n-1}, ..., d_0)`` is the
+  mixed-radix value with ``d_{n-1}`` most significant -- i.e. plain
+  lexicographic order -- for k-ary n-cubes, and the digit-*reversed*
+  value for generalized hypercubes (whose recurrence
+  ``f(m+1) = r_m f(m) + |r_m^2/4|`` starts at radix ``r_0``).
+* Hypercube nodes are ints; the even-dimension recursion interleaves
+  four copies per step (adding two dimensions and two tracks), which is
+  how ``f(n+2) = 4 f(n) + 2`` yields exactly ``floor(2N/3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.collinear.engine import CollinearLayout, collinear_layout
+from repro.collinear.formulas import (
+    complete_graph_tracks,
+    hypercube_tracks,
+    kary_tracks,
+    mixed_radix_ghc_tracks,
+)
+
+__all__ = [
+    "ring_recursive",
+    "kary_recursive",
+    "complete_recursive",
+    "ghc_recursive",
+    "hypercube_recursive",
+    "ghc_construction_order",
+]
+
+
+def ring_recursive(k: int) -> CollinearLayout:
+    """The 2-track ring layout of Section 3.1: neighbors in track 0,
+    the wrap link ``0 -- k-1`` in track 1."""
+    if k < 3:
+        raise ValueError("a ring needs k >= 3 (k = 2 is a single edge)")
+    nodes = [(i,) for i in range(k)]
+    edges = [((i,), (i + 1,)) for i in range(k - 1)]
+    tracks = [0] * (k - 1)
+    edges.append(((0,), (k - 1,)))
+    tracks.append(1)
+    lay = CollinearLayout(order=nodes, edges=edges, tracks=tracks, num_tracks=2)
+    lay.check()
+    return lay
+
+
+def kary_recursive(k: int, n: int) -> CollinearLayout:
+    """The f_k(n) = 2(k^n - 1)/(k - 1) construction of Section 3.1.
+
+    Each step stacks ``k`` copies of the previous layout (interleaved so
+    the i-th nodes of consecutive copies are adjacent) and adds one
+    track of neighbor links plus one track of wrap links.  Figure 2 is
+    ``kary_recursive(3, 2)``.
+    """
+    if k < 3:
+        raise ValueError(
+            "k >= 3; binary k-ary n-cubes are hypercubes (Section 5.1)"
+        )
+    if n < 1:
+        raise ValueError("n >= 1")
+    lay = ring_recursive(k)
+    for _ in range(n - 1):
+        lay = _interleave_ring_step(lay, k)
+    assert lay.num_tracks == kary_tracks(k, n)
+    lay.check()
+    return lay
+
+
+def _interleave_ring_step(inner: CollinearLayout, k: int) -> CollinearLayout:
+    """One doubling step: k interleaved copies + a ring per position group.
+
+    Copy ``j`` holds the nodes whose *new least-significant digit* is
+    ``j``; position of (inner position ``i``, copy ``j``) is ``i*k + j``.
+    """
+    f = inner.num_tracks
+    order: list[Hashable] = []
+    for v in inner.order:
+        for j in range(k):
+            order.append(v + (j,))
+    edges: list[tuple[Hashable, Hashable]] = []
+    tracks: list[int] = []
+    # Copies of the inner edges: copy j uses tracks [j*f, (j+1)*f).
+    for e, (u, v) in enumerate(inner.edges):
+        for j in range(k):
+            edges.append((u + (j,), v + (j,)))
+            tracks.append(j * f + inner.tracks[e])
+    # New-dimension rings within each group of k consecutive positions.
+    t_adj, t_wrap = k * f, k * f + 1
+    for v in inner.order:
+        for j in range(k - 1):
+            edges.append((v + (j,), v + (j + 1,)))
+            tracks.append(t_adj)
+        edges.append((v + (0,), v + (k - 1,)))
+        tracks.append(t_wrap)
+    return CollinearLayout(
+        order=order, edges=edges, tracks=tracks, num_tracks=k * f + 2
+    )
+
+
+def complete_recursive(n: int) -> CollinearLayout:
+    """The strictly optimal |N^2/4|-track K_N layout (Figure 3, [30]).
+
+    Left-edge packing over the natural order is exactly optimal here:
+    the cut between positions p and p+1 is (p+1)(N-1-p), maximized at
+    the middle where it equals |N^2/4|.
+    """
+    nodes = list(range(n))
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    lay = collinear_layout(nodes, edges)
+    assert lay.num_tracks == complete_graph_tracks(n)
+    lay.check()
+    return lay
+
+
+def ghc_construction_order(radices: Sequence[int]) -> list[tuple[int, ...]]:
+    """Positions used by the GHC recursion: digit-reversed mixed radix.
+
+    ``radices`` is ``(r_{n-1}, ..., r_0)``.  The recursion starts from
+    the radix-``r_0`` complete graph and interleaves, so ``d_0`` ends up
+    most significant and ``d_{n-1}`` varies fastest.
+    """
+    out: list[tuple[int, ...]] = [()]
+    for r in radices[::-1]:  # r_0 first (slowest position digit)
+        out = [(d,) + t for t in out for d in range(r)]
+    # Prepending at each step keeps labels canonical (d_{n-1}, ..., d_0)
+    # while the *position* value reads the digits in reversed
+    # significance (d_0 most significant).
+    return out
+
+
+def ghc_recursive(radices: Sequence[int]) -> CollinearLayout:
+    """The mixed-radix generalized-hypercube construction of Section 4.1:
+    f(1) = |r_0^2/4|;  f(m+1) = r_m f(m) + |r_m^2/4|."""
+    rs = list(radices)
+    if not rs or any(r < 2 for r in rs):
+        raise ValueError("radices must all be >= 2")
+    # Base: complete graph over digit d_0.
+    lay = _complete_digit_layout(rs[-1])
+    for r in reversed(rs[:-1]):
+        lay = _interleave_complete_step(lay, r)
+    assert lay.num_tracks == mixed_radix_ghc_tracks(rs)
+    lay.check()
+    return lay
+
+
+def _complete_digit_layout(r: int) -> CollinearLayout:
+    base = complete_recursive(r)
+    nodes = [(i,) for i in range(r)]
+    edges = [((u,), (v,)) for (u, v) in base.edges]
+    return CollinearLayout(
+        order=nodes, edges=edges, tracks=list(base.tracks),
+        num_tracks=base.num_tracks,
+    )
+
+
+def _interleave_complete_step(inner: CollinearLayout, r: int) -> CollinearLayout:
+    """One GHC doubling step: r interleaved copies + a K_r per group.
+
+    The new digit is *prepended* (more significant label, fastest
+    varying position).
+    """
+    f = inner.num_tracks
+    order: list[Hashable] = []
+    for v in inner.order:
+        for j in range(r):
+            order.append((j,) + v)
+    edges: list[tuple[Hashable, Hashable]] = []
+    tracks: list[int] = []
+    for e, (u, v) in enumerate(inner.edges):
+        for j in range(r):
+            edges.append(((j,) + u, (j,) + v))
+            tracks.append(j * f + inner.tracks[e])
+    # K_r within each group, packed into |r^2/4| tracks; the same
+    # per-group assignment replicates because groups are disjoint.
+    kr = complete_recursive(r)
+    base_t = r * f
+    for v in inner.order:
+        for e, (a, b) in enumerate(kr.edges):
+            edges.append(((a,) + v, (b,) + v))
+            tracks.append(base_t + kr.tracks[e])
+    return CollinearLayout(
+        order=order,
+        edges=edges,
+        tracks=tracks,
+        num_tracks=r * f + (r * r) // 4,
+    )
+
+
+def hypercube_recursive(dim: int) -> CollinearLayout:
+    """The |2N/3|-track hypercube construction (Section 5.1, Figure 4).
+
+    Base is the 2-track 2-cube in Gray order; each step interleaves
+    *four* copies (adding two dimensions) and spends two tracks on the
+    per-group 4-cycles: f(n+2) = 4 f(n) + 2.  Only even dimensions are
+    produced by the explicit recursion; odd dimensions get the same
+    count from the generic engine under binary order (see
+    :func:`repro.core.api.collinear_hypercube`).
+    """
+    if dim < 2 or dim % 2 != 0:
+        raise ValueError(
+            "explicit recursion handles even dim >= 2; use the binary-"
+            "order engine for odd dimensions"
+        )
+    lay = _square_layout()
+    for _ in range((dim - 2) // 2):
+        lay = _interleave_square_step(lay)
+    assert lay.num_tracks == hypercube_tracks(dim)
+    lay.check()
+    return lay
+
+
+_GRAY4 = (0, 1, 3, 2)
+
+
+def _square_layout() -> CollinearLayout:
+    """The 2-cube (4-cycle) in Gray order: path in track 0, wrap in 1."""
+    order = list(_GRAY4)
+    edges = [(0, 1), (1, 3), (3, 2), (0, 2)]
+    tracks = [0, 0, 0, 1]
+    return CollinearLayout(order=order, edges=edges, tracks=tracks, num_tracks=2)
+
+
+def _interleave_square_step(inner: CollinearLayout) -> CollinearLayout:
+    """One f(n+2) = 4 f(n) + 2 step.
+
+    Four copies are interleaved; within each group of four consecutive
+    positions the copies appear in Gray order so the two new dimensions
+    form a path (track T) plus one wrap edge (track T+1).
+    """
+    f = inner.num_tracks
+    order: list[int] = []
+    for v in inner.order:
+        for c in _GRAY4:
+            order.append(v * 4 + c)  # two new low-order bits = c
+    edges: list[tuple[int, int]] = []
+    tracks: list[int] = []
+    for e, (u, v) in enumerate(inner.edges):
+        for c in _GRAY4:
+            edges.append((u * 4 + c, v * 4 + c))
+            tracks.append(_GRAY4.index(c) * f + inner.tracks[e])
+    t_path, t_wrap = 4 * f, 4 * f + 1
+    for v in inner.order:
+        g = [v * 4 + c for c in _GRAY4]
+        edges += [(g[0], g[1]), (g[1], g[2]), (g[2], g[3])]
+        tracks += [t_path, t_path, t_path]
+        edges.append((g[0], g[3]))
+        tracks.append(t_wrap)
+    return CollinearLayout(
+        order=order, edges=edges, tracks=tracks, num_tracks=4 * f + 2
+    )

@@ -1,0 +1,89 @@
+"""The paper's layout schemes (Sections 2.3-2.4) and their analysis.
+
+* :mod:`repro.core.spec` / :mod:`repro.core.builder` -- the orthogonal
+  multilayer layout scheme: a grid of cells (plain nodes or cluster
+  blocks), row/column/extra links, detailed routing, track-to-layer
+  assignment.
+* :mod:`repro.core.schemes` -- per-family layout constructors
+  (k-ary n-cube, hypercube, GHC, butterfly, CCC, HSN, ...).
+* :mod:`repro.core.folding` -- the folded-Thompson and multilayer
+  collinear baselines the paper compares against (Section 2.2).
+* :mod:`repro.core.analysis` -- the paper's closed-form leading-term
+  predictions for area/volume/wire length.
+* :mod:`repro.core.metrics` -- measured metrics, including the maximum
+  total wire length along shortest routing paths (claim (4)).
+"""
+
+from repro.core.analysis import paper_prediction
+from repro.core.bounds import (
+    area_lower_bound,
+    bisection_formula,
+    exact_bisection,
+    kernighan_lin,
+    optimality_factor,
+)
+from repro.core.builder import build_orthogonal_layout
+from repro.core.delay import DelayModel, PerformanceReport, performance
+from repro.core.folding import (
+    collinear_multilayer_metrics,
+    fold_layout,
+    fold_metrics,
+)
+from repro.core.metrics import LayoutMetrics, measure
+from repro.core.schemes import (
+    layout_butterfly,
+    layout_ccc,
+    layout_cluster_network,
+    layout_collinear_network,
+    layout_complete,
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_ghc,
+    layout_hsn,
+    layout_hypercube,
+    layout_isn,
+    layout_kary,
+    layout_network,
+    layout_product,
+    layout_reduced_hypercube,
+)
+from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
+from repro.core.threedee import layout_product_3d
+
+__all__ = [
+    "build_orthogonal_layout",
+    "LayoutSpec",
+    "NodeCell",
+    "BlockCell",
+    "LinkSpec",
+    "layout_network",
+    "layout_kary",
+    "layout_hypercube",
+    "layout_ghc",
+    "layout_complete",
+    "layout_product",
+    "layout_collinear_network",
+    "layout_butterfly",
+    "layout_isn",
+    "layout_ccc",
+    "layout_reduced_hypercube",
+    "layout_hsn",
+    "layout_folded_hypercube",
+    "layout_enhanced_cube",
+    "layout_cluster_network",
+    "fold_metrics",
+    "fold_layout",
+    "collinear_multilayer_metrics",
+    "paper_prediction",
+    "measure",
+    "LayoutMetrics",
+    "exact_bisection",
+    "kernighan_lin",
+    "bisection_formula",
+    "area_lower_bound",
+    "optimality_factor",
+    "DelayModel",
+    "PerformanceReport",
+    "performance",
+    "layout_product_3d",
+]

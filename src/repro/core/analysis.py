@@ -1,0 +1,218 @@
+"""The paper's closed-form predictions (leading terms).
+
+Every result quoted in Sections 3-5 is encoded here as a function of
+the family parameters and the layer count L.  These are *leading terms*
+-- the paper writes each as ``f(N, L) + o(f(N, L))`` -- so benches and
+tests compare measured/predicted ratios and require them to approach 1
+(or stay below 1 plus slack) as N grows, rather than exact equality.
+
+Odd L: the orthogonal scheme uses L - 1 wiring layers, so area carries
+a 1/(L^2 - 1) and volume an L/(L^2 - 1) factor (Sections 3.1, 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Prediction", "paper_prediction"]
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """Leading-term predictions for one layout instance."""
+
+    family: str
+    num_nodes: int
+    layers: int
+    area: float
+    volume: float
+    max_wire: float | None = None
+    path_wire: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "N": self.num_nodes,
+            "L": self.layers,
+            "area": self.area,
+            "volume": self.volume,
+            "max_wire": self.max_wire,
+            "path_wire": self.path_wire,
+        }
+
+
+def _leff2(layers: int) -> float:
+    """The paper's squared layer factor: L^2 for even L, L^2-1 for odd."""
+    if layers % 2 == 0:
+        return float(layers * layers)
+    return float(layers * layers - 1)
+
+
+def kary_prediction(k: int, n: int, layers: int) -> Prediction:
+    """Section 3.1: area 16 N^2/(L^2 k^2); volume x L; folded max wire
+    O(N/(L k^2)) (reported with constant 16 as the sweep normalizer)."""
+    N = k**n
+    area = 16 * N * N / (_leff2(layers) * k * k)
+    return Prediction(
+        family="kary",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=16 * N / (layers * k * k),
+    )
+
+
+def ghc_prediction(r: int, n: int, layers: int) -> Prediction:
+    """Section 4.1: area r^2 N^2/(4 L^2); max wire r N/(2 L); path wire
+    r N/L."""
+    N = r**n
+    area = r * r * N * N / (4 * _leff2(layers))
+    return Prediction(
+        family="ghc",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=r * N / (2 * layers),
+        path_wire=r * N / layers,
+    )
+
+
+def hypercube_prediction(n: int, layers: int) -> Prediction:
+    """Section 5.1: area 16 N^2/(9 L^2); max wire 2N/(3L)."""
+    N = 1 << n
+    area = 16 * N * N / (9 * _leff2(layers))
+    return Prediction(
+        family="hypercube",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=2 * N / (3 * layers),
+    )
+
+
+def butterfly_prediction(m: int, layers: int) -> Prediction:
+    """Section 4.2: area 4 N^2/(L^2 log2^2 N); max wire 2N/(L log2 N)."""
+    N = (m + 1) * (1 << m)
+    lg = math.log2(N)
+    area = 4 * N * N / (_leff2(layers) * lg * lg)
+    return Prediction(
+        family="butterfly",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=2 * N / (layers * lg),
+    )
+
+
+def isn_prediction(m: int, layers: int) -> Prediction:
+    """Section 4.3: a quarter of the butterfly's area, half its wire."""
+    b = butterfly_prediction(m, layers)
+    return Prediction(
+        family="isn",
+        num_nodes=b.num_nodes,
+        layers=layers,
+        area=b.area / 4,
+        volume=b.volume / 4,
+        max_wire=(b.max_wire or 0) / 2,
+    )
+
+
+def hsn_prediction(r: int, levels: int, layers: int) -> Prediction:
+    """Section 4.3: area N^2/(4 L^2); max wire N/(2L); path wire N/L."""
+    N = r**levels
+    area = N * N / (4 * _leff2(layers))
+    return Prediction(
+        family="hsn",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=N / (2 * layers),
+        path_wire=N / layers,
+    )
+
+
+def ccc_prediction(n: int, layers: int) -> Prediction:
+    """Section 5.2: area 16 N^2/(9 L^2 log2^2 N) with N = n 2^n."""
+    N = n * (1 << n)
+    lg = math.log2(N)
+    area = 16 * N * N / (9 * _leff2(layers) * lg * lg)
+    return Prediction(
+        family="ccc",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+    )
+
+
+def reduced_hypercube_prediction(n: int, layers: int) -> Prediction:
+    """Section 5.2: asymptotically the same as the CCC."""
+    N = n * (1 << n)
+    lg = math.log2(N)
+    area = 16 * N * N / (9 * _leff2(layers) * lg * lg)
+    return Prediction(
+        family="reduced-hypercube",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+    )
+
+
+def folded_hypercube_prediction(n: int, layers: int) -> Prediction:
+    """Section 5.3: area 49 N^2/(9 L^2) -- the side is the hypercube's
+    4N/(3L) plus N/L of dedicated extra tracks, i.e. 7N/(3L)."""
+    N = 1 << n
+    area = 49 * N * N / (9 * _leff2(layers))
+    return Prediction(
+        family="folded-hypercube",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+    )
+
+
+def enhanced_cube_prediction(n: int, layers: int) -> Prediction:
+    """Section 5.3: area 100 N^2/(9 L^2) (side 4N/(3L) + 2N/L)."""
+    N = 1 << n
+    area = 100 * N * N / (9 * _leff2(layers))
+    return Prediction(
+        family="enhanced-cube",
+        num_nodes=N,
+        layers=layers,
+        area=area,
+        volume=area * layers,
+    )
+
+
+_FAMILIES = {
+    "kary": kary_prediction,
+    "ghc": ghc_prediction,
+    "hypercube": hypercube_prediction,
+    "butterfly": butterfly_prediction,
+    "isn": isn_prediction,
+    "hsn": hsn_prediction,
+    "ccc": ccc_prediction,
+    "reduced-hypercube": reduced_hypercube_prediction,
+    "folded-hypercube": folded_hypercube_prediction,
+    "enhanced-cube": enhanced_cube_prediction,
+}
+
+
+def paper_prediction(family: str, *args, layers: int) -> Prediction:
+    """Dispatch to a family's prediction, e.g.
+    ``paper_prediction("kary", k, n, layers=L)``."""
+    try:
+        fn = _FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; known: {sorted(_FAMILIES)}"
+        ) from None
+    return fn(*args, layers)

@@ -1,0 +1,628 @@
+"""The orthogonal multilayer layout builder (Sections 2.3-2.4).
+
+Given a :class:`~repro.core.spec.LayoutSpec` -- an R x C grid of cells,
+row/column/extra links, and a layer budget L -- this module produces a
+fully-routed :class:`~repro.grid.layout.GridLayout` that passes the
+multilayer grid model validator.
+
+Geometry (y grows downward)::
+
+      <- CW_0 -><-W_0-><- CW_1 -><-W_1-> ...
+      +--------+      +--------+
+      | row-0 horizontal channel (H_0 grid lines)  |
+      +--------+      +--------+
+      | cell   | col  | cell   | col
+      | (0,0)  | chan | (0,1)  | chan
+      +--------+  0   +--------+  1
+      | row-1 horizontal channel ...
+
+* Row links route in the channel *above* their row: a vertical stub up
+  from the source pin, a horizontal run on the assigned track, a stub
+  down to the target pin.
+* Column links route in the channel *right* of their column, entering
+  plain nodes through right-side pins and cluster blocks through
+  dedicated *distribution tracks* in the block's fan-in region.
+* Extra links (Section 5.3) get one dedicated horizontal track in the
+  source row's channel and one dedicated vertical track in the target
+  column's channel.
+
+Layer discipline: horizontal segments on odd layers, vertical segments
+on even layers; a channel's tracks are split into ``G = floor(L/2)``
+groups, group g using layers (2g+1, 2g+2) -- the multilayer transform
+of Section 2.4.  Legality is structural: horizontal runs on one
+(layer, line) come from one packed track; vertical stubs sit on
+per-node-unique pin abscissae; and the pin/distribution-track ordering
+rule (wires arriving from the smaller coordinate get smaller pins)
+makes track sharing by touching intervals safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.multilayer import LayerGroups
+from repro.core.pins import PinAllocator
+from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
+from repro.grid.geometry import Rect, Segment
+from repro.grid.layout import GridLayout
+from repro.grid.tracks import Interval, pack_intervals
+from repro.grid.wire import Wire
+
+__all__ = ["build_orthogonal_layout"]
+
+Node = Hashable
+CellPos = tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Internal bookkeeping
+
+
+@dataclass(slots=True)
+class _BlockInfo:
+    """Derived data for one block cell."""
+
+    cell: BlockCell
+    member_index: dict[Node, int]
+    width: int
+    strip_tracks: int  # logical intra-cluster tracks
+    strip_extent: int  # physical grid lines below the node row
+    dist_slots: dict[Hashable, int] = field(default_factory=dict)  # token -> y offset
+    strip_assignment: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def dist_extent(self) -> int:
+        return len(self.dist_slots)
+
+    @property
+    def height(self) -> int:
+        # fan-in region + node row + strip-track region
+        return self.dist_extent + self.cell.node_side + self.strip_extent
+
+
+@dataclass(slots=True)
+class _Geometry:
+    """Absolute coordinates of the grid skeleton."""
+
+    cell_x: list[int]  # left edge of cell column j
+    chan_x: list[int]  # left edge of vertical channel j
+    chan_y: list[int]  # top edge of horizontal channel i (above row i)
+    cell_y: list[int]  # top edge of cell row i
+    col_widths: list[int]
+    row_heights: list[int]
+
+
+def build_orthogonal_layout(spec: LayoutSpec) -> GridLayout:
+    """Run the full orthogonal multilayer layout scheme on ``spec``."""
+    spec.validate()
+    builder = _Builder(spec)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, spec: LayoutSpec):
+        self.spec = spec
+        self.G = max(spec.layers // 2, 1)
+        self.pins = PinAllocator()
+        self.blocks: dict[CellPos, _BlockInfo] = {}
+        # Per-link routing choices, filled in phase order.
+        self.row_track: dict[int, int] = {}  # row-link index -> track
+        self.col_track: dict[int, int] = {}
+        # Extra links: (offset, group) per channel; both channels of a
+        # link share the group so its via spans one layer pair only.
+        self.extra_group: dict[int, int] = {}
+        self.extra_h_offset: dict[int, int] = {}
+        self.extra_v_offset: dict[int, int] = {}
+        self.row_packed: list[int] = []
+        self.col_packed: list[int] = []
+        self.row_tracks_total: list[int] = []
+        self.col_tracks_total: list[int] = []
+        self.row_extents: list[int] = []
+        self.col_extents: list[int] = []
+
+    # -- top level -------------------------------------------------------
+
+    def build(self) -> GridLayout:
+        self._prepare_blocks()
+        self._allocate_dist_slots()
+        self._request_pins()
+        self.pins.freeze()
+        self._pack_channels()
+        geo = self._compute_geometry()
+        layout = GridLayout(layers=self.spec.layers)
+        self._place_nodes(geo, layout)
+        self._route_row_links(geo, layout)
+        self._route_col_links(geo, layout)
+        self._route_extra_links(geo, layout)
+        self._route_strips(geo, layout)
+        layout.meta.update(
+            {
+                "scheme": "orthogonal-multilayer",
+                "name": self.spec.name,
+                "rows": self.spec.rows,
+                "cols": self.spec.cols,
+                "layer_groups": self.G,
+                "row_tracks": list(self.row_tracks_total),
+                "col_tracks": list(self.col_tracks_total),
+                "row_channel_extents": list(self.row_extents),
+                "col_channel_extents": list(self.col_extents),
+                "col_widths": geo.col_widths,
+                "row_heights": geo.row_heights,
+            }
+        )
+        return layout
+
+    # -- phase 1: blocks ---------------------------------------------------
+
+    def _prepare_blocks(self) -> None:
+        for pos, cell in self.spec.cells.items():
+            if not isinstance(cell, BlockCell):
+                continue
+            member_index = {v: m for m, v in enumerate(cell.nodes)}
+            width = len(cell.nodes) * cell.node_side
+            self.blocks[pos] = _BlockInfo(
+                cell=cell,
+                member_index=member_index,
+                width=width,
+                strip_tracks=0,
+                strip_extent=0,
+            )
+
+    def _allocate_dist_slots(self) -> None:
+        """Give each side-entering link end a distribution track.
+
+        Slots are ordered so links arriving from above precede links
+        departing below; this is what lets two such links share a
+        vertical channel track that touches at this block's row.
+        """
+        requests: dict[CellPos, list[tuple[tuple, Hashable]]] = {}
+
+        def ask(pos: CellPos, other_row: int, token: Hashable) -> None:
+            i = pos[0]
+            direction = 0 if other_row < i else 1
+            requests.setdefault(pos, []).append(
+                ((direction, other_row, str(token)), token)
+            )
+
+        for idx, link in enumerate(self.spec.col_links):
+            for end, other in (("u", link.v_cell), ("v", link.u_cell)):
+                pos = link.u_cell if end == "u" else link.v_cell
+                if pos in self.blocks:
+                    ask(pos, other[0], ("col", idx, end))
+        for idx, link in enumerate(self.spec.extra_links):
+            # Only the v end of an extra link enters from the side; the
+            # vertical run approaches from the source row's channel.
+            if link.v_cell in self.blocks:
+                ask(link.v_cell, link.u_cell[0], ("extra", idx, "v"))
+
+        for pos, reqs in requests.items():
+            reqs.sort(key=lambda r: r[0])
+            info = self.blocks[pos]
+            for slot, (_, token) in enumerate(reqs):
+                info.dist_slots[token] = slot
+
+    # -- phase 2: pins -----------------------------------------------------
+
+    def _request_pins(self) -> None:
+        # Capacities.
+        for pos, cell in self.spec.cells.items():
+            if isinstance(cell, NodeCell):
+                for side in ("top", "right", "bottom", "left"):
+                    self.pins.set_capacity(cell.node, side, cell.side)
+            else:
+                for v in cell.nodes:
+                    for side in ("top", "right", "bottom", "left"):
+                        self.pins.set_capacity(v, side, cell.node_side)
+
+        # Row links: both ends attach at top pins; ordering key places
+        # wires arriving from the left before wires departing right.
+        for idx, link in enumerate(self.spec.row_links):
+            self._request_top_pin(link, idx, "row")
+
+        # Column links: plain nodes use right-side pins (ordered by the
+        # other end's row); block members use a top pin for the climb to
+        # the distribution track (no ordering constraint).
+        for idx, link in enumerate(self.spec.col_links):
+            for end in ("u", "v"):
+                pos, node, other = self._end(link, end)
+                token = ("col", idx, end)
+                if pos in self.blocks:
+                    self.pins.request(node, "top", (2, 0, str(token)), token)
+                else:
+                    direction = 0 if other[0] < pos[0] else 1
+                    self.pins.request(
+                        node, "right", (direction, other[0], str(token)), token
+                    )
+
+        # Extra links: source uses a top pin (ordered like a row wire
+        # toward the target column's channel); target enters from the
+        # right side (plain node) or via a distribution track (block).
+        for idx, link in enumerate(self.spec.extra_links):
+            u_pos, u_node = link.u_cell, link.u_node
+            token_u = ("extra", idx, "u")
+            self_d = 2 * u_pos[1]
+            other_d = 2 * link.v_cell[1] + 1  # the target column's channel
+            direction = 0 if other_d < self_d else 1
+            self.pins.request(
+                u_node, "top", (direction, other_d, str(token_u)), token_u
+            )
+            token_v = ("extra", idx, "v")
+            v_pos, v_node = link.v_cell, link.v_node
+            if v_pos in self.blocks:
+                self.pins.request(v_node, "top", (2, 0, str(token_v)), token_v)
+            else:
+                direction = 0 if link.u_cell[0] < v_pos[0] else 1
+                self.pins.request(
+                    v_node, "right", (direction, link.u_cell[0], str(token_v)),
+                    token_v,
+                )
+
+        # Intra-block strip wiring: bottom pins, ordered left-to-right.
+        for pos, info in self.blocks.items():
+            for eidx, (u, v) in enumerate(info.cell.edges):
+                mu, mv = info.member_index[u], info.member_index[v]
+                for node, mine, other, end in (
+                    (u, mu, mv, "u"),
+                    (v, mv, mu, "v"),
+                ):
+                    token = ("strip", pos, eidx, end)
+                    direction = 0 if other < mine else 1
+                    self.pins.request(
+                        node, "bottom", (direction, other, str(token)), token
+                    )
+
+    def _request_top_pin(self, link: LinkSpec, idx: int, kind: str) -> None:
+        for end in ("u", "v"):
+            pos, node, other = self._end(link, end)
+            token = (kind, idx, end)
+            direction = 0 if other[1] < pos[1] else 1
+            self.pins.request(
+                node, "top", (direction, other[1], str(token)), token
+            )
+
+    def _end(self, link: LinkSpec, end: str) -> tuple[CellPos, Node, CellPos]:
+        if end == "u":
+            return link.u_cell, link.u_node, link.v_cell
+        return link.v_cell, link.v_node, link.u_cell
+
+    # -- phase 3: channel packing ------------------------------------------
+
+    def _cell_rank(self, pos: CellPos, node: Node, token: Hashable, axis: str) -> int:
+        """The pin's offset within its cell along the channel axis.
+
+        For row channels (axis 'x') this is the top-pin abscissa offset;
+        for column channels (axis 'y') the right-pin / distribution-track
+        ordinate offset.  Ranks refine the doubled cell coordinate so
+        interval packing reasons about true geometric extents.
+        """
+        cell = self.spec.cells[pos]
+        if axis == "x":
+            off = self.pins.offset(node, "top", token)
+            if isinstance(cell, BlockCell):
+                info = self.blocks[pos]
+                return info.member_index[node] * cell.node_side + off
+            return off
+        # axis == 'y'
+        if pos in self.blocks:
+            return self.blocks[pos].dist_slots[token]
+        return self.pins.offset(node, "right", token)
+
+    def _pack_channels(self) -> None:
+        spec = self.spec
+        # Row channels.
+        per_row: dict[int, list[tuple[int, Interval]]] = {}
+        for idx, link in enumerate(spec.row_links):
+            i = link.u_cell[0]
+            ends = []
+            for end in ("u", "v"):
+                pos, node, _ = self._end(link, end)
+                rank = self._cell_rank(pos, node, ("row", idx, end), "x")
+                ends.append((2 * pos[1], rank))
+            lo, hi = sorted(ends)
+            per_row.setdefault(i, []).append((idx, Interval(lo, hi)))
+        G = self.G
+        extras_per_row: dict[int, list[int]] = {}
+        for idx, link in enumerate(spec.extra_links):
+            extras_per_row.setdefault(link.u_cell[0], []).append(idx)
+            self.extra_group[idx] = idx % G
+
+        self.row_packed = [0] * spec.rows
+        self.row_tracks_total = [0] * spec.rows
+        self.row_extents = [0] * spec.rows
+        for i in range(spec.rows):
+            items = per_row.get(i, [])
+            assignment, count = pack_intervals([iv for _, iv in items])
+            for local, (idx, _) in enumerate(items):
+                self.row_track[idx] = assignment[local]
+            extras = extras_per_row.get(i, [])
+            cap = LayerGroups(count, spec.layers).per_group
+            per_group: dict[int, int] = {}
+            for idx in extras:
+                g = self.extra_group[idx]
+                self.extra_h_offset[idx] = cap + per_group.get(g, 0)
+                per_group[g] = per_group.get(g, 0) + 1
+            self.row_packed[i] = count
+            self.row_tracks_total[i] = count + len(extras)
+            self.row_extents[i] = cap + max(per_group.values(), default=0)
+
+        # Column channels.
+        per_col: dict[int, list[tuple[int, Interval]]] = {}
+        for idx, link in enumerate(spec.col_links):
+            j = link.u_cell[1]
+            ends = []
+            for end in ("u", "v"):
+                pos, node, _ = self._end(link, end)
+                rank = self._cell_rank(pos, node, ("col", idx, end), "y")
+                ends.append((2 * pos[0], rank))
+            lo, hi = sorted(ends)
+            per_col.setdefault(j, []).append((idx, Interval(lo, hi)))
+        extras_per_col: dict[int, list[int]] = {}
+        for idx, link in enumerate(spec.extra_links):
+            extras_per_col.setdefault(link.v_cell[1], []).append(idx)
+
+        self.col_packed = [0] * spec.cols
+        self.col_tracks_total = [0] * spec.cols
+        self.col_extents = [0] * spec.cols
+        for j in range(spec.cols):
+            items = per_col.get(j, [])
+            assignment, count = pack_intervals([iv for _, iv in items])
+            for local, (idx, _) in enumerate(items):
+                self.col_track[idx] = assignment[local]
+            extras = extras_per_col.get(j, [])
+            cap = LayerGroups(count, spec.layers).per_group
+            per_group: dict[int, int] = {}
+            for idx in extras:
+                g = self.extra_group[idx]
+                self.extra_v_offset[idx] = cap + per_group.get(g, 0)
+                per_group[g] = per_group.get(g, 0) + 1
+            self.col_packed[j] = count
+            self.col_tracks_total[j] = count + len(extras)
+            self.col_extents[j] = cap + max(per_group.values(), default=0)
+
+        # Intra-block strips.
+        for pos, info in self.blocks.items():
+            intervals = []
+            for eidx, (u, v) in enumerate(info.cell.edges):
+                ends = []
+                for node, end in ((u, "u"), (v, "v")):
+                    m = info.member_index[node]
+                    off = self.pins.offset(
+                        node, "bottom", ("strip", pos, eidx, end)
+                    )
+                    ends.append((m, off))
+                lo, hi = sorted(ends)
+                intervals.append(Interval(lo, hi))
+            assignment, count = pack_intervals(intervals)
+            info.strip_tracks = count
+            # One grid line of clearance below the deepest strip track so
+            # it can never coincide with the next row channel's top track.
+            extent = LayerGroups(count, self.spec.layers).physical_extent()
+            info.strip_extent = extent + 1 if count else 0
+            info.strip_assignment = assignment
+
+    # -- phase 4: geometry ---------------------------------------------------
+
+    def _cell_width(self, pos: CellPos) -> int:
+        cell = self.spec.cells.get(pos)
+        if cell is None:
+            return 0
+        if isinstance(cell, NodeCell):
+            return cell.side
+        return self.blocks[pos].width
+
+    def _cell_height(self, pos: CellPos) -> int:
+        cell = self.spec.cells.get(pos)
+        if cell is None:
+            return 0
+        if isinstance(cell, NodeCell):
+            return cell.side
+        return self.blocks[pos].height
+
+    def _compute_geometry(self) -> _Geometry:
+        spec = self.spec
+        col_widths = [
+            max(
+                (self._cell_width((i, j)) for i in range(spec.rows)),
+                default=0,
+            )
+            for j in range(spec.cols)
+        ]
+        row_heights = [
+            max(
+                (self._cell_height((i, j)) for j in range(spec.cols)),
+                default=0,
+            )
+            for i in range(spec.rows)
+        ]
+        cell_x, chan_x = [], []
+        x = 0
+        for j in range(spec.cols):
+            cell_x.append(x)
+            x += col_widths[j]
+            chan_x.append(x)
+            x += self.col_extents[j]
+        chan_y, cell_y = [], []
+        y = 0
+        for i in range(spec.rows):
+            chan_y.append(y)
+            y += self.row_extents[i]
+            cell_y.append(y)
+            y += row_heights[i]
+        return _Geometry(
+            cell_x=cell_x,
+            chan_x=chan_x,
+            chan_y=chan_y,
+            cell_y=cell_y,
+            col_widths=col_widths,
+            row_heights=row_heights,
+        )
+
+    # -- phase 5: placement & routing ----------------------------------------
+
+    def _place_nodes(self, geo: _Geometry, layout: GridLayout) -> None:
+        for pos, cell in self.spec.cells.items():
+            i, j = pos
+            x0, y0 = geo.cell_x[j], geo.cell_y[i]
+            if isinstance(cell, NodeCell):
+                layout.place(cell.node, Rect(x0, y0, cell.side, cell.side))
+            else:
+                info = self.blocks[pos]
+                s = cell.node_side
+                ny = y0 + info.dist_extent
+                for m, v in enumerate(cell.nodes):
+                    layout.place(v, Rect(x0 + m * s, ny, s, s))
+
+    # pin coordinate helpers ---------------------------------------------
+
+    def _top_pin_x(self, pos: CellPos, node: Node, token: Hashable, geo: _Geometry) -> int:
+        j = pos[1]
+        return geo.cell_x[j] + self._cell_rank(pos, node, token, "x")
+
+    def _node_top_y(self, pos: CellPos, geo: _Geometry) -> int:
+        i = pos[0]
+        if pos in self.blocks:
+            return geo.cell_y[i] + self.blocks[pos].dist_extent
+        return geo.cell_y[i]
+
+    def _right_pin(self, pos: CellPos, node: Node, token: Hashable, geo: _Geometry) -> tuple[int, int]:
+        """(x, y) of a plain node's right-side pin."""
+        i, j = pos
+        cell = self.spec.cells[pos]
+        assert isinstance(cell, NodeCell)
+        y = geo.cell_y[i] + self.pins.offset(node, "right", token)
+        x = geo.cell_x[j] + cell.side
+        return x, y
+
+    def _dist_y(self, pos: CellPos, token: Hashable, geo: _Geometry) -> int:
+        return geo.cell_y[pos[0]] + self.blocks[pos].dist_slots[token]
+
+    # routing ---------------------------------------------------------------
+
+    def _route_row_links(self, geo: _Geometry, layout: GridLayout) -> None:
+        spec = self.spec
+        for idx, link in enumerate(spec.row_links):
+            i = link.u_cell[0]
+            groups = LayerGroups(self.row_packed[i], spec.layers)
+            slot = groups.slot(self.row_track[idx])
+            y_t = geo.chan_y[i] + slot.offset
+            xu = self._top_pin_x(link.u_cell, link.u_node, ("row", idx, "u"), geo)
+            xv = self._top_pin_x(link.v_cell, link.v_node, ("row", idx, "v"), geo)
+            yu = self._node_top_y(link.u_cell, geo)
+            yv = self._node_top_y(link.v_cell, geo)
+            segs = [
+                Segment.make(xu, yu, xu, y_t, slot.v_layer),
+                Segment.make(xu, y_t, xv, y_t, slot.h_layer),
+                Segment.make(xv, y_t, xv, yv, slot.v_layer),
+            ]
+            layout.add_wire(
+                Wire(link.u_node, link.v_node, segs, edge_key=link.edge_key)
+            )
+
+    def _route_col_links(self, geo: _Geometry, layout: GridLayout) -> None:
+        spec = self.spec
+        for idx, link in enumerate(spec.col_links):
+            j = link.u_cell[1]
+            groups = LayerGroups(self.col_packed[j], spec.layers)
+            slot = groups.slot(self.col_track[idx])
+            x_t = geo.chan_x[j] + slot.offset
+            head, (xu, yu) = self._col_end_path(
+                link, "u", idx, x_t, slot.h_layer, geo
+            )
+            tail, (xv, yv) = self._col_end_path(
+                link, "v", idx, x_t, slot.h_layer, geo
+            )
+            run = Segment.make(x_t, yu, x_t, yv, slot.v_layer)
+            segs = head + [run] + [s for s in reversed(tail)]
+            layout.add_wire(
+                Wire(link.u_node, link.v_node, segs, edge_key=link.edge_key)
+            )
+
+    def _col_end_path(
+        self,
+        link: LinkSpec,
+        end: str,
+        idx: int,
+        x_t: int,
+        h_layer: int,
+        geo: _Geometry,
+    ) -> tuple[list[Segment], tuple[int, int]]:
+        """Segments from this end's pin toward the channel, plus the
+        (x, y) where the vertical channel run meets them."""
+        pos, node, _ = self._end(link, end)
+        token = ("col", idx, end)
+        if pos in self.blocks:
+            # climb from the member's top pin to the distribution track,
+            # then ride it to the channel.
+            px = self._top_pin_x(pos, node, token, geo)
+            py = self._node_top_y(pos, geo)
+            dy = self._dist_y(pos, token, geo)
+            segs = [
+                Segment.make(px, py, px, dy, h_layer + 1),  # climb
+                Segment.make(px, dy, x_t, dy, h_layer),
+            ]
+            return segs, (x_t, dy)
+        x, y = self._right_pin(pos, node, token, geo)
+        segs = []
+        if x != x_t:
+            segs.append(Segment.make(x, y, x_t, y, h_layer))
+        return segs, (x_t, y)
+
+    def _route_extra_links(self, geo: _Geometry, layout: GridLayout) -> None:
+        spec = self.spec
+        for idx, link in enumerate(spec.extra_links):
+            i_u = link.u_cell[0]
+            j_v = link.v_cell[1]
+            g = self.extra_group[idx]
+            h_layer, v_layer = 2 * g + 1, 2 * g + 2
+            y_h = geo.chan_y[i_u] + self.extra_h_offset[idx]
+            x_v = geo.chan_x[j_v] + self.extra_v_offset[idx]
+
+            xu = self._top_pin_x(link.u_cell, link.u_node, ("extra", idx, "u"), geo)
+            yu = self._node_top_y(link.u_cell, geo)
+            segs = [
+                Segment.make(xu, yu, xu, y_h, v_layer),
+                Segment.make(xu, y_h, x_v, y_h, h_layer),
+            ]
+            # Target entry.
+            token_v = ("extra", idx, "v")
+            if link.v_cell in self.blocks:
+                px = self._top_pin_x(link.v_cell, link.v_node, token_v, geo)
+                py = self._node_top_y(link.v_cell, geo)
+                dy = self._dist_y(link.v_cell, token_v, geo)
+                segs.append(Segment.make(x_v, y_h, x_v, dy, v_layer))
+                segs.append(Segment.make(x_v, dy, px, dy, h_layer))
+                segs.append(Segment.make(px, dy, px, py, v_layer))
+            else:
+                x, y = self._right_pin(link.v_cell, link.v_node, token_v, geo)
+                segs.append(Segment.make(x_v, y_h, x_v, y, v_layer))
+                if x != x_v:
+                    segs.append(Segment.make(x_v, y, x, y, h_layer))
+            layout.add_wire(
+                Wire(link.u_node, link.v_node, segs, edge_key=link.edge_key)
+            )
+
+    def _route_strips(self, geo: _Geometry, layout: GridLayout) -> None:
+        for pos, info in self.blocks.items():
+            cell = info.cell
+            assignment = info.strip_assignment
+            groups = LayerGroups(max(info.strip_tracks, 1), self.spec.layers)
+            node_bottom = (
+                geo.cell_y[pos[0]] + info.dist_extent + cell.node_side
+            )
+            x0 = geo.cell_x[pos[1]]
+            for eidx, (u, v) in enumerate(cell.edges):
+                slot = groups.slot(assignment[eidx])
+                y_t = node_bottom + 1 + slot.offset
+                xs = []
+                for node, end in ((u, "u"), (v, "v")):
+                    m = info.member_index[node]
+                    off = self.pins.offset(node, "bottom", ("strip", pos, eidx, end))
+                    xs.append(x0 + m * cell.node_side + off)
+                xu, xv = xs
+                segs = [
+                    Segment.make(xu, node_bottom, xu, y_t, slot.v_layer),
+                    Segment.make(xu, y_t, xv, y_t, slot.h_layer),
+                    Segment.make(xv, y_t, xv, node_bottom, slot.v_layer),
+                ]
+                layout.add_wire(Wire(u, v, segs, edge_key=("strip", eidx)))

@@ -1,0 +1,100 @@
+"""Layout cost model: cost(A, L, L_A, vias).
+
+Section 2.2: "The cost of a layout under the multilayer grid model is
+a function of A, L, and L_A, as well as other parameters."  This module
+provides the standard manufacturing-flavored instantiation so benches
+and the chip-planner example can rank layouts by *cost* as well as by
+geometry:
+
+* silicon cost scales with area times a per-layer process premium
+  (each wiring layer adds masks/steps; each active layer adds more);
+* yield falls with area (Poisson defect model), dividing the cost of a
+  good die;
+* vias add a small marginal cost (and are counted per layout).
+
+Defaults are arbitrary-unit but internally consistent; what the paper's
+argument needs is the *comparison*: an L-layer multilayer layout vs a
+folded or 2-layer layout of the same network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.grid.layout import GridLayout
+
+__all__ = ["CostModel", "chip_cost", "CostBreakdown"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Technology/economics parameters (arbitrary units)."""
+
+    area_unit_cost: float = 1.0       # per grid cell, base process
+    wiring_layer_premium: float = 0.12  # per extra wiring layer beyond 2
+    active_layer_premium: float = 0.25  # per extra active layer beyond 1
+    via_cost: float = 0.001           # per via
+    defect_density: float = 0.0       # defects per grid cell (yield)
+
+    def layer_factor(self, layers: int, active_layers: int) -> float:
+        return (
+            1.0
+            + self.wiring_layer_premium * max(layers - 2, 0)
+            + self.active_layer_premium * max(active_layers - 1, 0)
+        )
+
+    def yield_fraction(self, area: int) -> float:
+        if self.defect_density <= 0:
+            return 1.0
+        return math.exp(-self.defect_density * area)
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """Itemized cost of one layout."""
+
+    area: int
+    layers: int
+    active_layers: int
+    vias: int
+    silicon: float
+    via_total: float
+    yield_fraction: float
+    total: float
+
+    def as_dict(self) -> dict:
+        return {
+            "area": self.area,
+            "L": self.layers,
+            "L_A": self.active_layers,
+            "vias": self.vias,
+            "silicon": self.silicon,
+            "via_total": self.via_total,
+            "yield": self.yield_fraction,
+            "total": self.total,
+        }
+
+
+def chip_cost(layout: GridLayout, model: CostModel | None = None) -> CostBreakdown:
+    """Cost a layout under ``model`` (defaults are unit-scale)."""
+    model = model or CostModel()
+    area = layout.area
+    active_layers = len({p.layer for p in layout.placements.values()}) or 1
+    vias = layout.via_count()
+    silicon = area * model.area_unit_cost * model.layer_factor(
+        layout.layers, active_layers
+    )
+    via_total = vias * model.via_cost
+    yld = model.yield_fraction(area)
+    total = (silicon + via_total) / yld
+    return CostBreakdown(
+        area=area,
+        layers=layout.layers,
+        active_layers=active_layers,
+        vias=vias,
+        silicon=silicon,
+        via_total=via_total,
+        yield_fraction=yld,
+        total=total,
+    )

@@ -1,0 +1,225 @@
+"""Baseline transforms the paper compares against (Section 2.2).
+
+Two ways of "using" L layers *without* designing for them:
+
+* **Folding** a Thompson (2-layer) layout: cut the layout into
+  ``floor(L/2)`` vertical slabs and stack them.  Area divides by
+  ``floor(L/2)``; the wire multiset is untouched, so volume
+  (``L x area``) and the maximum wire length stay put (folds reroute
+  wires across slab boundaries but change lengths only by O(1) per
+  crossing, which the paper and we both neglect).
+
+* **Multilayer collinear layout**: a collinear layout whose track stack
+  is divided among the layer groups.  Only the channel height shrinks
+  (by at most L/2); the node row keeps its full width, so the area
+  falls by at most L/2 and the volume not at all.
+
+Both are implemented as metric transforms of a measured 2-layer layout
+so that benches can print multilayer-scheme vs folding vs collinear
+side by side -- the content of claims (1)-(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import LayoutMetrics
+from repro.grid.geometry import Rect, Segment
+from repro.grid.layout import GridLayout
+from repro.grid.wire import Wire
+
+__all__ = [
+    "FoldedMetrics",
+    "fold_metrics",
+    "collinear_multilayer_metrics",
+    "fold_layout",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FoldedMetrics:
+    """Metrics of a folded (or otherwise transformed) baseline layout."""
+
+    name: str
+    layers: int
+    area: float
+    volume: float
+    max_wire: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "L": self.layers,
+            "area": self.area,
+            "volume": self.volume,
+            "max_wire": self.max_wire,
+        }
+
+
+def fold_metrics(thompson: LayoutMetrics, layers: int) -> FoldedMetrics:
+    """Fold a measured Thompson layout into ``layers`` layers.
+
+    The fold stacks ``t = floor(layers/2)`` slabs, each with its own
+    pair of wiring layers (and, per the paper's premise, its own active
+    layer for the nodes it carries).
+    """
+    if thompson.layers != 2:
+        raise ValueError("fold_metrics expects a 2-layer (Thompson) layout")
+    t = max(layers // 2, 1)
+    area = thompson.area / t
+    return FoldedMetrics(
+        name=f"folded({thompson.name}) L={layers}",
+        layers=layers,
+        area=area,
+        volume=thompson.area * 2.0,  # t slabs x 2 layers x (area/t)
+        max_wire=float(thompson.max_wire),
+    )
+
+
+def fold_layout(layout: GridLayout, layers: int) -> GridLayout:
+    """Geometrically fold a Thompson layout into ``layers`` layers.
+
+    This constructs the Section 2.2 folding baseline as a real,
+    validator-checked multilayer 3-D grid layout -- not just the
+    analytic transform of :func:`fold_metrics`:
+
+    1. the layout is cut into ``t = floor(layers/2)`` slabs of equal
+       column counts (it must come from the orthogonal builder, whose
+       ``meta`` carries the column geometry, with uniform column pitch
+       and ``cols`` divisible by ``t``);
+    2. slab ``s`` keeps its y geometry, mirrors its x geometry on
+       alternate slabs (paper folding), moves its wiring to layers
+       ``(2s+1, 2s+2)`` and its nodes to active layer ``2s+1``;
+    3. every horizontal run crossing a fold continues on the next
+       slab's layers through a via spanning the intervening layer.
+       (Fold planes stay clear of vertical wiring automatically: a
+       vertical segment at a cut abscissa belongs to the right-hand
+       slab, whose V layer lies outside the fold via's z-range, and
+       original edge-disjointness rules out any other wire at a fold
+       crossing's track ordinate.)
+
+    Area shrinks by ~t; the wire multiset, lengths (up to +1 per alley
+    crossed) and volume are unchanged -- exactly the paper's point
+    about why folding is the inferior way to use extra layers.
+    """
+    if layout.layers != 2:
+        raise ValueError("fold_layout expects a 2-layer (Thompson) layout")
+    t = max(layers // 2, 1)
+    if t == 1:
+        return layout
+    widths = layout.meta.get("col_widths")
+    extents = layout.meta.get("col_channel_extents")
+    if widths is None or extents is None:
+        raise ValueError(
+            "fold_layout needs the orthogonal builder's channel metadata"
+        )
+    cols = len(widths)
+    if cols % t:
+        raise ValueError(f"{cols} cell columns do not split into {t} slabs")
+    pitches = [w + e for w, e in zip(widths, extents)]
+    if len(set(pitches)) > 1:
+        raise ValueError("fold_layout requires uniform column pitch")
+    pitch = pitches[0]
+    per_slab = cols // t
+    slab_w = per_slab * pitch  # original width of every slab
+    # Cut positions in original coordinates (left edge of each slab).
+    cuts = [s * slab_w for s in range(t + 1)]
+
+    def slab_of(x: int) -> int:
+        s = min(x // slab_w, t - 1)
+        return int(s)
+
+    def mapx(x: int, s: int) -> int:
+        local = x - cuts[s]
+        if s % 2:
+            return slab_w - local
+        return local
+
+    folded = GridLayout(layers=layers)
+    for p in layout.placements.values():
+        s = slab_of(p.rect.x0)
+        if slab_of(max(p.rect.x1 - 1, p.rect.x0)) != s:
+            raise ValueError(f"node {p.node!r} straddles a fold cut")
+        xa, xb = mapx(p.rect.x0, s), mapx(p.rect.x1, s)
+        x0 = min(xa, xb)
+        folded.place(
+            p.node, Rect(x0, p.rect.y0, p.rect.w, p.rect.h), layer=2 * s + 1
+        )
+
+    for w in layout.wires:
+        folded.add_wire(
+            Wire(w.u, w.v, _fold_wire_segments(w, cuts, slab_w, t),
+                 edge_key=w.edge_key)
+        )
+    folded.meta.update(
+        {
+            "scheme": "folded-thompson",
+            "name": f"folded({layout.meta.get('name', 'layout')}) L={layers}",
+            "source_area": layout.area,
+            "slabs": t,
+        }
+    )
+    return folded
+
+
+def _fold_wire_segments(
+    wire: Wire, cuts: list[int], slab_w: int, t: int
+) -> list[Segment]:
+    """Map one wire's segments through the fold."""
+
+    def slab_of(x: int) -> int:
+        return int(min(x // slab_w, t - 1))
+
+    def mapx(x: int, s: int) -> int:
+        local = x - cuts[s]
+        return slab_w - local if s % 2 else local
+
+    out: list[Segment] = []
+    # Trace the wire in path order so split pieces stay connected.
+    points = wire.path_points()
+    for i, seg in enumerate(wire.segments):
+        a = points[i].planar()
+        b = points[i + 1].planar()
+        if seg.vertical:
+            s = slab_of(seg.x1)
+            layer = 2 * s + (2 if seg.layer == 2 else 1)
+            out.append(
+                Segment.make(mapx(seg.x1, s), seg.y1, mapx(seg.x2, s),
+                             seg.y2, layer)
+            )
+            continue
+        # Horizontal: walk from a to b, splitting at interior cuts.
+        y = seg.y1
+        x, x_end = a[0], b[0]
+        step = 1 if x_end > x else -1
+        while x != x_end:
+            s = slab_of(x) if step > 0 else slab_of(x - 1)
+            if step > 0:
+                piece_end = min(x_end, cuts[s + 1])
+            else:
+                piece_end = max(x_end, cuts[s])
+            layer = 2 * s + (1 if seg.layer == 1 else 2)
+            out.append(
+                Segment.make(mapx(x, s), y, mapx(piece_end, s), y, layer)
+            )
+            x = piece_end
+    return out
+
+
+def collinear_multilayer_metrics(
+    collinear: LayoutMetrics, layers: int
+) -> FoldedMetrics:
+    """The multilayer *collinear* baseline: track stack height divides
+    by ``floor(layers/2)``, width is unchanged."""
+    if collinear.layers != 2:
+        raise ValueError("expects a 2-layer collinear layout")
+    t = max(layers // 2, 1)
+    height = max(collinear.height / t, 1.0)
+    area = collinear.width * height
+    return FoldedMetrics(
+        name=f"collinear-multilayer({collinear.name}) L={layers}",
+        layers=layers,
+        area=area,
+        volume=area * layers,
+        max_wire=float(collinear.max_wire),
+    )

@@ -1,0 +1,111 @@
+"""Layout inspection: channel reports and density profiles.
+
+Debugging/analysis tooling over the builder's metadata and the routed
+geometry: per-channel track counts and physical extents, where the
+area goes (cells vs channels), and cut/density profiles of collinear
+layouts (the quantity the track formulas really bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collinear.engine import CollinearLayout
+from repro.grid.layout import GridLayout
+
+__all__ = [
+    "ChannelReport",
+    "channel_report",
+    "area_breakdown",
+    "density_histogram",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelReport:
+    """Summary of one layout's channel structure."""
+
+    row_tracks: list[int]
+    col_tracks: list[int]
+    row_extents: list[int]
+    col_extents: list[int]
+    total_row_tracks: int
+    total_col_tracks: int
+    busiest_row: int
+    busiest_col: int
+
+    def as_dict(self) -> dict:
+        return {
+            "row_tracks": self.row_tracks,
+            "col_tracks": self.col_tracks,
+            "row_extents": self.row_extents,
+            "col_extents": self.col_extents,
+            "total_row_tracks": self.total_row_tracks,
+            "total_col_tracks": self.total_col_tracks,
+            "busiest_row": self.busiest_row,
+            "busiest_col": self.busiest_col,
+        }
+
+
+def channel_report(layout: GridLayout) -> ChannelReport:
+    """Channel structure of a builder-produced layout."""
+    meta = layout.meta
+    if "row_tracks" not in meta:
+        raise ValueError("layout has no channel metadata (not builder-made)")
+    rt = list(meta["row_tracks"])
+    ct = list(meta["col_tracks"])
+    return ChannelReport(
+        row_tracks=rt,
+        col_tracks=ct,
+        row_extents=list(meta["row_channel_extents"]),
+        col_extents=list(meta["col_channel_extents"]),
+        total_row_tracks=sum(rt),
+        total_col_tracks=sum(ct),
+        busiest_row=max(rt, default=0),
+        busiest_col=max(ct, default=0),
+    )
+
+
+def area_breakdown(layout: GridLayout) -> dict:
+    """Where the bounding-box side lengths go: cells vs channels.
+
+    The 'channel share' is the quantity the paper's leading terms
+    describe; the 'cell share' is the o(.) node-area term.
+    """
+    meta = layout.meta
+    if "col_widths" not in meta:
+        raise ValueError("layout has no geometry metadata")
+    cell_w = sum(meta["col_widths"])
+    chan_w = sum(meta["col_channel_extents"])
+    cell_h = sum(meta["row_heights"])
+    chan_h = sum(meta["row_channel_extents"])
+    bb = layout.bounding_box()
+    return {
+        "width": bb.w,
+        "cell_width": cell_w,
+        "channel_width": chan_w,
+        "height": bb.h,
+        "cell_height": cell_h,
+        "channel_height": chan_h,
+        "channel_share_w": chan_w / max(cell_w + chan_w, 1),
+        "channel_share_h": chan_h / max(cell_h + chan_h, 1),
+    }
+
+
+def density_histogram(lay: CollinearLayout, *, width: int = 60) -> str:
+    """ASCII cut-density profile of a collinear layout.
+
+    One line per inter-position gap; bar length proportional to the
+    number of edges crossing the gap (its peak equals the track count
+    when the layout is optimal).
+    """
+    profile = lay.cut_profile()
+    if not profile:
+        return "(single node)"
+    peak = max(profile) or 1
+    lines = []
+    for i, c in enumerate(profile):
+        bar = "#" * max(1 if c else 0, round(c / peak * width))
+        lines.append(f"{i:>4} {c:>5} {bar}")
+    lines.append(f"peak {peak} (tracks used: {lay.num_tracks})")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Input specification for the orthogonal multilayer layout builder.
+
+The orthogonal scheme (Section 2.4) sees a network as an R x C grid of
+*cells* -- a cell is either one node or one cluster block (recursive
+grid scheme, Section 2.3) -- plus links classified as:
+
+* **row links**: both endpoints in the same cell row; routed in the
+  horizontal channel above that row;
+* **column links**: both endpoints in the same cell column; routed in
+  the vertical channel right of that column;
+* **extra links**: arbitrary endpoints (the folded-hypercube /
+  enhanced-cube diameter links of Section 5.3); each is granted one
+  dedicated horizontal track in its source row's channel and one
+  dedicated vertical track in its target column's channel, exactly the
+  accounting behind the paper's 49N^2/(9L^2) folded-hypercube bound.
+
+Link endpoints name real network nodes, so cluster blocks know which
+member node each inter-cluster wire must reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+__all__ = ["NodeCell", "BlockCell", "LinkSpec", "LayoutSpec"]
+
+Node = Hashable
+CellPos = tuple[int, int]  # (row, col)
+
+
+@dataclass(slots=True)
+class NodeCell:
+    """A cell holding a single network node as a ``side x side`` square.
+
+    Under the Thompson convention ``side`` is the node degree; the
+    multilayer model lets it grow up to ``o(Area/N)`` without affecting
+    the leading constants (the scalability claim of Section 3.2), which
+    benchmarks exercise by sweeping ``side``.
+    """
+
+    node: Node
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise ValueError("node side >= 1")
+
+
+@dataclass(slots=True)
+class BlockCell:
+    """A cell holding a cluster, laid out as a strip inside the block.
+
+    The strip layout (one level of the recursive grid scheme of Section
+    2.3) places the cluster's nodes side by side, routes intra-cluster
+    edges in tracks *below* the node row, and reserves a distribution
+    region *above* it where external links fan in: top-entering links
+    drop straight to their target node's pin; side-entering links ride
+    a dedicated distribution track to the target's column first.
+
+    Parameters
+    ----------
+    label:
+        The cluster's identity (the quotient supernode).
+    nodes:
+        Member nodes in strip order (choose a low-cutwidth order; e.g.
+        cycle order for CCC clusters, binary order for hypercube
+        clusters).
+    edges:
+        Intra-cluster edges between member nodes.
+    node_side:
+        Side of each member node's square.
+    """
+
+    label: Hashable
+    nodes: list[Node]
+    edges: list[tuple[Node, Node]]
+    node_side: int
+
+    def __post_init__(self) -> None:
+        if self.node_side < 1:
+            raise ValueError("node side >= 1")
+        members = set(self.nodes)
+        if len(members) != len(self.nodes):
+            raise ValueError(f"block {self.label!r}: duplicate members")
+        for u, v in self.edges:
+            if u not in members or v not in members:
+                raise ValueError(
+                    f"block {self.label!r}: edge ({u!r},{v!r}) leaves block"
+                )
+
+
+@dataclass(slots=True)
+class LinkSpec:
+    """One network edge to route between cells.
+
+    ``u_node`` / ``v_node`` are the real endpoints; ``u_cell`` /
+    ``v_cell`` their grid positions.  ``edge_key`` discriminates
+    parallel links (PN-cluster quotients).
+    """
+
+    u_cell: CellPos
+    v_cell: CellPos
+    u_node: Node
+    v_node: Node
+    edge_key: int = 0
+
+    @property
+    def same_row(self) -> bool:
+        return self.u_cell[0] == self.v_cell[0]
+
+    @property
+    def same_col(self) -> bool:
+        return self.u_cell[1] == self.v_cell[1]
+
+
+@dataclass(slots=True)
+class LayoutSpec:
+    """Complete input to :func:`repro.core.builder.build_orthogonal_layout`."""
+
+    rows: int
+    cols: int
+    cells: dict[CellPos, NodeCell | BlockCell]
+    row_links: list[LinkSpec] = field(default_factory=list)
+    col_links: list[LinkSpec] = field(default_factory=list)
+    extra_links: list[LinkSpec] = field(default_factory=list)
+    layers: int = 2
+    name: str = "layout"
+
+    def validate(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must be at least 1 x 1")
+        if self.layers < 2:
+            raise ValueError(
+                "the multilayer grid model needs L >= 2 (one horizontal "
+                "+ one vertical layer)"
+            )
+        for pos in self.cells:
+            i, j = pos
+            if not (0 <= i < self.rows and 0 <= j < self.cols):
+                raise ValueError(f"cell {pos} outside the {self.rows}x{self.cols} grid")
+        for link in self.row_links:
+            if not link.same_row or link.u_cell == link.v_cell:
+                raise ValueError(f"bad row link {link}")
+            self._check_endpoint(link.u_cell, link.u_node)
+            self._check_endpoint(link.v_cell, link.v_node)
+        for link in self.col_links:
+            if not link.same_col or link.u_cell == link.v_cell:
+                raise ValueError(f"bad column link {link}")
+            self._check_endpoint(link.u_cell, link.u_node)
+            self._check_endpoint(link.v_cell, link.v_node)
+        for link in self.extra_links:
+            if link.u_cell == link.v_cell:
+                raise ValueError(f"extra link within one cell: {link}")
+            self._check_endpoint(link.u_cell, link.u_node)
+            self._check_endpoint(link.v_cell, link.v_node)
+
+    def _check_endpoint(self, pos: CellPos, node: Node) -> None:
+        cell = self.cells.get(pos)
+        if cell is None:
+            raise ValueError(f"link endpoint in empty cell {pos}")
+        if isinstance(cell, NodeCell):
+            if cell.node != node:
+                raise ValueError(
+                    f"link names node {node!r} but cell {pos} holds "
+                    f"{cell.node!r}"
+                )
+        else:
+            if node not in set(cell.nodes):
+                raise ValueError(
+                    f"link names node {node!r} absent from block at {pos}"
+                )
+
+    def all_links(self) -> Sequence[LinkSpec]:
+        return [*self.row_links, *self.col_links, *self.extra_links]

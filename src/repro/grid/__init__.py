@@ -1,0 +1,42 @@
+"""Multilayer grid model substrate.
+
+This package implements the geometric model of the paper's Section 2:
+an :math:`L`-layer 3-D grid in which network nodes are squares embedded
+in the first layer (multilayer *2-D* grid model) and wires are
+rectilinear paths whose axis-aligned segments each live on one layer,
+with vias where consecutive segments change layer.
+
+Public surface:
+
+* :class:`~repro.grid.geometry.Point` / :class:`~repro.grid.geometry.Segment`
+  / :class:`~repro.grid.geometry.Rect` -- grid geometry primitives.
+* :class:`~repro.grid.wire.Wire` -- a routed net.
+* :class:`~repro.grid.layout.Placement` and
+  :class:`~repro.grid.layout.GridLayout` -- a complete layout.
+* :func:`~repro.grid.validate.validate_layout` -- the legality checker
+  for the multilayer grid model (per-layer edge-disjointness, via and
+  knock-knee rules, node/wire interference).
+* :func:`~repro.grid.tracks.pack_intervals` /
+  :func:`~repro.grid.tracks.max_overlap` -- left-edge track assignment,
+  the workhorse behind every collinear layout in the paper.
+"""
+
+from repro.grid.geometry import Point, Rect, Segment
+from repro.grid.layout import GridLayout, Placement
+from repro.grid.tracks import Interval, max_overlap, pack_intervals
+from repro.grid.validate import LayoutError, validate_layout
+from repro.grid.wire import Wire
+
+__all__ = [
+    "Point",
+    "Segment",
+    "Rect",
+    "Wire",
+    "Placement",
+    "GridLayout",
+    "LayoutError",
+    "validate_layout",
+    "Interval",
+    "pack_intervals",
+    "max_overlap",
+]

@@ -1,0 +1,210 @@
+"""Grid geometry primitives for the multilayer grid model.
+
+Coordinates are integer grid-line indices.  ``x`` grows to the right and
+``y`` grows downward (matching how the paper's figures are drawn, with
+track channels stacked above node rows).  Layers are numbered from 1;
+layer parity is a *convention* of the layout schemes (horizontal
+segments on odd layers, vertical segments on even layers) rather than a
+requirement of the model itself, so the primitives here do not enforce
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Point", "Segment", "Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A grid point on a specific layer."""
+
+    x: int
+    y: int
+    layer: int = 1
+
+    def planar(self) -> tuple[int, int]:
+        """The (x, y) projection, ignoring the layer."""
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P({self.x},{self.y}@{self.layer})"
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """An axis-aligned wire segment on a single layer.
+
+    A segment is stored in normalized form: its endpoints are ordered so
+    that ``(x1, y1) <= (x2, y2)`` lexicographically.  Zero-length
+    segments are rejected -- a wire that changes layer without moving
+    planar position is represented as a via between consecutive
+    segments, not as a segment.
+    """
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+    layer: int
+
+    def __post_init__(self) -> None:
+        if self.x1 != self.x2 and self.y1 != self.y2:
+            raise ValueError(f"segment is not axis-aligned: {self}")
+        if self.x1 == self.x2 and self.y1 == self.y2:
+            raise ValueError(f"segment has zero length: {self}")
+        if self.layer < 1:
+            raise ValueError(f"layer must be >= 1: {self}")
+        if (self.x1, self.y1) > (self.x2, self.y2):
+            raise ValueError(
+                "segment endpoints must be given in normalized order; "
+                f"use Segment.make() to build from arbitrary endpoints: {self}"
+            )
+
+    @staticmethod
+    def make(x1: int, y1: int, x2: int, y2: int, layer: int) -> "Segment":
+        """Build a segment from endpoints in either order."""
+        if (x1, y1) > (x2, y2):
+            x1, y1, x2, y2 = x2, y2, x1, y1
+        return Segment(x1, y1, x2, y2, layer)
+
+    @property
+    def horizontal(self) -> bool:
+        return self.y1 == self.y2
+
+    @property
+    def vertical(self) -> bool:
+        return self.x1 == self.x2
+
+    @property
+    def length(self) -> int:
+        return (self.x2 - self.x1) + (self.y2 - self.y1)
+
+    @property
+    def line(self) -> tuple[str, int, int]:
+        """Key identifying the (layer, grid line) this segment lies on.
+
+        Two segments can conflict only if they share a line key; the
+        validator groups segments by this key and sweeps the spans.
+        """
+        if self.horizontal:
+            return ("h", self.layer, self.y1)
+        return ("v", self.layer, self.x1)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The (lo, hi) extent along the segment's axis."""
+        if self.horizontal:
+            return (self.x1, self.x2)
+        return (self.y1, self.y2)
+
+    def endpoints(self) -> tuple[Point, Point]:
+        return (
+            Point(self.x1, self.y1, self.layer),
+            Point(self.x2, self.y2, self.layer),
+        )
+
+    def planar_points(self) -> Iterator[tuple[int, int]]:
+        """All grid points covered by the segment (projection)."""
+        if self.horizontal:
+            for x in range(self.x1, self.x2 + 1):
+                yield (x, self.y1)
+        else:
+            for y in range(self.y1, self.y2 + 1):
+                yield (self.x1, y)
+
+    def contains_point(self, x: int, y: int) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An upright rectangle, used for node footprints and bounding boxes.
+
+    The rectangle spans grid lines ``x0 .. x0+w`` and ``y0 .. y0+h``; a
+    degree-``d`` Thompson node is a ``Rect`` with ``w == h == d``.  Area
+    is measured in grid cells (``w * h``), matching the paper's
+    convention that a degree-``d`` node occupies area ``d**2``.
+    """
+
+    x0: int
+    y0: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"negative rectangle extent: {self}")
+
+    @property
+    def x1(self) -> int:
+        return self.x0 + self.w
+
+    @property
+    def y1(self) -> int:
+        return self.y0 + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    def contains_point(self, x: int, y: int, *, strict: bool = False) -> bool:
+        """Whether (x, y) lies in the rectangle.
+
+        With ``strict=True`` only interior points count; perimeter
+        points (where wire pins attach) are excluded.
+        """
+        if strict:
+            return self.x0 < x < self.x1 and self.y0 < y < self.y1
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def on_perimeter(self, x: int, y: int) -> bool:
+        return self.contains_point(x, y) and not self.contains_point(
+            x, y, strict=True
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two rectangles share interior area."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        x0 = min(self.x0, other.x0)
+        y0 = min(self.y0, other.y0)
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        return Rect(x0, y0, x1 - x0, y1 - y0)
+
+    @staticmethod
+    def bounding(rects: "list[Rect]") -> "Rect":
+        if not rects:
+            return Rect(0, 0, 0, 0)
+        out = rects[0]
+        for r in rects[1:]:
+            out = out.union(r)
+        return out
+
+    def segment_crosses_interior(self, seg: Segment) -> bool:
+        """Whether ``seg`` passes through the open interior."""
+        if self.w == 0 or self.h == 0:
+            return False
+        lo, hi = seg.span
+        if seg.horizontal:
+            if not (self.y0 < seg.y1 < self.y1):
+                return False
+            return lo < self.x1 and hi > self.x0 and (
+                max(lo, self.x0) < min(hi, self.x1)
+                or (self.x0 < lo < self.x1)
+                or (self.x0 < hi < self.x1)
+            )
+        if not (self.x0 < seg.x1 < self.x1):
+            return False
+        return max(lo, self.y0) < min(hi, self.y1) or (
+            self.y0 < lo < self.y1
+        ) or (self.y0 < hi < self.y1)

@@ -1,0 +1,134 @@
+"""Layout serialization: GridLayout <-> JSON.
+
+Layouts are plain geometric data, so they round-trip exactly.  Node
+labels are arbitrary hashables in memory; serialization encodes the
+common cases (ints, strings, and arbitrarily nested tuples of those)
+with a type tag so deserialization restores identical labels.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from repro.grid.geometry import Rect, Segment
+from repro.grid.layout import GridLayout
+from repro.grid.wire import Wire
+
+__all__ = ["layout_to_json", "layout_from_json", "dump_layout", "load_layout"]
+
+FORMAT_VERSION = 1
+
+
+def _encode_label(label: Hashable):
+    if isinstance(label, bool) or label is None:
+        raise TypeError(f"unsupported node label: {label!r}")
+    if isinstance(label, (int, str)):
+        return label
+    if isinstance(label, tuple):
+        return {"t": [_encode_label(x) for x in label]}
+    raise TypeError(f"unsupported node label type: {type(label).__name__}")
+
+
+def _decode_label(obj):
+    if isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, dict) and set(obj) == {"t"}:
+        return tuple(_decode_label(x) for x in obj["t"])
+    raise ValueError(f"bad label encoding: {obj!r}")
+
+
+def _encode_edge_key(key):
+    try:
+        return _encode_label(key)
+    except TypeError:
+        return {"r": repr(key)}
+
+
+def _decode_edge_key(obj):
+    if isinstance(obj, dict) and set(obj) == {"r"}:
+        return obj["r"]
+    return _decode_label(obj)
+
+
+def layout_to_json(layout: GridLayout) -> str:
+    """Serialize a layout to a JSON string."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "layers": layout.layers,
+        "meta": _jsonable_meta(layout.meta),
+        "placements": [
+            {
+                "node": _encode_label(p.node),
+                "rect": [p.rect.x0, p.rect.y0, p.rect.w, p.rect.h],
+                "layer": p.layer,
+            }
+            for p in layout.placements.values()
+        ],
+        "wires": [
+            {
+                "u": _encode_label(w.u),
+                "v": _encode_label(w.v),
+                "edge_key": _encode_edge_key(w.edge_key),
+                "segments": [
+                    [s.x1, s.y1, s.x2, s.y2, s.layer] for s in w.segments
+                ],
+                **({"riser": list(w.riser)} if w.riser is not None else {}),
+            }
+            for w in layout.wires
+        ],
+    }
+    return json.dumps(doc)
+
+
+def _jsonable_meta(meta: dict) -> dict:
+    out = {}
+    for k, v in meta.items():
+        try:
+            json.dumps(v)
+        except (TypeError, ValueError):
+            v = repr(v)
+        out[str(k)] = v
+    return out
+
+
+def layout_from_json(text: str) -> GridLayout:
+    """Deserialize a layout produced by :func:`layout_to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported layout format: {doc.get('format')!r}")
+    layout = GridLayout(layers=doc["layers"])
+    layout.meta.update(doc.get("meta", {}))
+    for p in doc["placements"]:
+        x0, y0, w, h = p["rect"]
+        layout.place(
+            _decode_label(p["node"]), Rect(x0, y0, w, h), layer=p.get("layer", 1)
+        )
+    for w in doc["wires"]:
+        segments = [
+            Segment(x1, y1, x2, y2, layer)
+            for (x1, y1, x2, y2, layer) in w["segments"]
+        ]
+        riser = tuple(w["riser"]) if "riser" in w else None
+        layout.add_wire(
+            Wire(
+                _decode_label(w["u"]),
+                _decode_label(w["v"]),
+                segments,
+                edge_key=_decode_edge_key(w["edge_key"]),
+                riser=riser,
+            )
+        )
+    return layout
+
+
+def dump_layout(layout: GridLayout, path) -> None:
+    """Write a layout to a JSON file."""
+    with open(path, "w") as fh:
+        fh.write(layout_to_json(layout))
+
+
+def load_layout(path) -> GridLayout:
+    """Read a layout from a JSON file."""
+    with open(path) as fh:
+        return layout_from_json(fh.read())

@@ -1,0 +1,153 @@
+"""The :class:`GridLayout` container: placements + wires + layer count.
+
+A layout's *area* is the area of the smallest upright rectangle
+containing all nodes and wires (Section 2.2); its *volume* is
+``layers * area``.  Both are exact integer quantities here, since the
+model is the paper's own grid model rather than a physical substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.grid.geometry import Rect, Segment
+from repro.grid.wire import Wire
+
+__all__ = ["Placement", "GridLayout"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """A node embedded as a square (or rectangle) in the active layer."""
+
+    node: Hashable
+    rect: Rect
+    layer: int = 1
+
+
+@dataclass(slots=True)
+class GridLayout:
+    """A complete multilayer grid layout.
+
+    Attributes
+    ----------
+    layers:
+        Number of wiring layers ``L`` the layout is entitled to use
+        (the multilayer 2-D grid model).  Wires may use fewer -- with
+        odd ``L`` the orthogonal scheme uses ``L - 1`` (Section 2.4) --
+        but never more; the validator enforces the bound.
+    placements:
+        Node squares, keyed by node label.
+    wires:
+        Routed nets, one per network edge (parallel edges are separate
+        wires distinguished by ``edge_key``).
+    meta:
+        Free-form provenance written by the layout schemes (scheme name,
+        channel structure, track counts); benches and tests read it.
+    """
+
+    layers: int
+    placements: dict[Hashable, Placement] = field(default_factory=dict)
+    wires: list[Wire] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+
+    def place(self, node: Hashable, rect: Rect, layer: int = 1) -> None:
+        if node in self.placements:
+            raise ValueError(f"node placed twice: {node!r}")
+        self.placements[node] = Placement(node, rect, layer)
+
+    def add_wire(self, wire: Wire) -> None:
+        self.wires.append(wire)
+
+    # -- measurement ----------------------------------------------------
+
+    def bounding_box(self) -> Rect:
+        """Smallest upright rectangle containing all nodes and wires."""
+        xs: list[int] = []
+        ys: list[int] = []
+        for p in self.placements.values():
+            xs += [p.rect.x0, p.rect.x1]
+            ys += [p.rect.y0, p.rect.y1]
+        for w in self.wires:
+            for s in w.segments:
+                xs += [s.x1, s.x2]
+                ys += [s.y1, s.y2]
+        if not xs:
+            return Rect(0, 0, 0, 0)
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        return Rect(x0, y0, x1 - x0, y1 - y0)
+
+    @property
+    def width(self) -> int:
+        return self.bounding_box().w
+
+    @property
+    def height(self) -> int:
+        return self.bounding_box().h
+
+    @property
+    def area(self) -> int:
+        bb = self.bounding_box()
+        return bb.w * bb.h
+
+    @property
+    def volume(self) -> int:
+        return self.layers * self.area
+
+    def max_wire_length(self) -> int:
+        if not self.wires:
+            return 0
+        return max(w.length for w in self.wires)
+
+    def total_wire_length(self) -> int:
+        return sum(w.length for w in self.wires)
+
+    def layers_used(self) -> set[int]:
+        used: set[int] = set()
+        for w in self.wires:
+            used |= w.layers_used()
+        return used
+
+    def via_count(self) -> int:
+        return sum(len(w.vias()) for w in self.wires)
+
+    # -- structure ------------------------------------------------------
+
+    def edge_multiset(self) -> dict[tuple, int]:
+        """Multiset of routed node pairs, for topology verification."""
+        out: dict[tuple, int] = {}
+        for w in self.wires:
+            a, b, _ = w.key()
+            key = (a, b)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def wire_lengths_by_edge(self) -> dict[tuple, int]:
+        """Map (u, v, edge_key) -> routed length, endpoints sorted."""
+        return {w.key(): w.length for w in self.wires}
+
+    def segments(self) -> Iterable[tuple[Wire, Segment]]:
+        for w in self.wires:
+            for s in w.segments:
+                yield (w, s)
+
+    def summary(self) -> dict:
+        """A metrics snapshot used by benches and EXPERIMENTS.md."""
+        bb = self.bounding_box()
+        return {
+            "nodes": len(self.placements),
+            "wires": len(self.wires),
+            "layers": self.layers,
+            "layers_used": len(self.layers_used()),
+            "width": bb.w,
+            "height": bb.h,
+            "area": bb.w * bb.h,
+            "volume": self.layers * bb.w * bb.h,
+            "max_wire_length": self.max_wire_length(),
+            "total_wire_length": self.total_wire_length(),
+            "vias": self.via_count(),
+        }

@@ -1,0 +1,140 @@
+"""Brute-force reference validator (testing oracle).
+
+:func:`repro.grid.validate.validate_layout` uses line sweeps and
+structural indexes for speed; this module re-implements the multilayer
+grid model's rules the *obvious* way -- enumerate every occupied 3-D
+grid edge and node into hash maps and look for collisions.  It is
+quadratically slower but so simple it can serve as an independent
+oracle: property tests run both over random layouts and require
+identical verdicts.
+
+Occupancy rules enumerated here (Section 2.2's node- and edge-disjoint
+embedding, with the Thompson crossing allowance):
+
+* every unit planar edge (x,y,l)-(x+1,y,l) or (x,y,l)-(x,y+1,l) is
+  used by at most one wire;
+* every unit z edge (x,y,l)-(x,y,l+1) -- from vias, layer-spanning
+  turns and risers -- is used by at most one wire;
+* a grid *point* may be shared by two wires only if neither turns or
+  changes layer there (crossing allowed, knock-knee not);
+* wires stay clear of node interiors on the node's active layer, and
+  node footprints on one layer are interior-disjoint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.grid.layout import GridLayout
+
+__all__ = ["oracle_validate", "OracleViolation"]
+
+
+class OracleViolation(AssertionError):
+    """A rule violation found by the brute-force oracle."""
+
+
+def _wire_planar_edges(w):
+    for s in w.segments:
+        if s.horizontal:
+            for x in range(s.x1, s.x2):
+                yield ((x, s.y1, s.layer), (x + 1, s.y1, s.layer))
+        else:
+            for y in range(s.y1, s.y2):
+                yield ((s.x1, y, s.layer), (s.x1, y + 1, s.layer))
+
+
+def _wire_z_edges(w):
+    for (pt, zlo, zhi) in w.z_occupancy():
+        x, y = pt
+        for z in range(zlo, zhi):
+            yield ((x, y, z), (x, y, z + 1))
+
+
+def _wire_turn_points(w):
+    """Planar points where the wire turns or changes layer, with the
+    layer set it occupies there."""
+    if w.riser is not None:
+        x, y, zlo, zhi = w.riser
+        yield ((x, y), set(range(zlo, zhi + 1)))
+        return
+    pts = w.path_points()
+    for i in range(len(w.segments) - 1):
+        s1, s2 = w.segments[i], w.segments[i + 1]
+        lo = min(s1.layer, s2.layer)
+        hi = max(s1.layer, s2.layer)
+        yield (pts[i + 1].planar(), set(range(lo, hi + 1)))
+
+
+def oracle_validate(layout: GridLayout) -> None:
+    """Raise :class:`OracleViolation` on the first broken rule."""
+    # 1. Unit-edge exclusivity (planar and z).
+    edge_owner: dict[tuple, int] = {}
+    for wi, w in enumerate(layout.wires):
+        for e in list(_wire_planar_edges(w)) + list(_wire_z_edges(w)):
+            prev = edge_owner.get(e)
+            if prev is not None and prev != wi:
+                a, b = layout.wires[prev], layout.wires[wi]
+                raise OracleViolation(
+                    f"grid edge {e} used by wires {a.u}-{a.v} and {b.u}-{b.v}"
+                )
+            edge_owner[e] = wi
+
+    # 2. Turn/via point exclusivity by occupied layer sets.
+    point_claims: dict[tuple, list[tuple[set, int]]] = defaultdict(list)
+    for wi, w in enumerate(layout.wires):
+        for pt, layers in _wire_turn_points(w):
+            for (other_layers, owner) in point_claims[pt]:
+                if owner != wi and layers & other_layers:
+                    a, b = layout.wires[owner], layout.wires[wi]
+                    raise OracleViolation(
+                        f"turn/via conflict at {pt}: {a.u}-{a.v} vs "
+                        f"{b.u}-{b.v} on layers {sorted(layers & other_layers)}"
+                    )
+            point_claims[pt].append((layers, wi))
+    # 2b. A via's interior layers also exclude straight traversals.
+    point_on_layer: dict[tuple, set[int]] = defaultdict(set)
+    for wi, w in enumerate(layout.wires):
+        for s in w.segments:
+            for (x, y) in s.planar_points():
+                point_on_layer[(x, y, s.layer)].add(wi)
+    for wi, w in enumerate(layout.wires):
+        for (pt, zlo, zhi) in w.z_occupancy():
+            for z in range(zlo + 1, zhi):
+                owners = point_on_layer.get((pt[0], pt[1], z), set()) - {wi}
+                if owners:
+                    other = layout.wires[next(iter(owners))]
+                    raise OracleViolation(
+                        f"via of {w.u}-{w.v} at {pt} pierced on layer {z} "
+                        f"by {other.u}-{other.v}"
+                    )
+
+    # 3. Node interference (per active layer).
+    cells: dict[tuple, object] = {}
+    for p in layout.placements.values():
+        r = p.rect
+        for x in range(r.x0, r.x1):
+            for y in range(r.y0, r.y1):
+                key = (x, y, p.layer)
+                if key in cells:
+                    raise OracleViolation(
+                        f"nodes {cells[key]!r} and {p.node!r} overlap at "
+                        f"{key}"
+                    )
+                cells[key] = p.node
+    # A wire edge inside a node's interior on its layer: both endpoints
+    # of the unit edge strictly inside, or the edge crossing interior.
+    interiors: set[tuple] = set()
+    for p in layout.placements.values():
+        r = p.rect
+        for x in range(r.x0 + 1, r.x1):
+            for y in range(r.y0 + 1, r.y1):
+                interiors.add((x, y, p.layer))
+    for w in layout.wires:
+        for s in w.segments:
+            for (x, y) in s.planar_points():
+                if (x, y, s.layer) in interiors:
+                    raise OracleViolation(
+                        f"wire {w.u}-{w.v} enters a node interior at "
+                        f"({x}, {y}, layer {s.layer})"
+                    )

@@ -1,0 +1,360 @@
+"""Legality checker for the multilayer grid model.
+
+The checks implement Section 2's rules:
+
+1. **Edge-disjointness.** No two wires may overlap: on each layer,
+   no grid *edge* (unit segment between adjacent grid points) is used
+   by two wires.  Wires may cross at a grid point (Thompson's model
+   explicitly allows crossings), so point sharing is legal as long as
+   neither wire bends there.
+2. **No knock-knees / shared vias.**  A grid point may be a bend or via
+   of at most one wire.  (Two wires bending at the same point is the
+   knock-knee configuration the Thompson model forbids, ref. [6].)
+3. **Layer budget.**  Every segment lies on a layer in ``1..L``.
+4. **Node interference.**  No wire segment passes through the open
+   interior of any node square, and node squares are pairwise
+   interior-disjoint.
+5. **Pin attachment.**  Each wire's endpoints lie on the perimeter of
+   the squares of the nodes it connects, and no two wires share a pin
+   point of the same node.
+6. **Self-consistency.**  Each wire is a connected path (enforced at
+   construction) whose consecutive same-layer segments are not
+   collinear (those should have been merged) and which does not
+   overlap itself.
+
+``validate_layout`` raises :class:`LayoutError` with a precise message
+on the first violation, or returns a small report on success.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.grid.layout import GridLayout
+from repro.grid.wire import Wire
+
+__all__ = ["LayoutError", "validate_layout"]
+
+
+class LayoutError(AssertionError):
+    """A multilayer-grid-model rule violation."""
+
+
+def validate_layout(
+    layout: GridLayout,
+    *,
+    check_node_interference: bool = True,
+    check_pins: bool = True,
+    check_parity: bool = False,
+) -> dict:
+    """Check ``layout`` against the multilayer grid model rules.
+
+    Parameters
+    ----------
+    check_node_interference:
+        Verify no wire crosses a node interior and nodes are disjoint.
+        (Quadratic-ish in crowded layouts; can be disabled for very
+        large sweeps after spot-checking.)
+    check_pins:
+        Verify wire endpoints land on their nodes' perimeters, uniquely.
+    check_parity:
+        Additionally enforce the *scheme convention* that horizontal
+        segments use odd layers and vertical segments even layers.  Not
+        a model rule; useful when testing the orthogonal scheme.
+
+    Returns a report dict (counts of segments, conflicts checked).
+    """
+    _check_layer_budget(layout)
+    if check_parity:
+        _check_parity(layout)
+    _check_wire_self_consistency(layout)
+    seg_count = _check_edge_disjointness(layout)
+    _check_bend_exclusivity(layout)
+    _check_via_occupancy(layout)
+    if check_node_interference:
+        _check_node_interference(layout)
+    if check_pins:
+        _check_pins(layout)
+    return {
+        "segments": seg_count,
+        "wires": len(layout.wires),
+        "nodes": len(layout.placements),
+        "layers": layout.layers,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_layer_budget(layout: GridLayout) -> None:
+    for w in layout.wires:
+        used = w.layers_used()
+        if used and (min(used) < 1 or max(used) > layout.layers):
+            raise LayoutError(
+                f"wire {w.u}-{w.v}: layers {sorted(used)} exceed the "
+                f"L={layout.layers} budget"
+            )
+
+
+def _check_parity(layout: GridLayout) -> None:
+    for w in layout.wires:
+        for s in w.segments:
+            if s.horizontal and s.layer % 2 == 0:
+                raise LayoutError(
+                    f"parity: horizontal segment on even layer {s.layer} "
+                    f"in wire {w.u}-{w.v}"
+                )
+            if s.vertical and s.layer % 2 == 1:
+                raise LayoutError(
+                    f"parity: vertical segment on odd layer {s.layer} "
+                    f"in wire {w.u}-{w.v}"
+                )
+
+
+def _check_wire_self_consistency(layout: GridLayout) -> None:
+    for w in layout.wires:
+        for a, b in zip(w.segments, w.segments[1:]):
+            if a.layer == b.layer and a.horizontal == b.horizontal:
+                raise LayoutError(
+                    f"wire {w.u}-{w.v}: consecutive collinear same-layer "
+                    f"segments should be merged: {a} / {b}"
+                )
+
+
+def _check_edge_disjointness(layout: GridLayout) -> int:
+    """Sweep each (layer, grid line) for properly-overlapping spans."""
+    lines: dict[tuple, list[tuple[int, int, int]]] = defaultdict(list)
+    for wi, w in enumerate(layout.wires):
+        for s in w.segments:
+            lo, hi = s.span
+            lines[s.line].append((lo, hi, wi))
+    total = 0
+    for line, spans in lines.items():
+        total += len(spans)
+        spans.sort()
+        max_hi = -1
+        max_hi_owner = -1
+        for lo, hi, wi in spans:
+            if lo < max_hi:
+                other = layout.wires[max_hi_owner]
+                mine = layout.wires[wi]
+                raise LayoutError(
+                    f"overlap on {line}: wire {mine.u}-{mine.v} and wire "
+                    f"{other.u}-{other.v} share grid edges in "
+                    f"[{lo}, {min(hi, max_hi)}]"
+                )
+            if hi > max_hi:
+                max_hi = hi
+                max_hi_owner = wi
+    return total
+
+
+def _check_bend_exclusivity(layout: GridLayout) -> None:
+    """Bends and vias must be node-disjoint in the 3-D grid.
+
+    A via between layers a and b occupies the 3-D grid nodes
+    (x, y, a..b); a same-layer turn occupies (x, y, a).  Two wires may
+    meet at the same planar point only if their occupied layer ranges
+    are disjoint -- e.g. a layer-1/2 via and a layer-3/4 via may stack,
+    but two same-layer turns at one point are a knock-knee and two
+    overlapping via stacks would share a z-edge or node.
+    """
+    occupied: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+
+    def claim(pt: tuple[int, int], lo: int, hi: int, wi: int) -> None:
+        for (plo, phi, owner) in occupied.get(pt, ()):
+            if owner != wi and lo <= phi and plo <= hi:
+                a, b = layout.wires[owner], layout.wires[wi]
+                raise LayoutError(
+                    f"knock-knee / via conflict at {pt}: wires "
+                    f"{a.u}-{a.v} (layers {plo}-{phi}) and {b.u}-{b.v} "
+                    f"(layers {lo}-{hi}) occupy overlapping layers"
+                )
+        occupied.setdefault(pt, []).append((lo, hi, wi))
+
+    for wi, w in enumerate(layout.wires):
+        if w.riser is not None:
+            x, y, zlo, zhi = w.riser
+            claim((x, y), zlo, zhi, wi)
+            continue
+        bends = w.bends()
+        for i in range(len(w.segments) - 1):
+            s1, s2 = w.segments[i], w.segments[i + 1]
+            lo = min(s1.layer, s2.layer)
+            hi = max(s1.layer, s2.layer)
+            claim(bends[i], lo, hi, wi)
+
+
+def _check_via_occupancy(layout: GridLayout) -> None:
+    """A via's z-run blocks its planar point on every layer it spans.
+
+    The bend-exclusivity check covers via-vs-via and via-vs-bend; this
+    one covers via-vs-*straight-segment*: no wire may run through a
+    grid point occupied by another wire's via on one of the via's
+    strictly interior layers.  (Sharing the via's *endpoint* layer at a
+    point is a crossing, which the Thompson model permits; multi-layer
+    fold vias of Section 2.2's folding baseline span three layers and
+    are the main clients of this rule.)
+    """
+    import bisect
+
+    # Index spans per (orientation, layer, line-coordinate).
+    lines: dict[tuple, list[tuple[int, int, int]]] = defaultdict(list)
+    for wi, w in enumerate(layout.wires):
+        for s in w.segments:
+            lo, hi = s.span
+            lines[s.line].append((lo, hi, wi))
+    for spans in lines.values():
+        spans.sort()
+    starts: dict[tuple, list[int]] = {
+        key: [lo for lo, _, _ in spans] for key, spans in lines.items()
+    }
+
+    def segment_covers(key: tuple, coord: int, self_wire: int) -> int | None:
+        spans = lines.get(key)
+        if not spans:
+            return None
+        i = bisect.bisect_right(starts[key], coord)
+        for lo, hi, wi in spans[max(0, i - 3): i]:
+            if lo <= coord <= hi and wi != self_wire:
+                # Exclude pure endpoint touching: that is a crossing.
+                if lo < coord < hi:
+                    return wi
+        return None
+
+    for wi, w in enumerate(layout.wires):
+        for pt, zlo, zhi in w.z_occupancy():
+            for layer in range(zlo + 1, zhi):
+                x, y = pt
+                hit = segment_covers(("h", layer, y), x, wi)
+                if hit is None:
+                    hit = segment_covers(("v", layer, x), y, wi)
+                if hit is not None:
+                    other = layout.wires[hit]
+                    raise LayoutError(
+                        f"via of wire {w.u}-{w.v} at {pt} (layers "
+                        f"{zlo}-{zhi}) is pierced on layer {layer} by "
+                        f"wire {other.u}-{other.v}"
+                    )
+
+
+def _check_node_interference(layout: GridLayout) -> None:
+    """Nodes are interior-disjoint and unpierced, per active layer.
+
+    The multilayer 3-D grid model embeds a node in its active layer(s)
+    only: two nodes on *different* active layers may overlap in plan
+    view (that is the whole point of folding, Section 2.2), and a wire
+    conflicts with a node only when its segment's layer matches the
+    node's.  Multilayer *2-D* grid layouts place every node on layer 1,
+    so for them this degenerates to the planar rule.
+    """
+    by_layer: dict[int, list] = defaultdict(list)
+    for p in layout.placements.values():
+        by_layer[p.layer].append(p)
+
+    import bisect
+
+    for layer, placements in by_layer.items():
+        placements.sort(key=lambda p: p.rect.x0)
+        active: list = []
+        for p in placements:
+            active = [q for q in active if q.rect.x1 > p.rect.x0]
+            for q in active:
+                if p.rect.intersects(q.rect):
+                    raise LayoutError(
+                        f"node squares overlap on layer {layer}: "
+                        f"{p.node!r} at {p.rect} and {q.node!r} at {q.rect}"
+                    )
+            active.append(p)
+
+    # Wire segments may not pass through the open interior of a node
+    # on the segment's own layer.
+    for layer, placements in by_layer.items():
+        rects = [(p.rect, p.node) for p in placements]
+        rects.sort(key=lambda rn: rn[0].x0)
+        xs = [r.x0 for r, _ in rects]
+        for w in layout.wires:
+            for s in w.segments:
+                if s.layer != layer:
+                    continue
+                lo_x = s.x1
+                hi_x = s.x2
+                i = bisect.bisect_right(xs, hi_x)
+                for r, node in rects[:i]:
+                    if r.x1 < lo_x:
+                        continue
+                    if r.segment_crosses_interior(s):
+                        raise LayoutError(
+                            f"wire {w.u}-{w.v} crosses interior of node "
+                            f"{node!r} at {r}: segment {s}"
+                        )
+
+
+def _check_pins(layout: GridLayout) -> None:
+    pin_owner: dict[tuple[Hashable, tuple[int, int]], int] = {}
+    for wi, w in enumerate(layout.wires):
+        pairing = _orient_endpoints(layout, w)
+        if pairing is None:
+            raise LayoutError(
+                f"wire {w.u}-{w.v}: endpoints {w.start}/{w.end} do not lie "
+                f"on the perimeters of its nodes"
+            )
+        for node, pt in pairing:
+            key = (node, pt.planar())
+            prev = pin_owner.get(key)
+            if prev is not None and prev != wi:
+                other = layout.wires[prev]
+                raise LayoutError(
+                    f"pin conflict at {pt.planar()} on node {node!r}: "
+                    f"wires {other.u}-{other.v} and {w.u}-{w.v}"
+                )
+            pin_owner[key] = wi
+
+
+def _orient_endpoints(layout: GridLayout, w: Wire):
+    """Match the wire's geometric endpoints to its (u, v) nodes.
+
+    Multi-segment wires are traced from the u side, but a single-segment
+    wire's stored order is normalization-dependent, so both pairings are
+    tried.  Returns [(node, point), (node, point)] or None.
+    """
+    pu = layout.placements.get(w.u)
+    pv = layout.placements.get(w.v)
+    if pu is None or pv is None:
+        raise LayoutError(f"wire {w.u}-{w.v} references an unplaced node")
+    s, e = w.start, w.end
+    if pu.rect.on_perimeter(s.x, s.y) and pv.rect.on_perimeter(e.x, e.y):
+        return [(w.u, s), (w.v, e)]
+    if pu.rect.on_perimeter(e.x, e.y) and pv.rect.on_perimeter(s.x, s.y):
+        return [(w.u, e), (w.v, s)]
+    return None
+
+
+def check_topology(layout: GridLayout, expected_edges: list[tuple]) -> None:
+    """Verify the routed wires realize exactly ``expected_edges``.
+
+    ``expected_edges`` is a list of (u, v) pairs (repeats = parallel
+    edges).  Raises :class:`LayoutError` on any mismatch.
+    """
+    want: dict[tuple, int] = {}
+    for u, v in expected_edges:
+        a, b = _norm_pair(u, v)
+        want[(a, b)] = want.get((a, b), 0) + 1
+    have = layout.edge_multiset()
+    if want != have:
+        missing = {k: c for k, c in want.items() if have.get(k, 0) != c}
+        extra = {k: c for k, c in have.items() if want.get(k, 0) != c}
+        raise LayoutError(
+            "routed edge multiset differs from the network: "
+            f"missing/changed {dict(list(missing.items())[:5])} ... "
+            f"extra/changed {dict(list(extra.items())[:5])}"
+        )
+
+
+def _norm_pair(u, v):
+    from repro.grid.wire import _sort_key
+
+    if _sort_key(v) < _sort_key(u):
+        return v, u
+    return u, v

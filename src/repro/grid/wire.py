@@ -1,0 +1,208 @@
+"""Wires: routed nets of the multilayer grid model.
+
+A :class:`Wire` realizes one network edge as a connected rectilinear
+path.  Consecutive segments must share a planar endpoint; where they
+additionally differ in layer, the shared point is a *via* (an
+inter-layer connector, Section 2.1 of the paper).  Where two
+consecutive segments share layer and change direction, the shared point
+is a *bend*; the Thompson model forbids two distinct wires from bending
+at the same grid point (a knock-knee), which the validator checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.grid.geometry import Point, Segment
+
+__all__ = ["Wire", "WirePathError"]
+
+
+class WirePathError(ValueError):
+    """Raised when a wire's segments do not form a connected path."""
+
+
+@dataclass(slots=True)
+class Wire:
+    """A routed connection between two network nodes.
+
+    Parameters
+    ----------
+    u, v:
+        The network nodes this wire connects (``u`` is the end the
+        path's first segment starts at).
+    segments:
+        The rectilinear path, ordered from the ``u``-side pin to the
+        ``v``-side pin.  Validated on construction.
+    edge_key:
+        Optional discriminator for parallel edges (multigraphs such as
+        the butterfly quotient of Section 4.2 need it).
+    riser:
+        A pure z-direction wire (multilayer *3-D* grid model): the
+        tuple ``(x, y, z_lo, z_hi)`` of a vertical run connecting nodes
+        on two active layers at one planar point.  Mutually exclusive
+        with ``segments``; build with :meth:`Wire.make_riser`.
+    """
+
+    u: Hashable
+    v: Hashable
+    segments: list[Segment]
+    edge_key: int = 0
+    riser: tuple[int, int, int, int] | None = None
+    _points: list[Point] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.riser is not None:
+            if self.segments:
+                raise WirePathError(
+                    f"wire {self.u}-{self.v}: riser wires carry no "
+                    "planar segments"
+                )
+            x, y, zlo, zhi = self.riser
+            if not (1 <= zlo < zhi):
+                raise WirePathError(
+                    f"wire {self.u}-{self.v}: bad riser layers {zlo}..{zhi}"
+                )
+            self._points = [Point(x, y, zlo), Point(x, y, zhi)]
+            return
+        if not self.segments:
+            raise WirePathError(f"wire {self.u}-{self.v} has no segments")
+        self._points = _trace_path(self.segments, self.u, self.v)
+
+    @staticmethod
+    def make_riser(
+        u: Hashable, v: Hashable, x: int, y: int, z_lo: int, z_hi: int,
+        edge_key: int = 0,
+    ) -> "Wire":
+        """An inter-active-layer connection at planar point (x, y)."""
+        return Wire(u, v, [], edge_key=edge_key, riser=(x, y, z_lo, z_hi))
+
+    def path_points(self) -> list[Point]:
+        """The wire's vertices in path order (u pin, bends, v pin)."""
+        return list(self._points)
+
+    @property
+    def start(self) -> Point:
+        """The pin point on the ``u`` side."""
+        return self._points[0]
+
+    @property
+    def end(self) -> Point:
+        """The pin point on the ``v`` side."""
+        return self._points[-1]
+
+    @property
+    def length(self) -> int:
+        """Total wire length in grid units (planar runs plus z-runs)."""
+        if self.riser is not None:
+            return self.riser[3] - self.riser[2]
+        return sum(s.length for s in self.segments)
+
+    def vias(self) -> list[tuple[int, int]]:
+        """Planar positions where the wire changes layer."""
+        if self.riser is not None:
+            return [(self.riser[0], self.riser[1])]
+        out: list[tuple[int, int]] = []
+        for i in range(len(self.segments) - 1):
+            s1, s2 = self.segments[i], self.segments[i + 1]
+            if s1.layer != s2.layer:
+                out.append(self._points[i + 1].planar())
+        return out
+
+    def bends(self) -> list[tuple[int, int]]:
+        """Planar positions of interior vertices (direction or layer
+        changes).  Used for knock-knee checking: no grid point may be a
+        bend/via of two distinct wires."""
+        return [p.planar() for p in self._points[1:-1]]
+
+    def z_occupancy(self) -> list[tuple[tuple[int, int], int, int]]:
+        """(planar point, z_lo, z_hi) for every z-run of the wire."""
+        if self.riser is not None:
+            x, y, zlo, zhi = self.riser
+            return [((x, y), zlo, zhi)]
+        out = []
+        for i in range(len(self.segments) - 1):
+            s1, s2 = self.segments[i], self.segments[i + 1]
+            if s1.layer != s2.layer:
+                lo = min(s1.layer, s2.layer)
+                hi = max(s1.layer, s2.layer)
+                out.append((self._points[i + 1].planar(), lo, hi))
+        return out
+
+    def layers_used(self) -> set[int]:
+        if self.riser is not None:
+            return set(range(self.riser[2], self.riser[3] + 1))
+        return {s.layer for s in self.segments}
+
+    def key(self) -> tuple[Hashable, Hashable, int]:
+        """Canonical (sorted-endpoint) identity of the routed edge."""
+        a, b = self.u, self.v
+        if _sort_key(b) < _sort_key(a):
+            a, b = b, a
+        return (a, b, self.edge_key)
+
+
+def _sort_key(node: Hashable) -> tuple:
+    """Total order over heterogeneous node labels."""
+    return (str(type(node)), repr(node))
+
+
+def _trace_path(
+    segments: Sequence[Segment], u: Hashable, v: Hashable
+) -> list[Point]:
+    """Orient each segment along the path and return the vertex list.
+
+    Segments are stored normalized (endpoint-sorted); the path may
+    traverse any of them in reverse.  The first segment's free endpoint
+    is the ``u`` pin.  Raises :class:`WirePathError` on a disconnect.
+    """
+    segs = list(segments)
+    if len(segs) == 1:
+        a, b = segs[0].endpoints()
+        return [a, b]
+
+    first, second = segs[0], segs[1]
+    f1, f2 = first.endpoints()
+    shared = _shared_planar(first, second)
+    if shared is None:
+        raise WirePathError(
+            f"wire {u}-{v}: segments 0 and 1 do not touch "
+            f"({first} vs {second})"
+        )
+    # Start from whichever endpoint of the first segment is NOT shared.
+    if f1.planar() == shared:
+        points = [f2, f1]
+    else:
+        points = [f1, f2]
+
+    for i in range(1, len(segs)):
+        seg = segs[i]
+        cur = points[-1].planar()
+        e1, e2 = seg.endpoints()
+        if e1.planar() == cur:
+            nxt = e2
+        elif e2.planar() == cur:
+            nxt = e1
+        else:
+            raise WirePathError(
+                f"wire {u}-{v}: segment {i} does not continue the path "
+                f"at {cur}: {seg}"
+            )
+        # Re-anchor the junction on the new segment's layer so vias are
+        # explicit in the vertex list.
+        points[-1] = Point(cur[0], cur[1], points[-1].layer)
+        points.append(nxt)
+    return points
+
+
+def _shared_planar(a: Segment, b: Segment) -> tuple[int, int] | None:
+    a_ends = {p.planar() for p in a.endpoints()}
+    b_ends = {p.planar() for p in b.endpoints()}
+    common = a_ends & b_ends
+    if not common:
+        return None
+    if len(common) == 2:
+        # Two segments sharing both endpoints: degenerate U-turn.
+        raise WirePathError(f"segments share both endpoints: {a} / {b}")
+    return next(iter(common))

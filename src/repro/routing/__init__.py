@@ -1,0 +1,58 @@
+"""Routing and message-level network simulation.
+
+The paper's layouts exist to serve parallel-processing interconnects:
+their cost (area/volume) and performance (wire length -> link delay)
+are the decision criteria of its introduction.  This package closes
+the loop from layout geometry to network performance:
+
+* :mod:`repro.routing.paths` -- routing algorithms: dimension-order
+  (e-cube) routing for the digit networks (hypercubes, k-ary n-cubes,
+  generalized hypercubes), plus generic shortest-hop and minimum-wire
+  routing over any routed layout;
+* :mod:`repro.routing.traffic` -- seeded traffic patterns (random
+  permutation, bit complement, transpose, all-to-all, hot spot);
+* :mod:`repro.routing.simulator` -- a cycle-driven, store-and-forward
+  simulator with per-link delays taken from the layout's routed wire
+  lengths, reporting makespan, latency and congestion.
+"""
+
+from repro.routing.collective import (
+    binomial_broadcast,
+    recursive_doubling_allgather,
+    schedule_rounds,
+)
+from repro.routing.paths import (
+    RoutingTable,
+    dimension_order_route,
+    layout_link_delays,
+    min_wire_routes,
+    shortest_hop_routes,
+)
+from repro.routing.simulator import SimulationResult, simulate
+from repro.routing.traffic import (
+    all_to_all,
+    bit_complement,
+    hot_spot,
+    random_permutation,
+    rate_injection,
+    transpose,
+)
+
+__all__ = [
+    "dimension_order_route",
+    "shortest_hop_routes",
+    "min_wire_routes",
+    "layout_link_delays",
+    "RoutingTable",
+    "simulate",
+    "SimulationResult",
+    "random_permutation",
+    "bit_complement",
+    "transpose",
+    "all_to_all",
+    "hot_spot",
+    "rate_injection",
+    "binomial_broadcast",
+    "recursive_doubling_allgather",
+    "schedule_rounds",
+]

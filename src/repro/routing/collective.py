@@ -1,0 +1,73 @@
+"""Collective-communication schedules.
+
+The parallel algorithms the paper's networks exist to run communicate
+through collectives; these schedules turn one collective into the
+timed message list the simulator consumes, so layout geometry can be
+evaluated against the workloads that matter:
+
+* :func:`binomial_broadcast` -- the log-N hypercube broadcast: in round
+  r the current holders forward across dimension r;
+* :func:`recursive_doubling_allgather` -- all nodes exchange across
+  dimension r in round r (N log N messages, the all-gather/all-reduce
+  skeleton);
+* :func:`schedule_rounds` -- generic helper: round r's messages are
+  injected only after round r-1's (conservative barrier pacing with a
+  caller-supplied round gap, since the simulator models links, not
+  per-node completion dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "binomial_broadcast",
+    "recursive_doubling_allgather",
+    "schedule_rounds",
+]
+
+Node = Hashable
+
+
+def binomial_broadcast(net: Hypercube, root: int = 0) -> list[list[tuple]]:
+    """Rounds of the binomial-tree broadcast from ``root``.
+
+    Round r: every node that already holds the datum sends it across
+    dimension r.  Returns a list of rounds, each a list of (src, dst).
+    """
+    holders = [root]
+    rounds: list[list[tuple]] = []
+    for r in range(net.n):
+        msgs = [(u, u ^ (1 << r)) for u in holders]
+        rounds.append(msgs)
+        holders = holders + [v for _, v in msgs]
+    return rounds
+
+
+def recursive_doubling_allgather(net: Hypercube) -> list[list[tuple]]:
+    """Rounds of recursive doubling: in round r every node exchanges
+    with its dimension-r neighbor (both directions)."""
+    rounds = []
+    for r in range(net.n):
+        msgs = [(u, u ^ (1 << r)) for u in net.nodes]
+        rounds.append(msgs)
+    return rounds
+
+
+def schedule_rounds(
+    rounds: list[list[tuple]], *, round_gap: int
+) -> list[tuple]:
+    """Flatten rounds into timed (src, dst, start) messages.
+
+    ``round_gap`` is the pacing between rounds; pick it at least the
+    worst per-round completion (e.g. the layout's max wire delay plus
+    router overhead) for a barrier-accurate schedule, or smaller to
+    model overlapping rounds.
+    """
+    out: list[tuple] = []
+    for r, msgs in enumerate(rounds):
+        start = r * round_gap
+        out.extend((src, dst, start) for src, dst in msgs)
+    return out

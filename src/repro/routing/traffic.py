@@ -1,0 +1,124 @@
+"""Traffic patterns for network simulation.
+
+The classic kernels used to evaluate interconnection networks: each
+function returns a list of (source, destination) messages over the
+network's nodes.  Randomized patterns are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.topology.base import Network
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "random_permutation",
+    "bit_complement",
+    "transpose",
+    "all_to_all",
+    "hot_spot",
+    "rate_injection",
+]
+
+Node = Hashable
+Message = tuple[Node, Node]
+
+
+def random_permutation(network: Network, *, seed: int = 2000) -> list[Message]:
+    """Every node sends to a distinct random node (a permutation)."""
+    rng = random.Random(seed)
+    nodes = list(network.nodes)
+    targets = nodes[:]
+    while True:
+        rng.shuffle(targets)
+        if all(s != t for s, t in zip(nodes, targets)):
+            break
+    return list(zip(nodes, targets))
+
+
+def bit_complement(network: Network) -> list[Message]:
+    """Hypercube-style worst case: node -> bitwise complement.
+
+    For non-integer node labels, pairs node i with node N-1-i in
+    canonical order (the same adversarial "maximum distance" spirit).
+    """
+    nodes = list(network.nodes)
+    if isinstance(network, Hypercube):
+        mask = (1 << network.n) - 1
+        return [(u, u ^ mask) for u in nodes]
+    n = len(nodes)
+    return [(nodes[i], nodes[n - 1 - i]) for i in range(n) if i != n - 1 - i]
+
+
+def transpose(network: Network) -> list[Message]:
+    """Digit/bit transpose: swap the two halves of the address."""
+    nodes = list(network.nodes)
+    out: list[Message] = []
+    if isinstance(network, Hypercube):
+        n = network.n
+        half = n // 2
+        lo_mask = (1 << half) - 1
+        for u in nodes:
+            v = ((u & lo_mask) << (n - half)) | (u >> half)
+            if u != v:
+                out.append((u, v))
+        return out
+    for u in nodes:
+        if isinstance(u, tuple):
+            half = len(u) // 2
+            v = u[half:] + u[:half]
+            if v != u and v in network.index:
+                out.append((u, v))
+    if not out:
+        raise ValueError(f"transpose undefined for {network.name}")
+    return out
+
+
+def all_to_all(network: Network) -> list[Message]:
+    """Every ordered pair once (use on small networks)."""
+    nodes = list(network.nodes)
+    return [(u, v) for u in nodes for v in nodes if u != v]
+
+
+def rate_injection(
+    network: Network,
+    *,
+    rate: float,
+    duration: int,
+    seed: int = 2000,
+) -> list[tuple[Node, Node, int]]:
+    """Timed uniform-random traffic: each node injects a message to a
+    uniformly random other node with probability ``rate`` per cycle,
+    for ``duration`` cycles.  Returns (src, dst, start) triples for the
+    simulator's load sweeps.
+    """
+    if not (0.0 < rate <= 1.0):
+        raise ValueError("0 < rate <= 1")
+    rng = random.Random(seed)
+    nodes = list(network.nodes)
+    out: list[tuple[Node, Node, int]] = []
+    for t in range(duration):
+        for u in nodes:
+            if rng.random() < rate:
+                v = rng.choice(nodes)
+                while v == u:
+                    v = rng.choice(nodes)
+                out.append((u, v, t))
+    return out
+
+
+def hot_spot(
+    network: Network, *, spot: Node | None = None, fraction: float = 1.0,
+    seed: int = 2000,
+) -> list[Message]:
+    """A fraction of nodes all send to one hot node."""
+    rng = random.Random(seed)
+    nodes = list(network.nodes)
+    target = spot if spot is not None else nodes[0]
+    senders = [v for v in nodes if v != target]
+    if fraction < 1.0:
+        count = max(1, int(len(senders) * fraction))
+        senders = rng.sample(senders, count)
+    return [(s, target) for s in senders]

@@ -1,0 +1,72 @@
+"""Interconnection-network topologies laid out in the paper.
+
+Every network the paper lays out (or names as amenable to its schemes)
+is generated from scratch here:
+
+* product family: ring, mesh, k-ary n-cube, hypercube, generalized
+  hypercube, arbitrary Cartesian products;
+* hypercube variants: folded hypercube, enhanced cube;
+* PN clusters: cube-connected cycles, reduced hypercube, k-ary n-cube
+  cluster-c, generic product-network clusters;
+* hierarchical/indirect: butterfly, hierarchical swap network (HSN),
+  hierarchical hypercube network (HHN), indirect swap network (ISN);
+* Cayley family (Section 4.3's closing remark): star, pancake,
+  bubble-sort, transposition networks and star-connected cycles.
+
+Plus the cluster-partition/quotient machinery of Section 3.2 used to
+treat butterflies, CCCs and Cayley graphs as PN clusters.
+"""
+
+from repro.topology.base import Network, build_network
+from repro.topology.butterfly import Butterfly
+from repro.topology.cayley import (
+    BubbleSortGraph,
+    PancakeGraph,
+    StarConnectedCycles,
+    StarGraph,
+    TranspositionNetwork,
+)
+from repro.topology.ccc import CubeConnectedCycles, ReducedHypercube
+from repro.topology.clustered import KAryNCubeCluster, PNCluster
+from repro.topology.complete import CompleteGraph
+from repro.topology.ghc import GeneralizedHypercube
+from repro.topology.hypercube import EnhancedCube, FoldedHypercube, Hypercube
+from repro.topology.isn import IndirectSwapNetwork
+from repro.topology.kary import KAryNCube, Mesh, Ring
+from repro.topology.partition import Partition, quotient
+from repro.topology.product import ProductNetwork
+from repro.topology.shuffle import DeBruijn, ShuffleExchange
+from repro.topology.swap import HHN, HSN
+from repro.topology.wrapped_butterfly import WrappedButterfly
+
+__all__ = [
+    "Network",
+    "build_network",
+    "Ring",
+    "Mesh",
+    "KAryNCube",
+    "Hypercube",
+    "FoldedHypercube",
+    "EnhancedCube",
+    "CompleteGraph",
+    "GeneralizedHypercube",
+    "ProductNetwork",
+    "Butterfly",
+    "WrappedButterfly",
+    "CubeConnectedCycles",
+    "ReducedHypercube",
+    "HSN",
+    "HHN",
+    "IndirectSwapNetwork",
+    "KAryNCubeCluster",
+    "PNCluster",
+    "StarGraph",
+    "PancakeGraph",
+    "BubbleSortGraph",
+    "TranspositionNetwork",
+    "StarConnectedCycles",
+    "ShuffleExchange",
+    "DeBruijn",
+    "Partition",
+    "quotient",
+]

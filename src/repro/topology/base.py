@@ -1,0 +1,189 @@
+"""Base class for interconnection networks.
+
+A :class:`Network` is an undirected graph (possibly a multigraph --
+quotients of PN clusters have parallel edges) with hashable node labels.
+Subclasses implement :meth:`_build_nodes` and :meth:`_build_edges`;
+everything else (adjacency, degrees, connectivity, distances) is
+derived and cached here.
+
+The library deliberately does not depend on networkx; tests use it as
+an independent oracle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from functools import cached_property
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["Network", "build_network"]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Network(ABC):
+    """An undirected interconnection network."""
+
+    #: Human-readable family name, set by subclasses.
+    name: str = "network"
+
+    # -- construction hooks ---------------------------------------------
+
+    @abstractmethod
+    def _build_nodes(self) -> Sequence[Node]:
+        """Return all node labels (deterministic order)."""
+
+    @abstractmethod
+    def _build_edges(self) -> Sequence[Edge]:
+        """Return all undirected edges, each exactly once.
+
+        Parallel edges may be repeated; self-loops are forbidden.
+        """
+
+    # -- derived, cached --------------------------------------------------
+
+    @cached_property
+    def nodes(self) -> list[Node]:
+        out = list(self._build_nodes())
+        if len(out) != len(set(out)):
+            raise ValueError(f"{self.name}: duplicate node labels")
+        return out
+
+    @cached_property
+    def edges(self) -> list[Edge]:
+        node_set = set(self.nodes)
+        out = []
+        for u, v in self._build_edges():
+            if u == v:
+                raise ValueError(f"{self.name}: self-loop at {u!r}")
+            if u not in node_set or v not in node_set:
+                raise ValueError(f"{self.name}: edge ({u!r}, {v!r}) off-graph")
+            out.append((u, v))
+        return out
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @cached_property
+    def adjacency(self) -> dict[Node, list[Node]]:
+        adj: dict[Node, list[Node]] = {v: [] for v in self.nodes}
+        for u, v in self.edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        return adj
+
+    def degree(self, v: Node) -> int:
+        return len(self.adjacency[v])
+
+    @cached_property
+    def max_degree(self) -> int:
+        return max((len(ns) for ns in self.adjacency.values()), default=0)
+
+    @cached_property
+    def index(self) -> dict[Node, int]:
+        """Canonical node numbering (position in :attr:`nodes`)."""
+        return {v: i for i, v in enumerate(self.nodes)}
+
+    # -- graph algorithms -------------------------------------------------
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        seen = {self.nodes[0]}
+        queue = deque(seen)
+        while queue:
+            u = queue.popleft()
+            for w in self.adjacency[u]:
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        return len(seen) == self.num_nodes
+
+    def bfs_distances(self, source: Node) -> dict[Node, int]:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for w in self.adjacency[u]:
+                if w not in dist:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return dist
+
+    def diameter(self) -> int:
+        """Exact diameter by all-sources BFS (use on small networks)."""
+        best = 0
+        for v in self.nodes:
+            dist = self.bfs_distances(v)
+            if len(dist) != self.num_nodes:
+                raise ValueError(f"{self.name} is disconnected")
+            best = max(best, max(dist.values()))
+        return best
+
+    def shortest_path(self, u: Node, v: Node) -> list[Node]:
+        """One shortest path, by BFS with parent pointers."""
+        if u == v:
+            return [u]
+        parent: dict[Node, Node] = {u: u}
+        queue = deque([u])
+        while queue:
+            a = queue.popleft()
+            for w in self.adjacency[a]:
+                if w not in parent:
+                    parent[w] = a
+                    if w == v:
+                        path = [v]
+                        while path[-1] != u:
+                            path.append(parent[path[-1]])
+                        return path[::-1]
+                    queue.append(w)
+        raise ValueError(f"no path {u!r} -> {v!r}")
+
+    def is_regular(self) -> bool:
+        degs = {len(ns) for ns in self.adjacency.values()}
+        return len(degs) <= 1
+
+    def edge_multiset(self) -> dict[tuple, int]:
+        """Canonical (sorted-pair) edge multiset, for layout checks."""
+        out: dict[tuple, int] = {}
+        for u, v in self.edges:
+            key = _norm(u, v)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}: N={self.num_nodes}, E={self.num_edges}>"
+
+
+def _norm(u: Node, v: Node) -> tuple:
+    a, b = (str(type(u)), repr(u)), (str(type(v)), repr(v))
+    return (u, v) if a <= b else (v, u)
+
+
+class _ExplicitNetwork(Network):
+    """A network given by explicit node and edge lists."""
+
+    def __init__(self, nodes: Iterable[Node], edges: Iterable[Edge], name: str):
+        self._nodes = list(nodes)
+        self._edges = list(edges)
+        self.name = name
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return self._nodes
+
+    def _build_edges(self) -> Sequence[Edge]:
+        return self._edges
+
+
+def build_network(
+    nodes: Iterable[Node], edges: Iterable[Edge], name: str = "custom"
+) -> Network:
+    """Wrap explicit node/edge lists as a :class:`Network`."""
+    return _ExplicitNetwork(nodes, edges, name)

@@ -1,0 +1,162 @@
+"""Cayley-graph networks (Section 4.3's closing remark, refs [2, 15, 16]).
+
+The paper notes that its strategies extend to star graphs and other
+Cayley graphs.  The key structural fact (used by ref. [30] and by our
+`repro.core` layouts) is that each of these graphs decomposes into n
+copies of its (n-1)-symbol version -- cluster = permutations sharing a
+last symbol -- whose quotient is a complete graph K_n with uniform link
+multiplicity.  :meth:`CayleyGraph.last_symbol_partition` exposes that
+decomposition generically; tests verify the quotient structure.
+
+Nodes are permutation tuples of ``(0, ..., n-1)``; generators act on
+*positions*.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = [
+    "CayleyGraph",
+    "StarGraph",
+    "PancakeGraph",
+    "BubbleSortGraph",
+    "TranspositionNetwork",
+    "StarConnectedCycles",
+]
+
+
+class CayleyGraph(Network):
+    """A Cayley graph of the symmetric group S_n under position-action
+    generators.  Subclasses supply the generator set as a list of
+    functions tuple -> tuple (each an involution or paired with its
+    inverse so the graph is undirected)."""
+
+    def __init__(self, n: int, name: str):
+        if n < 2:
+            raise ValueError("n >= 2")
+        self.n = n
+        self.name = name
+
+    def generators(self) -> list:
+        raise NotImplementedError
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(permutations(range(self.n)))
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: set[tuple[Node, Node]] = set()
+        gens = self.generators()
+        for p in self.nodes:
+            for g in gens:
+                q = g(p)
+                if q == p:
+                    continue
+                edges.add((p, q) if p < q else (q, p))
+        return sorted(edges)
+
+    def last_symbol_partition(self) -> Partition:
+        """Cluster permutations by their last symbol: n clusters, each a
+        copy of the (n-1)-symbol graph, quotient K_n."""
+        return Partition(
+            {p: p[-1] for p in self.nodes}, name=f"{self.name}-last-symbol"
+        )
+
+
+def _swap(i: int, j: int):
+    def g(p: tuple) -> tuple:
+        q = list(p)
+        q[i], q[j] = q[j], q[i]
+        return tuple(q)
+
+    return g
+
+
+def _prefix_reversal(i: int):
+    def g(p: tuple) -> tuple:
+        return p[: i + 1][::-1] + p[i + 1 :]
+
+    return g
+
+
+class StarGraph(CayleyGraph):
+    """S_n star graph [2]: swap position 0 with position i, i = 1..n-1."""
+
+    def __init__(self, n: int):
+        super().__init__(n, f"star({n})")
+
+    def generators(self) -> list:
+        return [_swap(0, i) for i in range(1, self.n)]
+
+
+class PancakeGraph(CayleyGraph):
+    """Pancake graph [2]: prefix reversals of length 2..n."""
+
+    def __init__(self, n: int):
+        super().__init__(n, f"pancake({n})")
+
+    def generators(self) -> list:
+        return [_prefix_reversal(i) for i in range(1, self.n)]
+
+
+class BubbleSortGraph(CayleyGraph):
+    """Bubble-sort graph [2]: adjacent transpositions."""
+
+    def __init__(self, n: int):
+        super().__init__(n, f"bubble-sort({n})")
+
+    def generators(self) -> list:
+        return [_swap(i, i + 1) for i in range(self.n - 1)]
+
+
+class TranspositionNetwork(CayleyGraph):
+    """Transposition network [16]: all transpositions."""
+
+    def __init__(self, n: int):
+        super().__init__(n, f"transposition({n})")
+
+    def generators(self) -> list:
+        return [
+            _swap(i, j) for i in range(self.n) for j in range(i + 1, self.n)
+        ]
+
+
+class StarConnectedCycles(Network):
+    """Star-connected cycles (SCC) [15]: each star-graph node replaced
+    by an (n-1)-node cycle; cycle position i carries the dimension-i
+    star link (the generator swapping positions 0 and i)."""
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError("SCC needs n >= 3")
+        self.n = n
+        self.star = StarGraph(n)
+        self.name = f"SCC({n})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [(p, i) for p in permutations(range(self.n)) for i in range(1, self.n)]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        n = self.n
+        edges: list[Edge] = []
+        cycle = list(range(1, n))
+        for p in permutations(range(n)):
+            if len(cycle) > 1:
+                for a, b in zip(cycle, cycle[1:]):
+                    edges.append(((p, a), (p, b)))
+                if len(cycle) > 2:
+                    edges.append(((p, cycle[0]), (p, cycle[-1])))
+            for i in range(1, n):
+                q = list(p)
+                q[0], q[i] = q[i], q[0]
+                q = tuple(q)
+                if p < q:
+                    edges.append(((p, i), (q, i)))
+        return edges
+
+    def cluster_partition(self) -> Partition:
+        return Partition({v: v[0] for v in self.nodes}, name="scc-cycles")

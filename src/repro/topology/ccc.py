@@ -1,0 +1,88 @@
+"""Cube-connected cycles and reduced hypercubes (Section 5.2).
+
+* :class:`CubeConnectedCycles` -- each node of an n-cube replaced by an
+  n-node cycle; cycle position i carries the dimension-i cube link
+  (ref. [22]).
+* :class:`ReducedHypercube` -- each cycle replaced by a
+  ``log2(n)``-dimensional hypercube (n must be a power of two); cluster
+  node i still carries the dimension-i cube link (ref. [37]).
+
+Both are hypercube PN clusters: quotient = n-cube with multiplicity 1,
+which is what Section 5.2's layout uses (hypercube layout for the
+quotient + recursive grid scheme inside the blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = ["CubeConnectedCycles", "ReducedHypercube"]
+
+
+class CubeConnectedCycles(Network):
+    """CCC(n): nodes ``(w, i)`` with w a hypercube address, i a cycle
+    position in 0..n-1."""
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError("CCC needs n >= 3 (shorter cycles degenerate)")
+        self.n = n
+        self.name = f"CCC({n})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [(w, i) for w in range(1 << self.n) for i in range(self.n)]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        n = self.n
+        edges: list[Edge] = []
+        for w in range(1 << n):
+            for i in range(n - 1):
+                edges.append(((w, i), (w, i + 1)))
+            edges.append(((w, 0), (w, n - 1)))
+            for i in range(n):
+                peer = w ^ (1 << i)
+                if w < peer:
+                    edges.append(((w, i), (peer, i)))
+        return edges
+
+    def cluster_partition(self) -> Partition:
+        """One cluster per hypercube address (the cycles)."""
+        return Partition({v: v[0] for v in self.nodes}, name="ccc-cycles")
+
+
+class ReducedHypercube(Network):
+    """RH(log2 n, log2 n): an n-cube of log2(n)-dimensional hypercubes.
+
+    ``n`` must be a power of two so the n-node cycle of the CCC can be
+    replaced by a hypercube on the same node set.
+    """
+
+    def __init__(self, n: int):
+        if n < 4 or n & (n - 1):
+            raise ValueError("reduced hypercube needs n a power of two, >= 4")
+        self.n = n
+        self.cluster_dim = n.bit_length() - 1
+        self.name = f"RH({self.cluster_dim},{self.cluster_dim})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [(w, i) for w in range(1 << self.n) for i in range(self.n)]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        n = self.n
+        edges: list[Edge] = []
+        for w in range(1 << n):
+            for i in range(n):
+                for b in range(self.cluster_dim):
+                    j = i ^ (1 << b)
+                    if i < j:
+                        edges.append(((w, i), (w, j)))
+                peer = w ^ (1 << i)
+                if w < peer:
+                    edges.append(((w, i), (peer, i)))
+        return edges
+
+    def cluster_partition(self) -> Partition:
+        return Partition({v: v[0] for v in self.nodes}, name="rh-clusters")

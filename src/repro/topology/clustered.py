@@ -1,0 +1,126 @@
+"""Product-network clusters (Section 3.2, ref. [4]).
+
+A PN cluster replaces every node of a product network with a cluster.
+:class:`PNCluster` is the generic construction: given a quotient
+network, a per-supernode cluster factory and an attachment rule, it
+produces the expanded network together with its canonical partition.
+:class:`KAryNCubeCluster` is the paper's running example (k-ary n-cube
+cluster-c with hypercube or complete-graph clusters).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = ["PNCluster", "KAryNCubeCluster"]
+
+
+class PNCluster(Network):
+    """Generic PN cluster.
+
+    Parameters
+    ----------
+    quotient_network:
+        The product network whose nodes become clusters.
+    cluster_size:
+        Number of nodes per cluster, ``c``.
+    cluster_edges:
+        Edges of one cluster, as pairs of ints in 0..c-1 (every cluster
+        is a copy of the same graph, as in ref. [4]).
+    attach:
+        Rule assigning each quotient edge endpoint to a cluster-local
+        node: ``attach(supernode, edge_index) -> local index``.  The
+        default distributes a supernode's incident links round-robin
+        over its cluster's nodes, which keeps per-node attachment
+        counts minimal.
+    """
+
+    def __init__(
+        self,
+        quotient_network: Network,
+        cluster_size: int,
+        cluster_edges: Sequence[tuple[int, int]],
+        attach: Callable[[Node, int], int] | None = None,
+        *,
+        name: str | None = None,
+    ):
+        if cluster_size < 1:
+            raise ValueError("cluster_size >= 1")
+        for a, b in cluster_edges:
+            if not (0 <= a < cluster_size and 0 <= b < cluster_size):
+                raise ValueError("cluster edge out of range")
+        self.quotient_network = quotient_network
+        self.cluster_size = cluster_size
+        self.cluster_edges = list(cluster_edges)
+        self._attach = attach
+        self.name = name or f"PNC({quotient_network.name}, c={cluster_size})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [
+            (q, j)
+            for q in self.quotient_network.nodes
+            for j in range(self.cluster_size)
+        ]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: list[Edge] = []
+        for q in self.quotient_network.nodes:
+            for a, b in self.cluster_edges:
+                edges.append(((q, a), (q, b)))
+        counters: dict[Node, int] = {}
+        for u, v in self.quotient_network.edges:
+            ju = self._attach_local(u, counters)
+            jv = self._attach_local(v, counters)
+            edges.append(((u, ju), (v, jv)))
+        return edges
+
+    def _attach_local(self, q: Node, counters: dict[Node, int]) -> int:
+        idx = counters.get(q, 0)
+        counters[q] = idx + 1
+        if self._attach is not None:
+            return self._attach(q, idx)
+        return idx % self.cluster_size
+
+    def cluster_partition(self) -> Partition:
+        return Partition({n: n[0] for n in self.nodes}, name="pn-clusters")
+
+
+class KAryNCubeCluster(PNCluster):
+    """k-ary n-cube cluster-c (ref. [4], Section 3.2's example).
+
+    ``cluster`` selects the intra-cluster topology: ``"hypercube"``
+    (c must be a power of two) or ``"complete"`` -- the two cases whose
+    area accounting Section 3.2 works out (negligible overhead while
+    ``c = o(k^{n/2-1})`` resp. ``c = o(k^{n/4-1})``).
+    """
+
+    def __init__(self, k: int, n: int, c: int, cluster: str = "hypercube"):
+        from repro.topology.kary import KAryNCube
+
+        if cluster == "hypercube":
+            if c < 2 or c & (c - 1):
+                raise ValueError("hypercube cluster needs c a power of two")
+            dim = c.bit_length() - 1
+            cluster_edges = [
+                (u, u ^ (1 << i))
+                for u in range(c)
+                for i in range(dim)
+                if u < u ^ (1 << i)
+            ]
+        elif cluster == "complete":
+            cluster_edges = [
+                (i, j) for i in range(c) for j in range(i + 1, c)
+            ]
+        else:
+            raise ValueError(f"unknown cluster kind {cluster!r}")
+        super().__init__(
+            KAryNCube(k, n),
+            c,
+            cluster_edges,
+            name=f"{k}-ary {n}-cube cluster-{c} ({cluster})",
+        )
+        self.k, self.n, self.c = k, n, c
+        self.cluster_kind = cluster

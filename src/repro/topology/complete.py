@@ -1,0 +1,30 @@
+"""Complete graphs, the building block of generalized hypercubes.
+
+The paper's Section 4.1 layout of generalized hypercubes bottoms out in
+the strictly optimal ``|N^2/4|``-track collinear layout of K_N (Figure
+3, ref. [30]).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph(Network):
+    """K_N with integer node labels."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("N >= 1")
+        self.n = n
+        self.name = f"K{n}"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(range(self.n))
+
+    def _build_edges(self) -> Sequence[Edge]:
+        return [(i, j) for i in range(self.n) for j in range(i + 1, self.n)]

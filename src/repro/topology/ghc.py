@@ -1,0 +1,56 @@
+"""Generalized hypercubes (Section 4.1, refs [5, 14]).
+
+An n-dimensional radix-``(r_{n-1}, ..., r_0)`` generalized hypercube
+has digit-tuple nodes; two nodes are adjacent iff they differ in
+exactly one digit (each dimension is a complete graph).  It is the
+Cartesian product of complete graphs, which is how the paper lays it
+out (Section 3.2's product scheme over the K_r collinear layouts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+
+__all__ = ["GeneralizedHypercube"]
+
+
+class GeneralizedHypercube(Network):
+    """Mixed-radix generalized hypercube.
+
+    ``radices`` is ``(r_{n-1}, ..., r_0)``, most significant digit
+    first, matching the paper's notation.  ``GeneralizedHypercube((r,) *
+    n)`` is the uniform radix-r case; radix 2 in every digit gives the
+    binary hypercube.
+    """
+
+    def __init__(self, radices: Sequence[int]):
+        rs = tuple(radices)
+        if not rs or any(r < 2 for r in rs):
+            raise ValueError("all radices >= 2")
+        self.radices = rs
+        self.n = len(rs)
+        self.name = f"GHC{rs}"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        out: list[tuple[int, ...]] = [()]
+        for r in self.radices:
+            out = [t + (d,) for t in out for d in range(r)]
+        return out
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: list[Edge] = []
+        for v in self.nodes:
+            for i, r in enumerate(self.radices):
+                for d in range(v[i] + 1, r):
+                    w = v[:i] + (d,) + v[i + 1 :]
+                    edges.append((v, w))
+        return edges
+
+    def dimension_of_edge(self, u: Node, v: Node) -> int:
+        """Paper-style dimension (0 = least significant digit)."""
+        diffs = [i for i in range(self.n) if u[i] != v[i]]
+        if len(diffs) != 1:
+            raise ValueError(f"not a GHC edge: {u} {v}")
+        return self.n - 1 - diffs[0]

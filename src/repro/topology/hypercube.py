@@ -1,0 +1,112 @@
+"""Hypercubes and their augmented variants (Sections 5.1 and 5.3).
+
+* :class:`Hypercube` -- the binary n-cube, integer node labels.
+* :class:`FoldedHypercube` -- one extra link per node to its bitwise
+  complement (N/2 extra links total), ref. [1].
+* :class:`EnhancedCube` -- one extra outgoing link per node to a random
+  node (N extra links), ref. [26].  The draw is seeded so layouts and
+  benchmarks are reproducible; the paper's area bound is independent of
+  the draw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+
+__all__ = ["Hypercube", "FoldedHypercube", "EnhancedCube"]
+
+
+class Hypercube(Network):
+    """The n-dimensional binary hypercube on nodes 0 .. 2^n - 1."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("n >= 1")
+        self.n = n
+        self.name = f"{n}-cube"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(range(1 << self.n))
+
+    def _build_edges(self) -> Sequence[Edge]:
+        return [
+            (u, u ^ (1 << i))
+            for u in range(1 << self.n)
+            for i in range(self.n)
+            if u < u ^ (1 << i)
+        ]
+
+    def dimension_of_edge(self, u: int, v: int) -> int:
+        x = u ^ v
+        if x == 0 or x & (x - 1):
+            raise ValueError(f"not a hypercube edge: {u} {v}")
+        return x.bit_length() - 1
+
+
+class FoldedHypercube(Network):
+    """Hypercube plus a *diameter* link from each node to its bitwise
+    complement.  There are N/2 such extra links."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("n >= 1")
+        self.n = n
+        self.cube = Hypercube(n)
+        self.name = f"folded {n}-cube"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return self.cube._build_nodes()
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges = list(self.cube._build_edges())
+        mask = (1 << self.n) - 1
+        edges += [(u, u ^ mask) for u in range(1 << self.n) if u < u ^ mask]
+        return edges
+
+    def extra_links(self) -> list[Edge]:
+        """The diameter links only (used by the Section 5.3 router)."""
+        mask = (1 << self.n) - 1
+        return [(u, u ^ mask) for u in range(1 << self.n) if u < u ^ mask]
+
+
+class EnhancedCube(Network):
+    """Hypercube plus one extra link per node to a random other node.
+
+    The paper's Section 5.3 counts N extra links; links that would
+    duplicate a hypercube edge or self-loop are redrawn, so exactly N
+    extra links always exist (as parallel edges between random pairs if
+    the draw repeats a pair, matching the "one additional outgoing link
+    per node" reading).
+    """
+
+    def __init__(self, n: int, *, seed: int = 2000):
+        if n < 2:
+            raise ValueError("n >= 2")
+        self.n = n
+        self.seed = seed
+        self.cube = Hypercube(n)
+        self.name = f"enhanced {n}-cube"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return self.cube._build_nodes()
+
+    def extra_links(self) -> list[Edge]:
+        rng = random.Random(self.seed)
+        size = 1 << self.n
+        cube_edges = {
+            tuple(sorted(e)) for e in self.cube._build_edges()
+        }
+        out: list[Edge] = []
+        for u in range(size):
+            while True:
+                v = rng.randrange(size)
+                if v != u and tuple(sorted((u, v))) not in cube_edges:
+                    break
+            out.append((u, v))
+        return out
+
+    def _build_edges(self) -> Sequence[Edge]:
+        return list(self.cube._build_edges()) + self.extra_links()

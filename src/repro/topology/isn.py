@@ -1,0 +1,60 @@
+"""Indirect swap networks (Section 4.3, ref. [35]).
+
+Reference [35] (where ISNs are defined) is unavailable; the paper uses
+exactly one structural fact about them: an R x R ISN partitions into
+``r (log2 R + o(log R))``-node clusters whose quotient is a generalized
+hypercube with **two** links between neighboring clusters -- half the
+butterfly's four -- which is why its area is ~4x smaller and its wire
+length ~2x shorter than a same-size butterfly.
+
+We therefore build the ISN as the butterfly-like indirect network in
+which each level-i cross *pair* of rows is joined by a single cross
+edge (from the row whose bit i is 0) instead of the butterfly's two.
+With the same row-pair clustering as the butterfly, the quotient is the
+binary hypercube with multiplicity 2, reproducing the paper's factor-4
+area and factor-2 wire-length relations exactly.  This substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = ["IndirectSwapNetwork"]
+
+
+class IndirectSwapNetwork(Network):
+    """Butterfly-like network with one cross edge per level/row-pair."""
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ValueError("m >= 1")
+        self.m = m
+        self.rows = 1 << m
+        self.levels = m + 1
+        self.name = f"ISN(m={m})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [
+            (lvl, row) for row in range(self.rows) for lvl in range(self.levels)
+        ]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: list[Edge] = []
+        for row in range(self.rows):
+            for lvl in range(self.m):
+                edges.append(((lvl, row), (lvl + 1, row)))  # straight
+                if not (row >> lvl) & 1:  # one cross edge per pair
+                    edges.append(((lvl, row), (lvl + 1, row ^ (1 << lvl))))
+        return edges
+
+    def row_pair_partition(self) -> Partition:
+        """Same clustering as :meth:`Butterfly.row_pair_partition`;
+        yields quotient multiplicity 2 instead of 4."""
+        if self.m < 2:
+            raise ValueError("row-pair partition needs m >= 2")
+        mapping = {(lvl, row): row >> 1 for (lvl, row) in self.nodes}
+        return Partition(mapping, name="isn-row-pairs")

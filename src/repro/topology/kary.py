@@ -1,0 +1,94 @@
+"""Rings, meshes and k-ary n-cubes (Section 3.1).
+
+Nodes of a k-ary n-cube are digit tuples ``(d_{n-1}, ..., d_0)`` with
+``0 <= d_i < k``; two nodes are adjacent iff they differ by +-1 (mod k,
+for the torus) in exactly one digit.  A ring is the n = 1 case, a mesh
+the wraparound-free variant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+
+__all__ = ["Ring", "Mesh", "KAryNCube"]
+
+
+class KAryNCube(Network):
+    """The k-ary n-cube (torus) or mesh.
+
+    Parameters
+    ----------
+    k:
+        Radix (nodes per dimension), k >= 2.
+    n:
+        Number of dimensions, n >= 1.
+    wraparound:
+        With ``False`` this is the k-ary n-mesh.  Note that for k = 2
+        the wrap link would duplicate the neighbor link, so binary tori
+        have a single link per dimension (they are hypercubes).
+    """
+
+    def __init__(self, k: int, n: int, *, wraparound: bool = True):
+        if k < 2:
+            raise ValueError("k >= 2")
+        if n < 1:
+            raise ValueError("n >= 1")
+        self.k = k
+        self.n = n
+        self.wraparound = wraparound
+        kind = "torus" if wraparound else "mesh"
+        self.name = f"{k}-ary {n}-cube ({kind})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        out: list[tuple[int, ...]] = [()]
+        for _ in range(self.n):
+            out = [t + (d,) for t in out for d in range(self.k)]
+        return out
+
+    def _build_edges(self) -> Sequence[Edge]:
+        k, n = self.k, self.n
+        edges: list[Edge] = []
+        for v in self.nodes:
+            for dim in range(n):
+                d = v[n - 1 - dim]  # tuple index of digit `dim`
+                if d + 1 < k:
+                    w = v[: n - 1 - dim] + (d + 1,) + v[n - dim :]
+                    edges.append((v, w))
+                elif self.wraparound and k > 2:
+                    w = v[: n - 1 - dim] + (0,) + v[n - dim :]
+                    edges.append((w, v))
+        return edges
+
+    def dimension_of_edge(self, u: Node, v: Node) -> int:
+        """The (single) dimension in which u and v differ."""
+        diffs = [i for i in range(self.n) if u[i] != v[i]]
+        if len(diffs) != 1:
+            raise ValueError(f"not a k-ary edge: {u} {v}")
+        return self.n - 1 - diffs[0]
+
+
+class Mesh(KAryNCube):
+    """The k-ary n-mesh: a k-ary n-cube without wraparound links."""
+
+    def __init__(self, k: int, n: int):
+        super().__init__(k, n, wraparound=False)
+
+
+class Ring(Network):
+    """A k-node ring with integer labels (the k-ary 1-cube)."""
+
+    def __init__(self, k: int):
+        if k < 3:
+            raise ValueError("a ring needs k >= 3")
+        self.k = k
+        self.name = f"{k}-ring"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(range(self.k))
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges = [(i, i + 1) for i in range(self.k - 1)]
+        edges.append((0, self.k - 1))
+        return edges

@@ -1,0 +1,76 @@
+"""Shuffle-exchange and de Bruijn networks.
+
+The paper's introduction anchors the whole VLSI-layout literature on
+Leighton's shuffle-exchange work (ref. [17]); these are the remaining
+classical layout subjects, included so the generic machinery (collinear
+engine, generic-grid fallback, cutwidth DP, lower bounds) can be
+exercised on the networks the field's lower-bound results were
+developed for.
+
+* :class:`ShuffleExchange` SE(n): nodes are n-bit strings; *exchange*
+  edges flip the low bit; *shuffle* edges rotate left.
+* :class:`DeBruijn` DB(n): node w links to 2w mod 2^n and 2w+1 mod 2^n
+  (the shuffle-exchange's "collapsed" sibling).
+
+Both have Theta(N^2 / log^2 N) layout area (like the butterfly/CCC
+class the paper treats in Sections 4-5); no specialized layout is
+claimed here -- they route through the generic fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+
+__all__ = ["ShuffleExchange", "DeBruijn"]
+
+
+class ShuffleExchange(Network):
+    """SE(n) on 2^n nodes: exchange (w ^ 1) and shuffle (rotate-left)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("n >= 2")
+        self.n = n
+        self.name = f"shuffle-exchange({n})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(range(1 << self.n))
+
+    def _rotl(self, w: int) -> int:
+        n = self.n
+        return ((w << 1) | (w >> (n - 1))) & ((1 << n) - 1)
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: set[tuple[int, int]] = set()
+        for w in range(1 << self.n):
+            x = w ^ 1  # exchange
+            edges.add((min(w, x), max(w, x)))
+            s = self._rotl(w)  # shuffle
+            if s != w:
+                edges.add((min(w, s), max(w, s)))
+        return sorted(edges)
+
+
+class DeBruijn(Network):
+    """DB(n) on 2^n nodes: w ~ (2w mod N) and (2w+1 mod N)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("n >= 2")
+        self.n = n
+        self.name = f"de-bruijn({n})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return list(range(1 << self.n))
+
+    def _build_edges(self) -> Sequence[Edge]:
+        size = 1 << self.n
+        edges: set[tuple[int, int]] = set()
+        for w in range(size):
+            for b in (0, 1):
+                v = (2 * w + b) % size
+                if v != w:
+                    edges.add((min(w, v), max(w, v)))
+        return sorted(edges)

@@ -1,0 +1,101 @@
+"""Hierarchical swap networks and hierarchical hypercube networks
+(Section 4.3, refs [33, 34, 36]).
+
+An l-level HSN over an r-node nucleus graph has nodes ``(v, c)`` where
+``v`` in 0..r-1 is the position inside the nucleus and
+``c = (c_{l-1}, ..., c_1)`` is the cluster address (each digit in
+0..r-1).  Within a cluster the nucleus edges apply.  The level-i
+*swap* link (1 <= i <= l-1) joins
+
+    (v, c)   <->   (c_i, c with digit i replaced by v)      for v != c_i,
+
+the index-permutation swap rule of the unified model [33, 34] (the
+precise rule in those references is unavailable; this standard rule is
+a documented substitution -- see DESIGN.md).  It yields exactly one
+link between any two clusters whose addresses differ in a single digit,
+i.e. the quotient is the (l-1)-dimensional radix-r generalized
+hypercube with multiplicity 1 -- the only property Section 4.3's layout
+accounting uses (HSN area = GHC(N/r) area with r^2/4-track cluster
+links, collapsing to N^2/(4 L^2)).
+
+HHN [36] is the special case with a hypercube nucleus.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = ["HSN", "HHN"]
+
+
+class HSN(Network):
+    """Hierarchical swap network over a given nucleus.
+
+    Parameters
+    ----------
+    nucleus:
+        Any network whose nodes are ``0 .. r-1`` (e.g.
+        :class:`~repro.topology.complete.CompleteGraph`,
+        :class:`~repro.topology.hypercube.Hypercube`).
+    levels:
+        l >= 2; the cluster address has l-1 digits, N = r^l.
+    """
+
+    def __init__(self, nucleus: Network, levels: int):
+        if levels < 2:
+            raise ValueError("levels >= 2")
+        r = nucleus.num_nodes
+        if sorted(nucleus.nodes) != list(range(r)):
+            raise ValueError("nucleus nodes must be 0..r-1")
+        self.nucleus = nucleus
+        self.levels = levels
+        self.r = r
+        self.name = f"HSN({nucleus.name}, l={levels})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        out: list[tuple[int, tuple[int, ...]]] = []
+        addrs: list[tuple[int, ...]] = [()]
+        for _ in range(self.levels - 1):
+            addrs = [t + (d,) for t in addrs for d in range(self.r)]
+        self._addrs = addrs
+        return [(v, c) for c in addrs for v in range(self.r)]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: list[Edge] = []
+        l1 = self.levels - 1
+        for c in self._addrs:
+            for (u, v) in self.nucleus.edges:
+                edges.append(((u, c), (v, c)))
+            # Swap links: digit index j in the address tuple corresponds
+            # to level i = l-1-j (address is (c_{l-1}, ..., c_1)).
+            for j in range(l1):
+                for v in range(self.r):
+                    if v == c[j]:
+                        continue  # identity swap: no link
+                    c2 = c[:j] + (v,) + c[j + 1 :]
+                    partner = (c[j], c2)
+                    # Each unordered link appears for both endpoints;
+                    # emit it once, from the lexicographically-smaller
+                    # cluster side.
+                    if (c, v) < (c2, c[j]):
+                        edges.append(((v, c), partner))
+        return edges
+
+    def cluster_partition(self) -> Partition:
+        return Partition({n: n[1] for n in self.nodes}, name="hsn-clusters")
+
+
+class HHN(HSN):
+    """Hierarchical hypercube network: an HSN with a hypercube nucleus.
+
+    ``dim`` is the nucleus dimension (r = 2^dim nodes per cluster).
+    """
+
+    def __init__(self, dim: int, levels: int = 2):
+        from repro.topology.hypercube import Hypercube
+
+        super().__init__(Hypercube(dim), levels)
+        self.name = f"HHN(dim={dim}, l={levels})"

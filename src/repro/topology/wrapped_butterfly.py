@@ -1,0 +1,60 @@
+"""Wrapped butterflies: the cyclic variant of Section 4.2's network.
+
+The wrapped butterfly WBF(m) identifies level m with level 0: nodes
+``(level, row)`` with ``level`` in 0..m-1, and level-(m-1) nodes wrap
+to level 0.  It is vertex-transitive and 4-regular, and -- like the
+plain butterfly -- clusters into row pairs whose quotient is a
+hypercube with small uniform link multiplicity, so the paper's GHC-
+cluster layout strategy applies unchanged.  (The plain butterfly is
+what Section 4.2 analyzes; the wrapped variant is the form most
+parallel-machine literature uses, included here as the natural
+extension.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Edge, Network, Node
+from repro.topology.partition import Partition
+
+__all__ = ["WrappedButterfly"]
+
+
+class WrappedButterfly(Network):
+    """WBF(m): m levels of 2^m rows, cyclic in the level dimension."""
+
+    def __init__(self, m: int):
+        if m < 3:
+            raise ValueError(
+                "m >= 3 (shorter level cycles degenerate to multi-edges)"
+            )
+        self.m = m
+        self.rows = 1 << m
+        self.levels = m
+        self.name = f"wrapped-butterfly(m={m})"
+
+    def _build_nodes(self) -> Sequence[Node]:
+        return [
+            (lvl, row) for row in range(self.rows) for lvl in range(self.m)
+        ]
+
+    def _build_edges(self) -> Sequence[Edge]:
+        edges: list[Edge] = []
+        for row in range(self.rows):
+            for lvl in range(self.m):
+                nxt = (lvl + 1) % self.m
+                # Each undirected edge emitted once, from its source
+                # level (with m >= 3 no (lvl, nxt) pair repeats).
+                edges.append(((lvl, row), (nxt, row)))
+                edges.append(((lvl, row), (nxt, row ^ (1 << lvl))))
+        return edges
+
+    def row_pair_partition(self) -> Partition:
+        """Rows {2q, 2q+1} across all levels, as for the butterfly."""
+        if self.m < 3:
+            raise ValueError("row-pair partition needs m >= 3")
+        return Partition(
+            {(lvl, row): row >> 1 for (lvl, row) in self.nodes},
+            name="wbf-row-pairs",
+        )

@@ -1,0 +1,20 @@
+"""Rendering of layouts: ASCII (terminal) and SVG (files).
+
+Used to regenerate the paper's figures:
+
+* Figure 2 -- collinear 3-ary 2-cube (``ascii_collinear``),
+* Figure 3 -- collinear K_9,
+* Figure 4 -- collinear 4-cube,
+* Figure 1 -- top view of a recursive grid layout (``ascii_grid`` on a
+  clustered layout).
+"""
+
+from repro.viz.ascii_art import ascii_collinear, ascii_grid_layout
+from repro.viz.svg import svg_layer_stack, svg_layout
+
+__all__ = [
+    "ascii_collinear",
+    "ascii_grid_layout",
+    "svg_layout",
+    "svg_layer_stack",
+]

@@ -1,0 +1,111 @@
+"""ASCII renderings.
+
+``ascii_collinear`` draws a :class:`~repro.collinear.engine.CollinearLayout`
+the way the paper's Figures 2-4 are drawn: a row of numbered nodes at
+the bottom, tracks stacked above, each edge as a horizontal run with
+two drop lines.  ``ascii_grid_layout`` draws a routed
+:class:`~repro.grid.layout.GridLayout` cell-by-cell (nodes as ``#``,
+wires by orientation), which is practical for small layouts and the
+Figure 1 block diagram.
+"""
+
+from __future__ import annotations
+
+from repro.collinear.engine import CollinearLayout
+from repro.grid.layout import GridLayout
+
+__all__ = ["ascii_collinear", "ascii_grid_layout"]
+
+
+def ascii_collinear(
+    lay: CollinearLayout, *, cell_width: int = 4, label_nodes: bool = True
+) -> str:
+    """Draw a collinear layout with tracks above the node row.
+
+    Track 0 is drawn closest to the nodes (as in Figure 2); each edge
+    appears as ``+----+`` on its track with ``|`` drops to its
+    endpoints' positions.
+    """
+    n = lay.num_nodes
+    width = n * cell_width
+    rows = [[" "] * width for _ in range(lay.num_tracks)]
+
+    def col(pos: int) -> int:
+        return pos * cell_width + cell_width // 2
+
+    # Deeper tracks draw first so drops from higher tracks overwrite.
+    order = sorted(range(len(lay.edges)), key=lambda e: -lay.tracks[e])
+    for e in order:
+        lo, hi = lay.interval(e)
+        t = lay.tracks[e]
+        row = rows[lay.num_tracks - 1 - t]
+        c1, c2 = col(lo), col(hi)
+        for c in range(c1 + 1, c2):
+            if row[c] == " ":
+                row[c] = "-"
+        row[c1] = "+"
+        row[c2] = "+"
+        # vertical drops to the node row
+        for c in (c1, c2):
+            for r in range(lay.num_tracks - t, lay.num_tracks):
+                ch = rows[r][c]
+                rows[r][c] = "+" if ch in "-+" else "|"
+
+    lines = ["".join(r).rstrip() for r in rows]
+    node_line = [" "] * width
+    for p in range(n):
+        node_line[col(p)] = "o"
+    lines.append("".join(node_line).rstrip())
+    if label_nodes:
+        label_line = [" "] * width
+        for p, v in enumerate(lay.order):
+            text = _short_label(v)
+            start = col(p) - len(text) // 2
+            for i, ch in enumerate(text):
+                j = start + i
+                if 0 <= j < width:
+                    label_line[j] = ch
+        lines.append("".join(label_line).rstrip())
+    return "\n".join(lines)
+
+
+def _short_label(v) -> str:
+    if isinstance(v, tuple):
+        return "".join(str(x) for x in v)
+    return str(v)
+
+
+def ascii_grid_layout(layout: GridLayout, *, max_width: int = 400) -> str:
+    """Character-per-grid-point rendering of a routed layout.
+
+    Nodes are ``#``; horizontal wire runs ``-``; vertical runs ``|``;
+    points carrying both orientations ``+``.  Layers are not
+    distinguished (use the SVG renderer for that).
+    """
+    bb = layout.bounding_box()
+    if bb.w + 1 > max_width:
+        raise ValueError(
+            f"layout too wide to render in ASCII ({bb.w + 1} > {max_width}); "
+            "use svg_layout instead"
+        )
+    w, h = bb.w + 1, bb.h + 1
+    grid = [[" "] * w for _ in range(h)]
+
+    def put(x: int, y: int, ch: str) -> None:
+        cur = grid[y - bb.y0][x - bb.x0]
+        if cur == " ":
+            grid[y - bb.y0][x - bb.x0] = ch
+        elif {cur, ch} == {"-", "|"}:
+            grid[y - bb.y0][x - bb.x0] = "+"
+
+    for wire in layout.wires:
+        for seg in wire.segments:
+            ch = "-" if seg.horizontal else "|"
+            for (x, y) in seg.planar_points():
+                put(x, y, ch)
+    for p in layout.placements.values():
+        r = p.rect
+        for x in range(r.x0, r.x1 + 1):
+            for y in range(r.y0, r.y1 + 1):
+                grid[y - bb.y0][x - bb.x0] = "#"
+    return "\n".join("".join(row).rstrip() for row in grid)

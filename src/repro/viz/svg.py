@@ -1,0 +1,180 @@
+"""SVG rendering of routed layouts, with per-layer colors.
+
+The renderer emits a standalone SVG string: node squares in grey,
+wire segments colored by layer (horizontal layers warm, vertical
+layers cool), vias as small circles.  Useful for eyeballing the
+multilayer structure -- with L = 8 the four track groups of a channel
+are visibly interleaved.
+"""
+
+from __future__ import annotations
+
+from repro.grid.layout import GridLayout
+
+__all__ = ["svg_layout", "svg_layer_stack"]
+
+# Paired palette: index g colors layer 2g+1 (horizontal) and 2g+2
+# (vertical) in related hues.
+_H_COLORS = ["#d62728", "#ff7f0e", "#bcbd22", "#e377c2", "#8c564b"]
+_V_COLORS = ["#1f77b4", "#2ca02c", "#17becf", "#9467bd", "#7f7f7f"]
+
+
+def _layer_color(layer: int) -> str:
+    g = (layer - 1) // 2
+    if layer % 2 == 1:
+        return _H_COLORS[g % len(_H_COLORS)]
+    return _V_COLORS[g % len(_V_COLORS)]
+
+
+def svg_layout(
+    layout: GridLayout,
+    *,
+    scale: int = 6,
+    margin: int = 10,
+    node_labels: bool = False,
+    legend: bool = False,
+) -> str:
+    """Render ``layout`` to an SVG document string.
+
+    With ``legend=True`` a per-layer color key is appended below the
+    drawing.
+    """
+    bb = layout.bounding_box()
+    layers_used = sorted(layout.layers_used()) if legend else []
+    legend_h = 18 * len(layers_used) + 10 if legend else 0
+    width = bb.w * scale + 2 * margin
+    height = bb.h * scale + 2 * margin + legend_h
+
+    def sx(x: int) -> int:
+        return (x - bb.x0) * scale + margin
+
+    def sy(y: int) -> int:
+        return (y - bb.y0) * scale + margin
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for p in layout.placements.values():
+        r = p.rect
+        parts.append(
+            f'<rect x="{sx(r.x0)}" y="{sy(r.y0)}" '
+            f'width="{max(r.w * scale, 2)}" height="{max(r.h * scale, 2)}" '
+            f'fill="#cccccc" stroke="#555555" stroke-width="1"/>'
+        )
+        if node_labels:
+            cx = sx(r.x0) + r.w * scale // 2
+            cy = sy(r.y0) + r.h * scale // 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" font-size="{scale * 2}" '
+                f'text-anchor="middle" dominant-baseline="middle">'
+                f"{_escape(p.node)}</text>"
+            )
+    for w in layout.wires:
+        for s in w.segments:
+            parts.append(
+                f'<line x1="{sx(s.x1)}" y1="{sy(s.y1)}" '
+                f'x2="{sx(s.x2)}" y2="{sy(s.y2)}" '
+                f'stroke="{_layer_color(s.layer)}" stroke-width="1.5" '
+                f'stroke-opacity="0.85"/>'
+            )
+        for (x, y) in w.vias():
+            parts.append(
+                f'<circle cx="{sx(x)}" cy="{sy(y)}" r="1.8" fill="#222222"/>'
+            )
+    if legend:
+        ly = bb.h * scale + 2 * margin
+        for i, layer in enumerate(layers_used):
+            y = ly + 14 + 18 * i
+            kind = "horizontal" if layer % 2 else "vertical"
+            parts.append(
+                f'<line x1="{margin}" y1="{y}" x2="{margin + 24}" y2="{y}" '
+                f'stroke="{_layer_color(layer)}" stroke-width="3"/>'
+            )
+            parts.append(
+                f'<text x="{margin + 30}" y="{y + 4}" font-size="11" '
+                f'font-family="sans-serif">layer {layer} ({kind})</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_layer_stack(
+    layout: GridLayout, *, scale: int = 4, margin: int = 10, gap: int = 16
+) -> str:
+    """Exploded view: each layer drawn side by side, left to right.
+
+    The natural way to look at folded and 3-D deck-stacked layouts:
+    every wiring layer (and the node squares of each active layer)
+    appears in its own panel.
+    """
+    bb = layout.bounding_box()
+    layers = sorted(
+        layout.layers_used()
+        | {p.layer for p in layout.placements.values()}
+    )
+    if not layers:
+        layers = [1]
+    panel_w = bb.w * scale + gap
+    width = panel_w * len(layers) + 2 * margin
+    height = bb.h * scale + 2 * margin + 16
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for pi, layer in enumerate(layers):
+        ox = margin + pi * panel_w
+
+        def sx(x: int) -> int:
+            return ox + (x - bb.x0) * scale
+
+        def sy(y: int) -> int:
+            return (y - bb.y0) * scale + margin + 14
+
+        parts.append(
+            f'<text x="{ox}" y="{margin + 6}" font-size="11" '
+            f'font-family="sans-serif">layer {layer}</text>'
+        )
+        parts.append(
+            f'<rect x="{ox}" y="{margin + 14}" width="{bb.w * scale}" '
+            f'height="{bb.h * scale}" fill="none" stroke="#dddddd"/>'
+        )
+        for p in layout.placements.values():
+            if p.layer != layer:
+                continue
+            r = p.rect
+            parts.append(
+                f'<rect x="{sx(r.x0)}" y="{sy(r.y0)}" '
+                f'width="{max(r.w * scale, 2)}" '
+                f'height="{max(r.h * scale, 2)}" '
+                f'fill="#cccccc" stroke="#555555" stroke-width="0.8"/>'
+            )
+        for w in layout.wires:
+            for s in w.segments:
+                if s.layer != layer:
+                    continue
+                parts.append(
+                    f'<line x1="{sx(s.x1)}" y1="{sy(s.y1)}" '
+                    f'x2="{sx(s.x2)}" y2="{sy(s.y2)}" '
+                    f'stroke="{_layer_color(s.layer)}" stroke-width="1.2"/>'
+                )
+            for (pt, zlo, zhi) in w.z_occupancy():
+                if zlo <= layer <= zhi:
+                    parts.append(
+                        f'<circle cx="{sx(pt[0])}" cy="{sy(pt[1])}" r="1.5" '
+                        f'fill="#222222"/>'
+                    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(obj) -> str:
+    return (
+        str(obj)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )

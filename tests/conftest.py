@@ -1,0 +1,30 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.validate import check_topology, validate_layout
+
+
+def assert_layout_ok(layout, network=None, *, parity=True):
+    """Full legality check, plus topology equivalence when a network is
+    given.  Used by nearly every scheme test."""
+    report = validate_layout(layout, check_parity=parity)
+    assert report["wires"] == len(layout.wires)
+    if network is not None:
+        check_topology(layout, network.edges)
+    return report
+
+
+@pytest.fixture
+def small_layouts():
+    """A few routed layouts reused across metric/viz tests."""
+    from repro.core import layout_collinear_network, layout_kary
+    from repro.topology import Ring
+
+    return {
+        "ring": layout_collinear_network(Ring(5)),
+        "kary": layout_kary(3, 2),
+        "kary4": layout_kary(3, 2, layers=4),
+    }

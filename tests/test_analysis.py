@@ -1,0 +1,120 @@
+"""Closed-form prediction functions."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    Prediction,
+    butterfly_prediction,
+    ccc_prediction,
+    enhanced_cube_prediction,
+    folded_hypercube_prediction,
+    ghc_prediction,
+    hsn_prediction,
+    hypercube_prediction,
+    isn_prediction,
+    kary_prediction,
+    paper_prediction,
+)
+
+
+class TestFormulas:
+    def test_hypercube_area(self):
+        p = hypercube_prediction(8, 2)
+        N = 256
+        assert p.area == pytest.approx(16 * N * N / (9 * 4))
+        assert p.volume == pytest.approx(p.area * 2)
+        assert p.max_wire == pytest.approx(2 * N / 6)
+
+    def test_kary_area(self):
+        p = kary_prediction(4, 3, 2)
+        N = 64
+        assert p.area == pytest.approx(16 * N * N / (4 * 16))
+
+    def test_ghc(self):
+        p = ghc_prediction(4, 2, 4)
+        N = 16
+        assert p.area == pytest.approx(16 * N * N / (4 * 16))
+        assert p.path_wire == pytest.approx(4 * N / 4)
+
+    def test_butterfly_uses_total_nodes(self):
+        p = butterfly_prediction(4, 2)
+        N = 5 * 16
+        lg = math.log2(N)
+        assert p.num_nodes == N
+        assert p.area == pytest.approx(4 * N * N / (4 * lg * lg))
+
+    def test_isn_quarter_of_butterfly(self):
+        b = butterfly_prediction(4, 2)
+        i = isn_prediction(4, 2)
+        assert i.area == pytest.approx(b.area / 4)
+        assert i.max_wire == pytest.approx(b.max_wire / 2)
+
+    def test_hsn(self):
+        p = hsn_prediction(4, 2, 2)
+        assert p.num_nodes == 16
+        assert p.area == pytest.approx(16 * 16 / 16)
+
+    def test_ccc(self):
+        p = ccc_prediction(4, 2)
+        N = 64
+        lg = math.log2(N)
+        assert p.area == pytest.approx(16 * N * N / (9 * 4 * lg * lg))
+
+    def test_folded_and_enhanced_ratio(self):
+        f = folded_hypercube_prediction(6, 2)
+        e = enhanced_cube_prediction(6, 2)
+        h = hypercube_prediction(6, 2)
+        assert f.area / h.area == pytest.approx(49 / 16)
+        assert e.area / h.area == pytest.approx(100 / 16)
+
+
+class TestOddLayers:
+    def test_odd_uses_l_squared_minus_one(self):
+        even = hypercube_prediction(8, 4)
+        odd = hypercube_prediction(8, 5)
+        assert odd.area == pytest.approx(even.area * 16 / 24)
+
+    def test_odd_volume_counts_all_layers(self):
+        p = kary_prediction(4, 2, 3)
+        assert p.volume == pytest.approx(p.area * 3)
+
+
+class TestScalingClaims:
+    """Claims (1)-(3) of the introduction, at the formula level."""
+
+    @pytest.mark.parametrize("fam,args", [
+        ("hypercube", (8,)), ("kary", (4, 3)), ("ghc", (4, 2)),
+        ("butterfly", (4,)), ("hsn", (4, 2)), ("ccc", (5,)),
+    ])
+    def test_area_scales_as_l_squared(self, fam, args):
+        p2 = paper_prediction(fam, *args, layers=2)
+        p8 = paper_prediction(fam, *args, layers=8)
+        assert p2.area / p8.area == pytest.approx(16.0)
+
+    @pytest.mark.parametrize("fam,args", [("hypercube", (8,)), ("ghc", (4, 2))])
+    def test_volume_scales_as_l(self, fam, args):
+        p2 = paper_prediction(fam, *args, layers=2)
+        p8 = paper_prediction(fam, *args, layers=8)
+        assert p2.volume / p8.volume == pytest.approx(4.0)
+
+    def test_wire_scales_as_l(self):
+        p2 = hypercube_prediction(8, 2)
+        p8 = hypercube_prediction(8, 8)
+        assert p2.max_wire / p8.max_wire == pytest.approx(4.0)
+
+
+class TestDispatch:
+    def test_known_families(self):
+        p = paper_prediction("kary", 4, 2, layers=2)
+        assert isinstance(p, Prediction)
+        assert p.family == "kary"
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            paper_prediction("torus-of-doom", 4, layers=2)
+
+    def test_as_dict(self):
+        d = hypercube_prediction(4, 2).as_dict()
+        assert set(d) == {"family", "N", "L", "area", "volume", "max_wire", "path_wire"}

@@ -1,0 +1,78 @@
+"""Top-level API: dispatch and package exports."""
+
+import pytest
+
+import repro
+from conftest import assert_layout_ok
+from repro.core import layout_network
+from repro.topology import (
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    EnhancedCube,
+    FoldedHypercube,
+    GeneralizedHypercube,
+    Hypercube,
+    IndirectSwapNetwork,
+    KAryNCube,
+    KAryNCubeCluster,
+    ProductNetwork,
+    ReducedHypercube,
+    Ring,
+    StarGraph,
+)
+
+
+DISPATCH_CASES = [
+    Ring(5),
+    KAryNCube(3, 2),
+    Hypercube(4),
+    FoldedHypercube(3),
+    EnhancedCube(3),
+    CompleteGraph(6),
+    GeneralizedHypercube((3, 4)),
+    ProductNetwork(Ring(4), Ring(3)),
+    Butterfly(2),
+    IndirectSwapNetwork(2),
+    CubeConnectedCycles(3),
+    ReducedHypercube(4),
+    HSN(CompleteGraph(3), 2),
+    KAryNCubeCluster(3, 2, 2),
+    StarGraph(4),
+]
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("net", DISPATCH_CASES, ids=lambda n: n.name)
+    def test_layout_network_roundtrip(self, net):
+        lay = layout_network(net)
+        assert_layout_ok(lay, net)
+
+    @pytest.mark.parametrize("net", [Hypercube(4), KAryNCube(3, 2)], ids=lambda n: n.name)
+    def test_layers_forwarded(self, net):
+        lay = layout_network(net, layers=4)
+        assert lay.layers == 4
+        assert_layout_ok(lay, net)
+
+    def test_fallback_for_custom_graph(self):
+        from repro.topology.base import build_network
+
+        net = build_network(["a", "b", "c"], [("a", "b"), ("b", "c")], "path")
+        lay = layout_network(net)
+        assert_layout_ok(lay, net)
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        lay = repro.layout_hypercube(6, layers=4)
+        repro.validate_layout(lay)
+        m = repro.measure(lay)
+        assert m.area > 0 and m.volume == 4 * m.area

@@ -1,0 +1,42 @@
+"""The table harness used by benches and examples."""
+
+from repro.bench.harness import comparison_row, format_table, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # Right-aligned columns with uniform width.
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [1234567.0], [12.5]])
+        assert "0.123" in text
+        assert "e+06" in text.replace("E", "e")
+
+    def test_int_thousands(self):
+        assert "1,024" in format_table(["n"], [[1024]])
+
+    def test_strings_passthrough(self):
+        assert "hello" in format_table(["s"], [["hello"]])
+
+
+class TestComparisonRow:
+    def test_ratio(self):
+        row = comparison_row(["x"], 10.0, 15.0)
+        assert row == ["x", 10.0, 15.0, 1.5]
+
+    def test_zero_paper(self):
+        row = comparison_row([], 0, 5)
+        assert row[-1] != row[-1]  # NaN
+
+    def test_print_table(self, capsys):
+        print_table("title", ["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "== title ==" in out

@@ -1,0 +1,140 @@
+"""Bisection widths and layout lower bounds."""
+
+import pytest
+
+from repro.core import layout_ghc, layout_hypercube, layout_kary, measure
+from repro.core.bounds import (
+    area_lower_bound,
+    bisection_formula,
+    exact_bisection,
+    kernighan_lin,
+    optimality_factor,
+)
+from repro.topology import (
+    CompleteGraph,
+    GeneralizedHypercube,
+    Hypercube,
+    KAryNCube,
+    Ring,
+)
+
+
+class TestExactBisection:
+    def test_ring(self):
+        assert exact_bisection(Ring(6)) == 2
+        assert exact_bisection(Ring(9)) == 2
+
+    def test_complete(self):
+        assert exact_bisection(CompleteGraph(6)) == 9
+        assert exact_bisection(CompleteGraph(7)) == 12
+
+    def test_hypercube(self):
+        assert exact_bisection(Hypercube(3)) == 4
+        assert exact_bisection(Hypercube(4)) == 8
+
+    def test_kary(self):
+        assert exact_bisection(KAryNCube(4, 2)) == 8  # 2N/k
+
+    def test_path_is_one(self):
+        from repro.topology.base import build_network
+
+        net = build_network(range(6), [(i, i + 1) for i in range(5)], "path")
+        assert exact_bisection(net) == 1
+
+    def test_tiny(self):
+        from repro.topology.base import build_network
+
+        assert exact_bisection(build_network([0], [], "dot")) == 0
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_hypercube_matches_exact(self, n):
+        assert bisection_formula("hypercube", n) == exact_bisection(Hypercube(n))
+
+    def test_kary_matches_exact(self):
+        assert bisection_formula("kary", 4, 2) == exact_bisection(KAryNCube(4, 2))
+
+    def test_complete_matches_exact(self):
+        for n in (4, 5, 6, 7):
+            assert bisection_formula("complete", n) == exact_bisection(
+                CompleteGraph(n)
+            )
+
+    def test_ghc_matches_exact(self):
+        assert bisection_formula("ghc", 4, 2) == exact_bisection(
+            GeneralizedHypercube((4, 4))
+        )
+
+    def test_ring(self):
+        assert bisection_formula("ring", 9) == 2
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError):
+            bisection_formula("kary", 3, 2)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            bisection_formula("klein-bottle", 3)
+
+
+class TestKernighanLin:
+    @pytest.mark.parametrize(
+        "net",
+        [Ring(8), Hypercube(3), Hypercube(4), KAryNCube(4, 2), CompleteGraph(8)],
+        ids=lambda n: n.name,
+    )
+    def test_upper_bounds_exact(self, net):
+        kl = kernighan_lin(net)
+        exact = exact_bisection(net)
+        assert kl >= exact
+        # KL should be near-optimal on these structured graphs.
+        assert kl <= 2 * exact + 2
+
+    def test_deterministic(self):
+        assert kernighan_lin(Hypercube(5)) == kernighan_lin(Hypercube(5))
+
+    def test_scales_to_moderate_graphs(self):
+        # 64 nodes: exact is infeasible, KL gives a certified ceiling.
+        kl = kernighan_lin(Hypercube(6))
+        assert kl >= bisection_formula("hypercube", 6)
+
+
+class TestLowerBounds:
+    def test_area_bound_arithmetic(self):
+        assert area_lower_bound(128, 2) == 64 * 64
+        assert area_lower_bound(128, 8) == 16 * 16
+        assert area_lower_bound(0, 4) == 0
+        assert area_lower_bound(10, 4) == 9  # ceil(10/4) = 3
+
+    def test_layouts_respect_lower_bound(self):
+        """Every constructed layout must sit above the trivial bound --
+        a cross-cutting soundness check of the whole pipeline."""
+        cases = [
+            (layout_hypercube(6, layers=2), bisection_formula("hypercube", 6), 2),
+            (layout_hypercube(6, layers=8), bisection_formula("hypercube", 6), 8),
+            (layout_kary(4, 3, layers=2), bisection_formula("kary", 4, 3), 2),
+            (layout_ghc((4, 4), layers=4), bisection_formula("ghc", 4, 2), 4),
+        ]
+        for lay, bis, L in cases:
+            m = measure(lay)
+            assert m.area >= area_lower_bound(bis, L)
+            assert m.width * L >= bis
+            assert m.height * L >= bis
+
+    def test_optimality_factor_reasonable(self):
+        """Abstract: 'optimal within a small constant factor'."""
+        lay = layout_hypercube(10, layers=2, node_side="min")
+        f = optimality_factor(
+            measure(lay).area, bisection_formula("hypercube", 10), 2
+        )
+        assert 1.0 <= f <= 16.0  # paper's hypercube constant is 64/9 + o(1)
+
+    def test_ghc_factor_approaches_paper_constant(self):
+        """GHC: paper area r^2N^2/(4L^2) vs bound (rN/(4L))^2 -> factor
+        4 + o(1), the '2 + o(1)' per side of Section 1."""
+        lay = layout_ghc((8, 8), layers=2, node_side="min")
+        f = optimality_factor(
+            measure(lay).area, bisection_formula("ghc", 8, 2), 2
+        )
+        assert 3.0 <= f <= 10.0

@@ -1,0 +1,116 @@
+"""Builder fundamentals on plain-node grids."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core import layout_collinear_network, layout_kary
+from repro.core.builder import build_orthogonal_layout
+from repro.core.spec import LayoutSpec, LinkSpec, NodeCell
+from repro.topology import KAryNCube, Ring
+
+
+def simple_spec(layers=2, side=2):
+    cells = {(i, j): NodeCell((i, j), side) for i in range(2) for j in range(2)}
+    spec = LayoutSpec(rows=2, cols=2, cells=cells, layers=layers, name="2x2")
+    spec.row_links = [
+        LinkSpec((0, 0), (0, 1), (0, 0), (0, 1)),
+        LinkSpec((1, 0), (1, 1), (1, 0), (1, 1)),
+    ]
+    spec.col_links = [
+        LinkSpec((0, 0), (1, 0), (0, 0), (1, 0)),
+        LinkSpec((0, 1), (1, 1), (0, 1), (1, 1)),
+    ]
+    return spec
+
+
+class TestBasics:
+    def test_2x2_grid_routes(self):
+        lay = build_orthogonal_layout(simple_spec())
+        assert len(lay.wires) == 4
+        assert_layout_ok(lay)
+
+    def test_every_node_placed(self):
+        lay = build_orthogonal_layout(simple_spec())
+        assert len(lay.placements) == 4
+
+    def test_meta_channels(self):
+        lay = build_orthogonal_layout(simple_spec())
+        assert lay.meta["row_tracks"] == [1, 1]
+        assert lay.meta["col_tracks"] == [1, 1]
+
+    def test_wire_endpoints_are_links(self):
+        lay = build_orthogonal_layout(simple_spec())
+        pairs = set(lay.edge_multiset())
+        assert len(pairs) == 4
+
+    def test_layers_respected(self):
+        for L in (2, 3, 4, 8):
+            lay = build_orthogonal_layout(simple_spec(layers=L))
+            assert max(max(s.layer for s in w.segments) for w in lay.wires) <= L
+            assert_layout_ok(lay)
+
+    def test_single_cell_no_links(self):
+        spec = LayoutSpec(
+            rows=1, cols=1, cells={(0, 0): NodeCell("a", 3)}, name="dot"
+        )
+        lay = build_orthogonal_layout(spec)
+        assert lay.area == 9
+        assert_layout_ok(lay)
+
+    def test_parallel_links_use_separate_tracks(self):
+        cells = {(0, 0): NodeCell("a", 4), (0, 1): NodeCell("b", 4)}
+        spec = LayoutSpec(rows=1, cols=2, cells=cells)
+        spec.row_links = [
+            LinkSpec((0, 0), (0, 1), "a", "b", edge_key=0),
+            LinkSpec((0, 0), (0, 1), "a", "b", edge_key=1),
+            LinkSpec((0, 0), (0, 1), "a", "b", edge_key=2),
+        ]
+        lay = build_orthogonal_layout(spec)
+        assert lay.meta["row_tracks"] == [3]
+        assert_layout_ok(lay)
+        assert lay.edge_multiset() == {("a", "b"): 3}
+
+    def test_pin_overflow_raises(self):
+        cells = {(0, 0): NodeCell("a", 1), (0, 1): NodeCell("b", 1)}
+        spec = LayoutSpec(rows=1, cols=2, cells=cells)
+        spec.row_links = [
+            LinkSpec((0, 0), (0, 1), "a", "b", edge_key=k) for k in range(3)
+        ]
+        with pytest.raises(ValueError, match="node_side"):
+            build_orthogonal_layout(spec)
+
+
+class TestCollinearAsGrid:
+    def test_ring_track_count(self):
+        lay = layout_collinear_network(Ring(8))
+        assert lay.meta["row_tracks"] == [2]
+        assert_layout_ok(lay, Ring(8))
+
+    def test_multilayer_shrinks_height_only(self):
+        l2 = layout_collinear_network(Ring(8), layers=2)
+        l4 = layout_collinear_network(Ring(8), layers=4)
+        assert l4.width == l2.width
+        assert l4.height < l2.height
+
+    def test_order_respected(self):
+        r = Ring(5)
+        lay = layout_collinear_network(r, order=[4, 3, 2, 1, 0])
+        xs = {v: p.rect.x0 for v, p in lay.placements.items()}
+        assert xs[4] < xs[3] < xs[0]
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            layout_collinear_network(Ring(5), order=[0, 1, 2])
+
+
+class TestDeterminism:
+    def test_same_spec_same_layout(self):
+        a = layout_kary(3, 2, layers=4)
+        b = layout_kary(3, 2, layers=4)
+        assert a.summary() == b.summary()
+        wa = sorted((w.key(), w.length) for w in a.wires)
+        wb = sorted((w.key(), w.length) for w in b.wires)
+        assert wa == wb
+
+    def test_topology_preserved(self):
+        assert_layout_ok(layout_kary(4, 2, layers=6), KAryNCube(4, 2))

@@ -1,0 +1,115 @@
+"""Builder: cluster blocks (recursive grid scheme, Section 2.3)."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.builder import build_orthogonal_layout
+from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
+
+
+def two_block_spec(layers=2, orientation="row"):
+    """Two 3-node path clusters connected by two inter-cluster links."""
+    blocks = {}
+    for c in range(2):
+        nodes = [f"c{c}n{i}" for i in range(3)]
+        edges = [(nodes[0], nodes[1]), (nodes[1], nodes[2])]
+        blocks[c] = BlockCell(c, nodes, edges, node_side=3)
+    if orientation == "row":
+        cells = {(0, 0): blocks[0], (0, 1): blocks[1]}
+        links = [
+            LinkSpec((0, 0), (0, 1), "c0n0", "c1n2", edge_key=0),
+            LinkSpec((0, 0), (0, 1), "c0n2", "c1n0", edge_key=0),
+        ]
+        spec = LayoutSpec(rows=1, cols=2, cells=cells, row_links=links,
+                          layers=layers, name="blocks-row")
+    else:
+        cells = {(0, 0): blocks[0], (1, 0): blocks[1]}
+        links = [
+            LinkSpec((0, 0), (1, 0), "c0n0", "c1n2", edge_key=0),
+            LinkSpec((0, 0), (1, 0), "c0n2", "c1n0", edge_key=0),
+        ]
+        spec = LayoutSpec(rows=2, cols=1, cells=cells, col_links=links,
+                          layers=layers, name="blocks-col")
+    return spec
+
+
+class TestBlockRouting:
+    @pytest.mark.parametrize("orientation", ["row", "col"])
+    @pytest.mark.parametrize("layers", [2, 3, 4, 8])
+    def test_blocks_route_and_validate(self, orientation, layers):
+        lay = build_orthogonal_layout(two_block_spec(layers, orientation))
+        assert_layout_ok(lay)
+        # 2 inter + 4 intra wires
+        assert len(lay.wires) == 6
+        assert len(lay.placements) == 6
+
+    def test_intra_edges_become_wires(self):
+        lay = build_orthogonal_layout(two_block_spec())
+        ms = lay.edge_multiset()
+        assert ms[("c0n0", "c0n1")] == 1
+        assert ms[("c0n0", "c1n2")] == 1
+
+    def test_member_positions_follow_strip_order(self):
+        lay = build_orthogonal_layout(two_block_spec())
+        xs = [lay.placements[f"c0n{i}"].rect.x0 for i in range(3)]
+        assert xs == sorted(xs)
+
+    def test_column_links_use_distribution_tracks(self):
+        """Side-entering links ride a horizontal distribution track in
+        the block's fan-in region: block height grows accordingly."""
+        col = build_orthogonal_layout(two_block_spec(orientation="col"))
+        # No horizontal channel above row 0 (no row links), so the
+        # member squares' offset from y=0 is exactly the fan-in region:
+        # one distribution track per side-entering link.
+        assert col.meta["row_tracks"][0] == 0
+        assert col.placements["c0n0"].rect.y0 == 2
+
+    def test_parallel_intercluster_links(self):
+        spec = two_block_spec()
+        spec.row_links.append(
+            LinkSpec((0, 0), (0, 1), "c0n0", "c1n2", edge_key=1)
+        )
+        lay = build_orthogonal_layout(spec)
+        assert lay.edge_multiset()[("c0n0", "c1n2")] == 2
+        assert_layout_ok(lay)
+
+
+class TestMixedCells:
+    def test_block_next_to_plain_node(self):
+        block = BlockCell("c", ["a", "b"], [("a", "b")], node_side=2)
+        cells = {(0, 0): block, (0, 1): NodeCell("z", 2), (1, 1): NodeCell("y", 2)}
+        spec = LayoutSpec(
+            rows=2,
+            cols=2,
+            cells=cells,
+            row_links=[LinkSpec((0, 0), (0, 1), "b", "z")],
+            col_links=[LinkSpec((0, 1), (1, 1), "z", "y")],
+            name="mixed",
+        )
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert set(lay.edge_multiset()) == {("a", "b"), ("b", "z"), ("y", "z")}
+
+    def test_single_node_block(self):
+        block = BlockCell("c", ["only"], [], node_side=2)
+        cells = {(0, 0): block, (0, 1): NodeCell("z", 2)}
+        spec = LayoutSpec(
+            rows=1, cols=2, cells=cells,
+            row_links=[LinkSpec((0, 0), (0, 1), "only", "z")],
+        )
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+
+    def test_dense_cluster_strip(self):
+        # A K4 cluster: strip cutwidth 4, all below the node row.
+        nodes = [f"k{i}" for i in range(4)]
+        edges = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+        block = BlockCell("k", nodes, edges, node_side=4)
+        cells = {(0, 0): block, (0, 1): NodeCell("z", 4)}
+        spec = LayoutSpec(
+            rows=1, cols=2, cells=cells,
+            row_links=[LinkSpec((0, 0), (0, 1), "k3", "z")],
+        )
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert lay.edge_multiset()[("k0", "k1")] == 1

@@ -1,0 +1,98 @@
+"""Builder: extra (diagonal) links with dedicated tracks (Section 5.3)."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.builder import build_orthogonal_layout
+from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
+
+
+def grid_spec(rows=3, cols=3, side=3, layers=2):
+    cells = {
+        (i, j): NodeCell((i, j), side) for i in range(rows) for j in range(cols)
+    }
+    return LayoutSpec(rows=rows, cols=cols, cells=cells, layers=layers,
+                      name="extra-test")
+
+
+class TestExtraLinks:
+    @pytest.mark.parametrize("layers", [2, 4, 5, 8])
+    def test_diagonal_link_routes(self, layers):
+        spec = grid_spec(layers=layers)
+        spec.extra_links = [LinkSpec((0, 0), (2, 2), (0, 0), (2, 2))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert lay.edge_multiset() == {((0, 0), (2, 2)): 1}
+
+    def test_antidiagonal(self):
+        spec = grid_spec()
+        spec.extra_links = [LinkSpec((0, 2), (2, 0), (0, 2), (2, 0))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+
+    def test_upward_extra_link(self):
+        spec = grid_spec()
+        spec.extra_links = [LinkSpec((2, 0), (0, 2), (2, 0), (0, 2))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+
+    def test_same_row_extra_link(self):
+        # An extra link may happen to be row-aligned; the dedicated-track
+        # route must still be legal.
+        spec = grid_spec()
+        spec.extra_links = [LinkSpec((1, 0), (1, 2), (1, 0), (1, 2))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+
+    def test_same_col_extra_link(self):
+        spec = grid_spec()
+        spec.extra_links = [LinkSpec((0, 1), (2, 1), (0, 1), (2, 1))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+
+    def test_many_extras_get_dedicated_tracks(self):
+        spec = grid_spec(side=5)
+        spec.extra_links = [
+            LinkSpec((0, 0), (2, 2), (0, 0), (2, 2), edge_key=0),
+            LinkSpec((0, 1), (2, 0), (0, 1), (2, 0), edge_key=0),
+            LinkSpec((0, 2), (2, 1), (0, 2), (2, 1), edge_key=0),
+        ]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        # All extras start in row 0: its channel holds 3 dedicated tracks.
+        assert lay.meta["row_tracks"][0] == 3
+
+    def test_extras_coexist_with_regular_links(self):
+        spec = grid_spec(side=4)
+        spec.row_links = [LinkSpec((0, 0), (0, 1), (0, 0), (0, 1))]
+        spec.col_links = [LinkSpec((0, 0), (1, 0), (0, 0), (1, 0))]
+        spec.extra_links = [LinkSpec((0, 0), (2, 2), (0, 0), (2, 2))]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert len(lay.wires) == 3
+
+    def test_extra_link_into_block(self):
+        block = BlockCell("c", ["a", "b"], [("a", "b")], node_side=3)
+        cells = {
+            (0, 0): NodeCell("s", 3),
+            (0, 1): NodeCell("t", 3),
+            (1, 1): block,
+        }
+        spec = LayoutSpec(
+            rows=2, cols=2, cells=cells,
+            extra_links=[LinkSpec((0, 0), (1, 1), "s", "b")],
+            name="extra-into-block",
+        )
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert lay.edge_multiset()[("b", "s")] == 1
+
+    def test_parallel_extras(self):
+        spec = grid_spec(side=4)
+        spec.extra_links = [
+            LinkSpec((0, 0), (2, 2), (0, 0), (2, 2), edge_key=0),
+            LinkSpec((0, 0), (2, 2), (0, 0), (2, 2), edge_key=1),
+        ]
+        lay = build_orthogonal_layout(spec)
+        assert_layout_ok(lay)
+        assert lay.edge_multiset()[((0, 0), (2, 2))] == 2

@@ -1,0 +1,98 @@
+"""Claims (1)-(4) of the introduction, measured end-to-end.
+
+For a network laid out under the multilayer scheme with L layers vs:
+
+(1) area shrinks ~L^2/4 x (vs the same scheme at L = 2);
+(2) volume shrinks ~L/2 x;
+(3) max wire length shrinks ~L/2 x;
+(4) routing-path wire totals shrink ~L/2 x;
+
+while the *folding* baseline only delivers L/2 on area and nothing on
+volume/wire, and the collinear-multilayer baseline at most L/2 on area.
+
+Measured ratios carry node-size and ceiling slack, so the assertions
+bound them between the ideal and a conservative fraction of it; benches
+print the full sweeps.
+"""
+
+import pytest
+
+from repro.core import (
+    collinear_multilayer_metrics,
+    fold_metrics,
+    layout_collinear_network,
+    layout_hypercube,
+    layout_kary,
+    measure,
+)
+from repro.core.metrics import weighted_diameter
+from repro.topology import Hypercube
+
+
+class TestClaimsHypercube:
+    """Measured on the 10-cube with minimal (pin-limited) node squares,
+    the smallest size where wiring clearly dominates node area."""
+
+    N_DIM = 10
+    L = 8
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = layout_hypercube(self.N_DIM, layers=2, node_side="min")
+        multi = layout_hypercube(self.N_DIM, layers=self.L, node_side="min")
+        return measure(base), measure(multi), base, multi
+
+    def test_claim1_area(self, sweep):
+        base, multi, *_ = sweep
+        ratio = base.area / multi.area
+        ideal = self.L * self.L / 4
+        assert 1.5 < ratio <= ideal * 1.05
+
+    def test_claim2_volume(self, sweep):
+        base, multi, *_ = sweep
+        ratio = base.volume / multi.volume
+        ideal = self.L / 2
+        assert 1.0 < ratio <= ideal * 1.05
+
+    def test_claim3_max_wire(self, sweep):
+        base, multi, *_ = sweep
+        ratio = base.max_wire / multi.max_wire
+        assert 1.0 < ratio <= self.L / 2 * 1.1
+
+    def test_claim4_path_wire(self, sweep):
+        *_, base_lay, multi_lay = sweep
+        d2 = weighted_diameter(base_lay, max_sources=8)
+        dL = weighted_diameter(multi_lay, max_sources=8)
+        assert 1.0 < d2 / dL <= self.L / 2 * 1.1
+
+    def test_multilayer_beats_folding_on_area(self, sweep):
+        base, multi, *_ = sweep
+        folded = fold_metrics(base, self.L)
+        assert multi.area < folded.area
+
+    def test_multilayer_beats_folding_on_volume_and_wire(self, sweep):
+        base, multi, *_ = sweep
+        folded = fold_metrics(base, self.L)
+        assert multi.volume < folded.volume
+        assert multi.max_wire < folded.max_wire
+
+    def test_multilayer_beats_collinear_baseline(self):
+        base_col = measure(layout_collinear_network(Hypercube(self.N_DIM)))
+        col = collinear_multilayer_metrics(base_col, self.L)
+        multi = measure(layout_hypercube(self.N_DIM, layers=self.L))
+        assert multi.area < col.area
+        assert multi.volume < col.volume
+
+
+class TestClaimsKAry:
+    def test_area_trend_monotone_in_l(self):
+        areas = {L: layout_kary(4, 4, layers=L).area for L in (2, 4, 8)}
+        assert areas[2] > areas[4] > areas[8]
+
+    def test_ratio_approaches_quarter_l_squared_with_size(self):
+        """Node-size slack shrinks as k grows: the measured area ratio
+        between L=2 and L=8 climbs toward 16."""
+        small = layout_kary(3, 4, layers=2).area / layout_kary(3, 4, layers=8).area
+        big = layout_kary(5, 4, layers=2).area / layout_kary(5, 4, layers=8).area
+        assert big > small
+        assert big <= 16.05

@@ -1,0 +1,84 @@
+"""Collective-communication schedules."""
+
+import pytest
+
+from repro.core import layout_hypercube
+from repro.routing import simulate
+from repro.routing.collective import (
+    binomial_broadcast,
+    recursive_doubling_allgather,
+    schedule_rounds,
+)
+from repro.topology import Hypercube
+
+
+class TestBinomialBroadcast:
+    def test_covers_all_nodes(self):
+        net = Hypercube(4)
+        rounds = binomial_broadcast(net)
+        reached = {0}
+        for msgs in rounds:
+            for s, d in msgs:
+                assert s in reached
+                reached.add(d)
+        assert reached == set(net.nodes)
+
+    def test_round_count_is_dimension(self):
+        assert len(binomial_broadcast(Hypercube(5))) == 5
+
+    def test_message_count_doubles(self):
+        rounds = binomial_broadcast(Hypercube(4))
+        assert [len(r) for r in rounds] == [1, 2, 4, 8]
+
+    def test_nonzero_root(self):
+        net = Hypercube(3)
+        rounds = binomial_broadcast(net, root=5)
+        reached = {5}
+        for msgs in rounds:
+            reached.update(d for _, d in msgs)
+        assert reached == set(net.nodes)
+
+
+class TestRecursiveDoubling:
+    def test_every_node_every_round(self):
+        net = Hypercube(3)
+        rounds = recursive_doubling_allgather(net)
+        assert len(rounds) == 3
+        for msgs in rounds:
+            assert len(msgs) == 8
+            assert {s for s, _ in msgs} == set(net.nodes)
+
+    def test_exchanges_are_paired(self):
+        rounds = recursive_doubling_allgather(Hypercube(3))
+        for msgs in rounds:
+            pairs = set(msgs)
+            assert all((d, s) in pairs for s, d in msgs)
+
+
+class TestScheduling:
+    def test_round_gap_pacing(self):
+        rounds = [[(0, 1)], [(1, 3)]]
+        timed = schedule_rounds(rounds, round_gap=50)
+        assert timed == [(0, 1, 0), (1, 3, 50)]
+
+    def test_broadcast_completes_on_layout(self):
+        net = Hypercube(5)
+        lay = layout_hypercube(5, layers=4, node_side="min")
+        gap = lay.max_wire_length() + 2
+        msgs = schedule_rounds(binomial_broadcast(net), round_gap=gap)
+        res = simulate(net, msgs, layout=lay)
+        assert res.messages == 31
+        assert res.makespan >= (net.n - 1) * gap
+
+    def test_multilayer_speeds_up_broadcast(self):
+        """Collectives inherit the wire-length win: the same broadcast
+        schedule finishes sooner on the L=8 layout (pacing scaled to
+        each layout's own wire delays)."""
+        net = Hypercube(6)
+        results = {}
+        for L in (2, 8):
+            lay = layout_hypercube(6, layers=L, node_side="min")
+            gap = lay.max_wire_length() + 2
+            msgs = schedule_rounds(binomial_broadcast(net), round_gap=gap)
+            results[L] = simulate(net, msgs, layout=lay).makespan
+        assert results[8] < results[2]

@@ -1,0 +1,104 @@
+"""Collinear engine: construction, optimality certificate, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collinear.engine import collinear_layout
+
+
+def ring_edges(k):
+    return [(i, (i + 1) % k) for i in range(k)]
+
+
+class TestEngine:
+    def test_ring_two_tracks(self):
+        lay = collinear_layout(range(6), ring_edges(6))
+        assert lay.num_tracks == 2
+        assert lay.is_optimal()
+        lay.check()
+
+    def test_path_one_track(self):
+        lay = collinear_layout(range(5), [(i, i + 1) for i in range(4)])
+        assert lay.num_tracks == 1
+
+    def test_respects_order(self):
+        # A path laid out in scrambled order needs more tracks.
+        edges = [(i, i + 1) for i in range(4)]
+        lay = collinear_layout(range(5), edges, [0, 2, 4, 1, 3])
+        assert lay.num_tracks == lay.max_cut() > 1
+
+    def test_order_callable(self):
+        lay = collinear_layout(range(4), [(0, 1)], order=lambda ns: sorted(ns, reverse=True))
+        assert lay.order == [3, 2, 1, 0]
+
+    def test_parallel_edges_use_two_tracks(self):
+        lay = collinear_layout(range(2), [(0, 1), (0, 1)])
+        assert lay.num_tracks == 2
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="permutation"):
+            collinear_layout(range(3), [], order=[0, 1])
+        with pytest.raises(ValueError, match="permutation"):
+            collinear_layout(range(3), [], order=[0, 1, 1])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            collinear_layout(range(3), [(1, 1)])
+
+    def test_cut_profile(self):
+        lay = collinear_layout(range(4), ring_edges(4))
+        assert lay.cut_profile() == [2, 2, 2]
+
+    def test_interval(self):
+        lay = collinear_layout(range(5), [(4, 1)])
+        assert lay.interval(0) == (1, 4)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 16))
+    m = draw(st.integers(1, 40))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v))
+    if not edges:
+        edges = [(0, 1)]
+    return n, edges
+
+
+class TestEngineProperties:
+    @given(random_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_always_optimal_for_given_order(self, graph):
+        n, edges = graph
+        lay = collinear_layout(range(n), edges)
+        lay.check()
+        assert lay.is_optimal()
+
+    @given(random_graphs(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_track_count_lower_bounded_by_degree_half(self, graph, rng):
+        """Any order needs at least ceil(maxdeg/2) tracks (each track
+        supplies at most 2 edge-ends at a node)."""
+        n, edges = graph
+        order = list(range(n))
+        rng.shuffle(order)
+        lay = collinear_layout(range(n), edges, order)
+        deg = {}
+        for u, v in edges:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        assert lay.num_tracks >= -(-max(deg.values()) // 2)
+
+    @given(random_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_reversal_symmetry(self, graph):
+        """Reversing the order cannot change the optimal track count."""
+        n, edges = graph
+        fwd = collinear_layout(range(n), edges, list(range(n)))
+        rev = collinear_layout(range(n), edges, list(range(n))[::-1])
+        assert fwd.num_tracks == rev.num_tracks

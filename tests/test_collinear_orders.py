@@ -1,0 +1,60 @@
+"""Node-order helpers."""
+
+import pytest
+
+from repro.collinear.orders import (
+    binary_order,
+    folded_linear_order,
+    folded_mixed_radix_order,
+    gray_order,
+    identity_order,
+    interleaved_copies_order,
+    mixed_radix_order,
+)
+
+
+class TestOrders:
+    def test_identity(self):
+        assert identity_order([3, 1, 2]) == [3, 1, 2]
+
+    def test_binary(self):
+        assert binary_order(3) == list(range(8))
+
+    def test_mixed_radix_lex(self):
+        order = mixed_radix_order([2, 3])
+        assert order == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_mixed_radix_counts(self):
+        assert len(mixed_radix_order([3, 4, 2])) == 24
+
+    def test_interleaved_copies(self):
+        out = interleaved_copies_order(2, ["x", "y"])
+        assert out == [(0, "x"), (1, "x"), (0, "y"), (1, "y")]
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 9])
+    def test_folded_linear_is_permutation(self, k):
+        order = folded_linear_order(k)
+        assert sorted(order) == list(range(k))
+
+    @pytest.mark.parametrize("k", [4, 5, 6, 9])
+    def test_folded_linear_shortens_ring_edges(self, k):
+        """Every ring edge spans <= 2 positions under the folded order
+        (the Section 3.1 wire-shortening trick)."""
+        order = folded_linear_order(k)
+        pos = {v: i for i, v in enumerate(order)}
+        for i in range(k):
+            j = (i + 1) % k
+            assert abs(pos[i] - pos[j]) <= 2
+
+    def test_folded_mixed_radix_is_permutation(self):
+        out = folded_mixed_radix_order([3, 4])
+        assert sorted(out) == mixed_radix_order([3, 4])
+
+    def test_gray_adjacent_differ_one_bit(self):
+        order = gray_order(4)
+        assert sorted(order) == list(range(16))
+        for a, b in zip(order, order[1:]):
+            x = a ^ b
+            assert x and not (x & (x - 1))

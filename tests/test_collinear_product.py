@@ -1,0 +1,80 @@
+"""Product composition of collinear layouts."""
+
+import pytest
+
+from repro.collinear.engine import collinear_layout
+from repro.collinear.formulas import kary_tracks, mixed_radix_ghc_tracks
+from repro.collinear.product import product_collinear
+from repro.collinear.recursions import complete_recursive, ring_recursive
+from repro.topology import CompleteGraph, Hypercube, KAryNCube, Ring
+
+
+def ring_layout(k):
+    return ring_recursive(k)
+
+
+def engine_layout(net):
+    return collinear_layout(net.nodes, net.edges)
+
+
+class TestComposition:
+    def test_track_count_formula(self):
+        a = ring_layout(3)
+        b = ring_layout(3)
+        prod = product_collinear(a, b)
+        assert prod.num_tracks == 3 * 2 + 2  # |A| f_B + f_A = 8
+        assert prod.num_nodes == 9
+
+    def test_matches_kary_recursion(self):
+        """ring x (k-ary n-cube) composition == the paper's f_k(n+1)."""
+        inner = ring_layout(4)
+        for _ in range(2):
+            inner = product_collinear(ring_layout(4), inner)
+        # Built 3 dimensions of a 4-ary cube.
+        assert inner.num_tracks == kary_tracks(4, 3)
+
+    def test_matches_ghc_recurrence(self):
+        """K_r x K_r composition == the GHC recurrence value."""
+        k3 = complete_recursive(3)
+        prod = product_collinear(k3, k3)
+        assert prod.num_tracks == mixed_radix_ghc_tracks((3, 3))
+
+    def test_realizes_the_product_graph(self):
+        a, b = ring_layout(3), ring_layout(4)
+        prod = product_collinear(a, b)
+        # Edge count: |A| |E_B| + |B| |E_A|.
+        assert len(prod.edges) == 3 * 4 + 4 * 3
+        prod.check()
+
+    def test_engine_never_worse(self):
+        """Left-edge over the composed order can only match or beat
+        the composition."""
+        a, b = ring_layout(4), ring_layout(4)
+        prod = product_collinear(a, b)
+        eng = collinear_layout(
+            [v for v in prod.order],
+            prod.edges,
+            prod.order,
+        )
+        assert eng.num_tracks <= prod.num_tracks
+
+    def test_composition_is_valid_assignment(self):
+        # Complete graph as A (blocks), ring as B (copies).
+        a = _tupled(complete_recursive(4))
+        b = ring_layout(5)
+        prod = product_collinear(a, b)
+        prod.check()
+        assert prod.num_tracks == 4 * 2 + a.num_tracks
+
+
+def _tupled(lay):
+    """Relabel int nodes as 1-tuples to avoid label collisions."""
+    from repro.collinear.engine import CollinearLayout
+
+    mapping = {v: (v,) for v in lay.order}
+    return CollinearLayout(
+        order=[mapping[v] for v in lay.order],
+        edges=[(mapping[u], mapping[v]) for u, v in lay.edges],
+        tracks=list(lay.tracks),
+        num_tracks=lay.num_tracks,
+    )

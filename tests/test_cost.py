@@ -1,0 +1,68 @@
+"""Cost model (Section 2.2's cost(A, L, L_A))."""
+
+import pytest
+
+from repro.core import layout_hypercube
+from repro.core.cost import CostModel, chip_cost
+from repro.core.folding import fold_layout
+
+
+class TestCostModel:
+    def test_layer_factor(self):
+        m = CostModel(wiring_layer_premium=0.1, active_layer_premium=0.2)
+        assert m.layer_factor(2, 1) == 1.0
+        assert m.layer_factor(8, 1) == pytest.approx(1.6)
+        assert m.layer_factor(8, 4) == pytest.approx(2.2)
+
+    def test_yield(self):
+        m = CostModel(defect_density=0.001)
+        assert m.yield_fraction(0) == 1.0
+        assert 0 < m.yield_fraction(1000) < 1.0
+
+    def test_zero_defects(self):
+        assert CostModel().yield_fraction(10**6) == 1.0
+
+
+class TestChipCost:
+    def test_breakdown_consistency(self):
+        lay = layout_hypercube(6, layers=4)
+        c = chip_cost(lay)
+        assert c.area == lay.area
+        assert c.total == pytest.approx((c.silicon + c.via_total))
+
+    def test_multilayer_cheaper_despite_premium(self):
+        """The paper's cost argument: the L^2/4 area shrink dominates
+        the per-layer premium."""
+        l2 = chip_cost(layout_hypercube(8, layers=2, node_side="min"))
+        l8 = chip_cost(layout_hypercube(8, layers=8, node_side="min"))
+        assert l8.total < l2.total
+
+    def test_yield_amplifies_the_win(self):
+        """Yield falls exponentially in area, so the smaller multilayer
+        die gains even more once defects are modeled."""
+        base2 = layout_hypercube(8, layers=2, node_side="min")
+        base8 = layout_hypercube(8, layers=8, node_side="min")
+        ideal = CostModel()
+        defects = CostModel(defect_density=1e-5)
+        ratio_ideal = chip_cost(base2, ideal).total / chip_cost(base8, ideal).total
+        ratio_defect = (
+            chip_cost(base2, defects).total / chip_cost(base8, defects).total
+        )
+        assert ratio_defect > ratio_ideal
+
+    def test_folded_counts_active_layers(self):
+        base = layout_hypercube(8, layers=2)
+        folded = fold_layout(base, 8)
+        c = chip_cost(folded)
+        assert c.active_layers == 4
+        c2 = chip_cost(base)
+        assert c2.active_layers == 1
+
+    def test_multilayer_beats_folding_on_cost(self):
+        base = layout_hypercube(8, layers=2, node_side="min")
+        folded = fold_layout(base, 8)
+        multi = layout_hypercube(8, layers=8, node_side="min")
+        model = CostModel()
+        # Folding pays the active-layer premium on the same silicon
+        # volume; the multilayer design shrinks the silicon itself.
+        assert chip_cost(multi, model).total < chip_cost(folded, model).total

@@ -1,0 +1,73 @@
+"""Wire-delay performance model."""
+
+import pytest
+
+from repro.core import layout_hypercube, layout_kary
+from repro.core.delay import DelayModel, performance
+from repro.core.folding import fold_layout
+
+
+class TestDelayModel:
+    def test_linear_wire_delay(self):
+        m = DelayModel(alpha=2.0)
+        assert m.wire_delay(10) == 20.0
+
+    def test_rc_wire_delay(self):
+        m = DelayModel(alpha=0.0, beta=0.5)
+        assert m.wire_delay(10) == 50.0
+
+    def test_mixed(self):
+        m = DelayModel(alpha=1.0, beta=1.0)
+        assert m.wire_delay(3) == 3 + 9
+
+
+class TestPerformance:
+    def test_report_fields(self):
+        rep = performance(layout_kary(3, 2))
+        assert rep.clock_period > rep.max_wire_delay
+        assert rep.worst_latency >= rep.avg_latency > 0
+
+    def test_clock_improves_with_layers(self):
+        r2 = performance(layout_hypercube(8, layers=2, node_side="min"))
+        r8 = performance(layout_hypercube(8, layers=8, node_side="min"))
+        assert r8.max_wire_delay < r2.max_wire_delay
+        assert r8.clock_period < r2.clock_period
+
+    def test_latency_improves_with_layers(self):
+        r2 = performance(layout_hypercube(8, layers=2, node_side="min"))
+        r8 = performance(layout_hypercube(8, layers=8, node_side="min"))
+        assert r8.worst_latency < r2.worst_latency
+        assert r8.avg_latency < r2.avg_latency
+
+    def test_folding_does_not_improve_clock(self):
+        base = layout_hypercube(8, layers=2)
+        folded = fold_layout(base, 8)
+        rb = performance(base)
+        rf = performance(folded)
+        assert rf.max_wire_delay == rb.max_wire_delay
+        assert rf.worst_latency == pytest.approx(rb.worst_latency)
+
+    def test_rc_model_amplifies_gain(self):
+        """Quadratic wire delay: halving max wire quarters its delay."""
+        rc = DelayModel(alpha=0.0, beta=1.0, router_delay=0.0, node_delay=0.0)
+        r2 = performance(layout_hypercube(8, layers=2, node_side="min"), rc)
+        r8 = performance(layout_hypercube(8, layers=8, node_side="min"), rc)
+        linear = DelayModel(beta=0.0, router_delay=0.0, node_delay=0.0)
+        l2 = performance(layout_hypercube(8, layers=2, node_side="min"), linear)
+        l8 = performance(layout_hypercube(8, layers=8, node_side="min"), linear)
+        assert (r2.max_wire_delay / r8.max_wire_delay) > (
+            l2.max_wire_delay / l8.max_wire_delay
+        )
+
+    def test_sampling_bounds(self):
+        lay = layout_hypercube(6)
+        full = performance(lay, max_sources=64)
+        sampled = performance(lay, max_sources=4)
+        assert sampled.worst_latency <= full.worst_latency
+
+    def test_as_dict(self):
+        d = performance(layout_kary(3, 2)).as_dict()
+        assert set(d) == {
+            "name", "L", "clock_period", "max_wire_delay",
+            "worst_latency", "avg_latency",
+        }

@@ -1,0 +1,89 @@
+"""Geometric folding (Section 2.2's baseline, constructed)."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core import layout_hypercube, layout_kary, measure
+from repro.core.folding import fold_layout
+from repro.grid.validate import check_topology, validate_layout
+from repro.topology import Hypercube, KAryNCube
+
+
+class TestFoldLayout:
+    @pytest.mark.parametrize("L", [4, 8, 16])
+    def test_hypercube_fold_legal_and_exact(self, L):
+        base = layout_hypercube(8, layers=2)
+        folded = fold_layout(base, L)
+        validate_layout(folded, check_pins=True)
+        check_topology(folded, Hypercube(8).edges)
+
+    def test_area_divides_volume_constant(self):
+        base = layout_hypercube(8, layers=2)
+        mb = measure(base)
+        for L in (4, 8):
+            mf = measure(fold_layout(base, L))
+            t = L // 2
+            # Slab width: the bounding box of the source skips its
+            # trailing unused channel, so allow that slack.
+            assert mb.width / t <= mf.width <= mb.width / t + 2
+            assert mf.height == mb.height
+            # Volume within the rounding of the extra layers.
+            assert mb.volume <= mf.volume <= mb.volume * 1.01
+
+    def test_wire_lengths_exactly_preserved(self):
+        base = layout_hypercube(8, layers=2)
+        folded = fold_layout(base, 8)
+        assert folded.total_wire_length() == base.total_wire_length()
+        assert folded.max_wire_length() == base.max_wire_length()
+
+    def test_wire_multiset_preserved(self):
+        base = layout_kary(4, 2, layers=2)
+        folded = fold_layout(base, 4)
+        assert folded.edge_multiset() == base.edge_multiset()
+
+    def test_nodes_stacked_on_active_layers(self):
+        base = layout_hypercube(6, layers=2)
+        folded = fold_layout(base, 8)
+        layers = {p.layer for p in folded.placements.values()}
+        assert layers == {1, 3, 5, 7}
+
+    def test_kary_fold(self):
+        base = layout_kary(4, 2, layers=2)
+        folded = fold_layout(base, 4)
+        validate_layout(folded)
+        check_topology(folded, KAryNCube(4, 2).edges)
+
+    def test_fold_vias_span_layers(self):
+        base = layout_hypercube(6, layers=2)
+        folded = fold_layout(base, 4)
+        spans = set()
+        for w in folded.wires:
+            for s1, s2 in zip(w.segments, w.segments[1:]):
+                if s1.layer != s2.layer:
+                    spans.add(abs(s1.layer - s2.layer))
+        assert 2 in spans  # fold vias jump across a layer pair
+
+    def test_t_equal_one_is_identity(self):
+        base = layout_hypercube(4, layers=2)
+        assert fold_layout(base, 2) is base
+        assert fold_layout(base, 3) is base
+
+    def test_requires_thompson(self):
+        with pytest.raises(ValueError, match="Thompson"):
+            fold_layout(layout_hypercube(6, layers=4), 8)
+
+    def test_requires_divisible_columns(self):
+        base = layout_kary(3, 2, layers=2)  # 3 columns
+        with pytest.raises(ValueError, match="split"):
+            fold_layout(base, 4)
+
+    def test_matches_analytic_fold_metrics(self):
+        from repro.core import fold_metrics
+
+        base = layout_hypercube(8, layers=2)
+        mb = measure(base)
+        for L in (4, 8):
+            analytic = fold_metrics(mb, L)
+            constructed = measure(fold_layout(base, L))
+            assert constructed.area == pytest.approx(analytic.area, rel=0.02)
+            assert constructed.max_wire == analytic.max_wire

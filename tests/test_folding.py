@@ -1,0 +1,58 @@
+"""Folding and collinear-multilayer baselines (Section 2.2)."""
+
+import pytest
+
+from repro.core import (
+    collinear_multilayer_metrics,
+    fold_metrics,
+    layout_collinear_network,
+    layout_hypercube,
+    measure,
+)
+from repro.topology import Hypercube
+
+
+class TestFolding:
+    def test_area_divides_by_half_layers(self):
+        m = measure(layout_hypercube(6, layers=2))
+        f = fold_metrics(m, 8)
+        assert f.area == pytest.approx(m.area / 4)
+
+    def test_volume_unchanged(self):
+        m = measure(layout_hypercube(6, layers=2))
+        for L in (4, 6, 8):
+            f = fold_metrics(m, L)
+            assert f.volume == pytest.approx(m.volume)
+
+    def test_wire_unchanged(self):
+        m = measure(layout_hypercube(6, layers=2))
+        f = fold_metrics(m, 8)
+        assert f.max_wire == m.max_wire
+
+    def test_requires_thompson_input(self):
+        m = measure(layout_hypercube(6, layers=4))
+        with pytest.raises(ValueError, match="Thompson"):
+            fold_metrics(m, 8)
+
+    def test_odd_layers_floor(self):
+        m = measure(layout_hypercube(6, layers=2))
+        assert fold_metrics(m, 5).area == pytest.approx(m.area / 2)
+
+
+class TestCollinearBaseline:
+    def test_area_shrinks_at_most_half_layers(self):
+        m = measure(layout_collinear_network(Hypercube(6)))
+        c = collinear_multilayer_metrics(m, 8)
+        assert c.area >= m.area / 4  # width never shrinks
+        assert c.max_wire == m.max_wire
+
+    def test_volume_never_improves(self):
+        m = measure(layout_collinear_network(Hypercube(6)))
+        for L in (4, 8):
+            c = collinear_multilayer_metrics(m, L)
+            assert c.volume >= m.volume * 0.99
+
+    def test_requires_thompson_input(self):
+        m = measure(layout_collinear_network(Hypercube(4), layers=4))
+        with pytest.raises(ValueError):
+            collinear_multilayer_metrics(m, 8)

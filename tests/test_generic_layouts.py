@@ -1,0 +1,84 @@
+"""Generic-grid fallback and SCC layouts."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.schemes import (
+    layout_cayley,
+    layout_generic_grid,
+    layout_scc,
+)
+from repro.topology import (
+    BubbleSortGraph,
+    PancakeGraph,
+    StarConnectedCycles,
+    StarGraph,
+    TranspositionNetwork,
+)
+from repro.topology.base import build_network
+
+
+class TestGenericGrid:
+    @pytest.mark.parametrize(
+        "net",
+        [StarGraph(4), PancakeGraph(4), BubbleSortGraph(4),
+         TranspositionNetwork(4)],
+        ids=lambda n: n.name,
+    )
+    def test_cayley_family_routes(self, net):
+        lay = layout_generic_grid(net, layers=4)
+        assert_layout_ok(lay, net)
+
+    def test_random_graph(self):
+        import random
+
+        rng = random.Random(7)
+        nodes = list(range(20))
+        edges = sorted(
+            {tuple(sorted(rng.sample(nodes, 2))) for _ in range(40)}
+        )
+        net = build_network(nodes, edges, "random20")
+        lay = layout_generic_grid(net, layers=4)
+        assert_layout_ok(lay, net)
+
+    def test_aspect_controls_shape(self):
+        net = StarGraph(4)
+        wide = layout_generic_grid(net, aspect=4.0)
+        tall = layout_generic_grid(net, aspect=0.25)
+        assert wide.meta["cols"] > tall.meta["cols"]
+
+    def test_multilayer_shrinks_area(self):
+        net = TranspositionNetwork(4)
+        a2 = layout_generic_grid(net, layers=2).area
+        a8 = layout_generic_grid(net, layers=8).area
+        assert a8 < a2
+
+    def test_specialized_beats_generic_for_star(self):
+        """The cluster scheme's structure pays off vs the fallback."""
+        net = StarGraph(4)
+        generic = layout_generic_grid(net, layers=2)
+        special = layout_cayley(net, layers=2)
+        assert special.area < generic.area * 1.5  # competitive or better
+
+
+class TestSCC:
+    @pytest.mark.parametrize("layers", [2, 4])
+    def test_valid_and_exact(self, layers):
+        lay = layout_scc(4, layers=layers)
+        assert_layout_ok(lay, StarConnectedCycles(4))
+
+    def test_quotient_is_complete(self):
+        lay = layout_scc(4)
+        assert lay.meta["clusters"] == 4
+        # Quotient K_4 with multiplicity (n-2)! = 2 (only the generator
+        # swapping the last position crosses symbol classes): collinear
+        # K_4 needs |16/4| = 4 tracks, x2 = 8, + attachment rounding.
+        assert 8 <= lay.meta["row_tracks"][0] <= 12
+
+    def test_quotient_multiplicity_checked(self):
+        from repro.topology import Partition, quotient
+
+        net = StarConnectedCycles(4)
+        part = Partition({v: v[0][-1] for v in net.nodes}, name="scc-ls")
+        q = quotient(net, part)
+        assert set(q.multiplicity().values()) == {2}  # (n-2)!

@@ -1,0 +1,122 @@
+"""Unit tests for grid geometry primitives."""
+
+import pytest
+
+from repro.grid.geometry import Point, Rect, Segment
+
+
+class TestPoint:
+    def test_planar_projection(self):
+        assert Point(3, 4, 2).planar() == (3, 4)
+
+    def test_default_layer(self):
+        assert Point(0, 0).layer == 1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestSegment:
+    def test_horizontal(self):
+        s = Segment(0, 5, 9, 5, 1)
+        assert s.horizontal and not s.vertical
+        assert s.length == 9
+        assert s.line == ("h", 1, 5)
+        assert s.span == (0, 9)
+
+    def test_vertical(self):
+        s = Segment(2, 1, 2, 7, 4)
+        assert s.vertical and not s.horizontal
+        assert s.length == 6
+        assert s.line == ("v", 4, 2)
+        assert s.span == (1, 7)
+
+    def test_make_normalizes(self):
+        s = Segment.make(9, 5, 0, 5, 1)
+        assert (s.x1, s.y1, s.x2, s.y2) == (0, 5, 9, 5)
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError, match="axis-aligned"):
+            Segment(0, 0, 1, 1, 1)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError, match="zero length"):
+            Segment(3, 3, 3, 3, 1)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="normalized"):
+            Segment(5, 0, 0, 0, 1)
+
+    def test_rejects_bad_layer(self):
+        with pytest.raises(ValueError, match="layer"):
+            Segment(0, 0, 1, 0, 0)
+
+    def test_planar_points(self):
+        s = Segment(1, 2, 4, 2, 1)
+        assert list(s.planar_points()) == [(1, 2), (2, 2), (3, 2), (4, 2)]
+
+    def test_contains_point(self):
+        s = Segment(1, 2, 4, 2, 1)
+        assert s.contains_point(3, 2)
+        assert not s.contains_point(5, 2)
+        assert not s.contains_point(3, 3)
+
+    def test_endpoints_carry_layer(self):
+        a, b = Segment(0, 0, 0, 3, 6).endpoints()
+        assert a.layer == b.layer == 6
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 4, 4).area == 16
+        assert Rect(2, 3, 5, 7).area == 35
+
+    def test_contains_and_perimeter(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains_point(0, 0)
+        assert r.on_perimeter(0, 0)
+        assert r.on_perimeter(4, 2)
+        assert not r.on_perimeter(2, 2)
+        assert r.contains_point(2, 2, strict=True)
+        assert not r.contains_point(4, 2, strict=True)
+
+    def test_intersects_open(self):
+        a = Rect(0, 0, 4, 4)
+        assert not a.intersects(Rect(4, 0, 4, 4))  # touching edges OK
+        assert a.intersects(Rect(3, 3, 4, 4))
+        assert not a.intersects(Rect(10, 10, 1, 1))
+
+    def test_union_and_bounding(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 1, 2, 4)
+        u = a.union(b)
+        assert (u.x0, u.y0, u.x1, u.y1) == (0, 0, 7, 5)
+        assert Rect.bounding([a, b]) == u
+        assert Rect.bounding([]) == Rect(0, 0, 0, 0)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 2)
+
+    def test_segment_crosses_interior_horizontal(self):
+        r = Rect(2, 2, 4, 4)
+        inside = Segment(0, 4, 10, 4, 1)  # crosses through the middle
+        assert r.segment_crosses_interior(inside)
+        on_edge = Segment(0, 2, 10, 2, 1)  # along the top boundary
+        assert not r.segment_crosses_interior(on_edge)
+        below = Segment(0, 9, 10, 9, 1)
+        assert not r.segment_crosses_interior(below)
+
+    def test_segment_crosses_interior_vertical(self):
+        r = Rect(2, 2, 4, 4)
+        assert r.segment_crosses_interior(Segment(4, 0, 4, 10, 2))
+        assert not r.segment_crosses_interior(Segment(2, 0, 2, 10, 2))
+        assert not r.segment_crosses_interior(Segment(6, 0, 6, 10, 2))
+
+    def test_segment_touching_interior_partially(self):
+        r = Rect(2, 2, 4, 4)
+        # Ends inside the interior.
+        assert r.segment_crosses_interior(Segment(0, 4, 3, 4, 1))
+        # Stops exactly at the boundary: not interior.
+        assert not r.segment_crosses_interior(Segment(0, 4, 2, 4, 1))

@@ -1,0 +1,57 @@
+"""Channel reports and density profiles."""
+
+import pytest
+
+from repro.collinear.recursions import kary_recursive
+from repro.core import layout_hypercube, layout_kary
+from repro.core.inspect import area_breakdown, channel_report, density_histogram
+
+
+class TestChannelReport:
+    def test_kary_channels(self):
+        rep = channel_report(layout_kary(3, 2))
+        assert rep.row_tracks == [2, 2, 2]
+        assert rep.total_row_tracks == 6
+        assert rep.busiest_row == 2
+
+    def test_extents_respect_layers(self):
+        rep4 = channel_report(layout_kary(3, 4, layers=4))
+        rep2 = channel_report(layout_kary(3, 4, layers=2))
+        assert rep4.row_tracks == rep2.row_tracks
+        assert sum(rep4.row_extents) < sum(rep2.row_extents)
+
+    def test_requires_builder_layout(self):
+        from repro.grid.layout import GridLayout
+
+        with pytest.raises(ValueError, match="metadata"):
+            channel_report(GridLayout(layers=2))
+
+    def test_as_dict(self):
+        d = channel_report(layout_kary(3, 2)).as_dict()
+        assert d["busiest_col"] == 2
+
+
+class TestAreaBreakdown:
+    def test_components_sum(self):
+        bd = area_breakdown(layout_hypercube(6))
+        assert bd["cell_width"] + bd["channel_width"] >= bd["width"]
+        assert 0 < bd["channel_share_w"] < 1
+
+    def test_channel_share_grows_with_size(self):
+        small = area_breakdown(layout_hypercube(4, node_side="min"))
+        big = area_breakdown(layout_hypercube(10, node_side="min"))
+        assert big["channel_share_w"] > small["channel_share_w"]
+
+
+class TestDensityHistogram:
+    def test_profile_peak_matches_tracks(self):
+        lay = kary_recursive(3, 2)
+        art = density_histogram(lay)
+        assert "peak 8 (tracks used: 8)" in art
+        assert art.count("\n") == 8  # 8 gaps + footer line
+
+    def test_single_node(self):
+        from repro.collinear.engine import CollinearLayout
+
+        lay = CollinearLayout(order=["x"], edges=[], tracks=[], num_tracks=0)
+        assert "single node" in density_histogram(lay)

@@ -1,0 +1,101 @@
+"""The full integration matrix: every family x every layer count.
+
+Each cell builds the layout, runs the complete multilayer-grid-model
+validation (including parity and pins) and verifies the routed wires
+reproduce the network exactly.  This is the suite's final safety net --
+if a scheme regression slips past the unit tests, it fails here.
+"""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.schemes import (
+    layout_butterfly,
+    layout_cayley,
+    layout_ccc,
+    layout_collinear_network,
+    layout_complete,
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_generic_grid,
+    layout_ghc,
+    layout_hsn,
+    layout_hypercube,
+    layout_isn,
+    layout_kary,
+    layout_kary_cluster,
+    layout_reduced_hypercube,
+    layout_scc,
+    layout_wrapped_butterfly,
+)
+from repro.topology import (
+    HSN,
+    Butterfly,
+    CompleteGraph,
+    CubeConnectedCycles,
+    DeBruijn,
+    EnhancedCube,
+    FoldedHypercube,
+    GeneralizedHypercube,
+    Hypercube,
+    IndirectSwapNetwork,
+    KAryNCube,
+    KAryNCubeCluster,
+    ReducedHypercube,
+    Ring,
+    ShuffleExchange,
+    StarConnectedCycles,
+    StarGraph,
+    WrappedButterfly,
+)
+
+MATRIX = [
+    ("kary", lambda L: layout_kary(3, 2, layers=L), KAryNCube(3, 2)),
+    ("hypercube", lambda L: layout_hypercube(5, layers=L), Hypercube(5)),
+    ("ghc", lambda L: layout_ghc((3, 4), layers=L),
+     GeneralizedHypercube((3, 4))),
+    ("complete", lambda L: layout_complete(8, layers=L), CompleteGraph(8)),
+    ("collinear-ring", lambda L: layout_collinear_network(Ring(9), layers=L),
+     Ring(9)),
+    ("butterfly", lambda L: layout_butterfly(3, layers=L), Butterfly(3)),
+    ("wrapped-butterfly", lambda L: layout_wrapped_butterfly(3, layers=L),
+     WrappedButterfly(3)),
+    ("isn", lambda L: layout_isn(3, layers=L), IndirectSwapNetwork(3)),
+    ("ccc", lambda L: layout_ccc(3, layers=L), CubeConnectedCycles(3)),
+    ("reduced-hypercube", lambda L: layout_reduced_hypercube(4, layers=L),
+     ReducedHypercube(4)),
+    ("hsn", lambda L: layout_hsn(CompleteGraph(3), 3, layers=L),
+     HSN(CompleteGraph(3), 3)),
+    ("kary-cluster", lambda L: layout_kary_cluster(3, 2, 2, layers=L),
+     KAryNCubeCluster(3, 2, 2)),
+    ("star", lambda L: layout_cayley(StarGraph(4), layers=L), StarGraph(4)),
+    ("scc", lambda L: layout_scc(4, layers=L), StarConnectedCycles(4)),
+    ("folded-hypercube", lambda L: layout_folded_hypercube(4, layers=L),
+     FoldedHypercube(4)),
+    ("enhanced-cube", lambda L: layout_enhanced_cube(4, layers=L),
+     EnhancedCube(4)),
+    ("generic-shuffle",
+     lambda L: layout_generic_grid(ShuffleExchange(4), layers=L),
+     ShuffleExchange(4)),
+    ("generic-debruijn",
+     lambda L: layout_generic_grid(DeBruijn(4), layers=L), DeBruijn(4)),
+]
+
+LAYERS = [2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("L", LAYERS)
+@pytest.mark.parametrize("name,build,net", MATRIX, ids=[m[0] for m in MATRIX])
+def test_matrix(name, build, net, L):
+    lay = build(L)
+    # Parity is a scheme convention every constructor follows.
+    assert_layout_ok(lay, net, parity=True)
+    assert lay.layers == L
+    assert len(lay.placements) == net.num_nodes
+
+
+@pytest.mark.parametrize("name,build,net", MATRIX, ids=[m[0] for m in MATRIX])
+def test_area_monotone_nonincreasing_in_layers(name, build, net):
+    """More layers never cost area (ceil effects can plateau it)."""
+    areas = [build(L).area for L in (2, 4, 8)]
+    assert areas[0] >= areas[1] >= areas[2]

@@ -1,0 +1,159 @@
+"""Layout serialization round-trips."""
+
+import pytest
+
+from repro.core import layout_ccc, layout_folded_hypercube, layout_kary
+from repro.grid.io import (
+    dump_layout,
+    layout_from_json,
+    layout_to_json,
+    load_layout,
+)
+from repro.grid.validate import validate_layout
+
+
+def roundtrip(lay):
+    return layout_from_json(layout_to_json(lay))
+
+
+class TestRoundtrip:
+    def test_kary_exact(self):
+        lay = layout_kary(3, 2, layers=4)
+        back = roundtrip(lay)
+        assert back.summary() == lay.summary()
+        assert back.edge_multiset() == lay.edge_multiset()
+        validate_layout(back)
+
+    def test_cluster_layout(self):
+        lay = layout_ccc(3)
+        back = roundtrip(lay)
+        assert back.summary() == lay.summary()
+        validate_layout(back)
+
+    def test_extra_links(self):
+        lay = layout_folded_hypercube(4, layers=4)
+        back = roundtrip(lay)
+        assert back.wire_lengths_by_edge() == lay.wire_lengths_by_edge()
+
+    def test_tuple_labels_restored(self):
+        lay = layout_kary(3, 2)
+        back = roundtrip(lay)
+        assert set(back.placements) == set(lay.placements)
+        assert all(isinstance(v, tuple) for v in back.placements)
+
+    def test_meta_preserved(self):
+        lay = layout_kary(3, 2)
+        back = roundtrip(lay)
+        assert back.meta["row_tracks"] == lay.meta["row_tracks"]
+
+    def test_file_io(self, tmp_path):
+        lay = layout_kary(3, 2)
+        path = tmp_path / "layout.json"
+        dump_layout(lay, path)
+        back = load_layout(path)
+        assert back.summary() == lay.summary()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            layout_from_json('{"format": 99}')
+
+    def test_folded_layout_layers_roundtrip(self):
+        from repro.core.folding import fold_layout
+        from repro.core import layout_hypercube
+
+        lay = fold_layout(layout_hypercube(6, layers=2), 4)
+        back = roundtrip(lay)
+        assert {p.layer for p in back.placements.values()} == {1, 3}
+        validate_layout(back)
+
+
+class TestCli:
+    def test_layout_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        svg = tmp_path / "out.svg"
+        js = tmp_path / "out.json"
+        rc = main([
+            "layout", "kary:3,2", "-L", "4", "--validate",
+            "--svg", str(svg), "--json", str(js),
+        ])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+        assert load_layout(js).summary()["nodes"] == 9
+        out = capsys.readouterr().out
+        assert "validation: OK" in out
+
+    def test_figures_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "o" in out
+
+    def test_predict_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["predict", "ghc:4,2", "-L", "4"]) == 0
+        assert "paper leading terms" in capsys.readouterr().out
+
+    def test_unknown_family(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["layout", "moebius:4"])
+
+    def test_parse_network(self):
+        from repro.cli import parse_network
+
+        net = parse_network("ghc:3,4")
+        assert net.num_nodes == 12
+        net = parse_network("star:4")
+        assert net.num_nodes == 24
+
+    def test_zoo_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["zoo", "-L", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "network zoo" in out and "CCC(4)" in out
+
+    def test_simulate_command(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "simulate", "hypercube:4", "-L", "4",
+            "--kernel", "transpose", "--mode", "cut_through",
+            "--message-length", "2",
+        ])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_simulate_unknown_kernel(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="kernel"):
+            main(["simulate", "hypercube:3", "--kernel", "chaos"])
+
+    def test_cost_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["cost", "kary:3,2", "--layer-sweep", "2", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chip cost" in out
+
+    def test_fold_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        svg = tmp_path / "fold.svg"
+        rc = main(["fold", "hypercube:4", "-L", "4", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+        assert "folded" in capsys.readouterr().out
+
+    def test_stack_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["stack", "3", "-L", "6"])
+        assert rc == 0
+        assert "3-D stacked" in capsys.readouterr().out

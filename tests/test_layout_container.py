@@ -1,0 +1,71 @@
+"""GridLayout container measurements."""
+
+import pytest
+
+from repro.grid.geometry import Rect, Segment
+from repro.grid.layout import GridLayout
+from repro.grid.wire import Wire
+
+
+def make_layout():
+    lay = GridLayout(layers=4)
+    lay.place("a", Rect(0, 5, 2, 2))
+    lay.place("b", Rect(10, 5, 2, 2))
+    lay.add_wire(
+        Wire(
+            "a",
+            "b",
+            [
+                Segment.make(1, 5, 1, 2, 2),
+                Segment.make(1, 2, 11, 2, 1),
+                Segment.make(11, 2, 11, 5, 2),
+            ],
+        )
+    )
+    return lay
+
+
+class TestMeasures:
+    def test_bounding_box(self):
+        lay = make_layout()
+        bb = lay.bounding_box()
+        assert (bb.x0, bb.y0) == (0, 2)
+        assert (bb.x1, bb.y1) == (12, 7)
+
+    def test_area_volume(self):
+        lay = make_layout()
+        assert lay.area == 12 * 5
+        assert lay.volume == 4 * 12 * 5
+
+    def test_wire_lengths(self):
+        lay = make_layout()
+        assert lay.max_wire_length() == 16
+        assert lay.total_wire_length() == 16
+        assert lay.via_count() == 2
+
+    def test_layers_used(self):
+        lay = make_layout()
+        assert lay.layers_used() == {1, 2}
+
+    def test_empty_layout(self):
+        lay = GridLayout(layers=2)
+        assert lay.area == 0
+        assert lay.max_wire_length() == 0
+        assert lay.bounding_box() == Rect(0, 0, 0, 0)
+
+    def test_double_placement_rejected(self):
+        lay = GridLayout(layers=2)
+        lay.place("a", Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="twice"):
+            lay.place("a", Rect(5, 5, 1, 1))
+
+    def test_edge_multiset(self):
+        lay = make_layout()
+        assert lay.edge_multiset() == {("a", "b"): 1}
+
+    def test_summary_keys(self):
+        s = make_layout().summary()
+        for key in ("nodes", "wires", "area", "volume", "max_wire_length",
+                    "layers", "layers_used", "vias"):
+            assert key in s
+        assert s["nodes"] == 2 and s["wires"] == 1

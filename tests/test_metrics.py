@@ -1,0 +1,100 @@
+"""Measured metrics, including weighted (routing-path) diameter."""
+
+import pytest
+
+from repro.core import layout_collinear_network, layout_hypercube, layout_kary, measure
+from repro.core.metrics import weighted_diameter, wire_length_weights
+from repro.topology import Hypercube, Ring
+
+
+class TestMeasure:
+    def test_snapshot_matches_layout(self):
+        lay = layout_kary(3, 2)
+        m = measure(lay)
+        assert m.area == lay.area
+        assert m.volume == lay.volume
+        assert m.max_wire == lay.max_wire_length()
+        assert m.num_nodes == 9
+        assert m.path_wire is None
+
+    def test_as_dict(self):
+        m = measure(layout_kary(3, 2))
+        d = m.as_dict()
+        assert d["area"] == m.area and d["N"] == 9
+
+    def test_path_wire_requested(self):
+        m = measure(layout_kary(3, 2), path_wire=True)
+        assert m.path_wire is not None
+        assert m.path_wire >= m.max_wire  # at least one hop's wire
+
+
+class TestWeights:
+    def test_weights_cover_all_edges(self):
+        lay = layout_collinear_network(Ring(6))
+        adj = wire_length_weights(lay)
+        assert set(adj) == set(range(6))
+        assert all(len(nbrs) == 2 for nbrs in adj.values())
+
+    def test_parallel_edges_keep_min(self):
+        # Two parallel wires between a/b of different lengths.
+        from repro.grid.geometry import Rect, Segment
+        from repro.grid.layout import GridLayout
+        from repro.grid.wire import Wire
+
+        lay = GridLayout(layers=2)
+        lay.place("a", Rect(0, 4, 2, 2))
+        lay.place("b", Rect(10, 4, 2, 2))
+        lay.add_wire(Wire("a", "b", [Segment.make(2, 5, 10, 5, 1)], edge_key=0))
+        lay.add_wire(
+            Wire(
+                "a",
+                "b",
+                [
+                    Segment.make(1, 4, 1, 0, 2),
+                    Segment.make(1, 0, 11, 0, 1),
+                    Segment.make(11, 0, 11, 4, 2),
+                ],
+                edge_key=1,
+            )
+        )
+        adj = wire_length_weights(lay)
+        assert dict(adj["a"])["b"] == 8
+
+
+class TestWeightedDiameter:
+    def test_ring_diameter(self):
+        lay = layout_collinear_network(Ring(6))
+        d = weighted_diameter(lay)
+        # Worst pair needs at least the longest single wire.
+        assert d >= lay.max_wire_length()
+
+    def test_subsampling_lower_bounds(self):
+        lay = layout_hypercube(5)
+        full = weighted_diameter(lay)
+        sampled = weighted_diameter(lay, max_sources=4)
+        assert sampled <= full
+        assert sampled > 0
+
+    def test_hypercube_path_wire_scales_with_layers(self):
+        """Claim (4): the routing-path wire total drops with L."""
+        d2 = weighted_diameter(layout_hypercube(6, layers=2))
+        d8 = weighted_diameter(layout_hypercube(6, layers=8))
+        assert d8 < d2
+
+    def test_sampling_monotone_in_sources(self):
+        # More sources can only raise the (max-over-sources) estimate.
+        lay = layout_hypercube(4)
+        d1 = weighted_diameter(lay, max_sources=1)
+        d4 = weighted_diameter(lay, max_sources=4)
+        dall = weighted_diameter(lay)
+        assert d1 <= d4 <= dall
+
+
+class TestHypercubeMetricsSanity:
+    def test_max_wire_close_to_half_row(self):
+        """Binary order: the longest row wire spans half the row, which
+        is the 2N/(3L) of Section 5.1 (up to node-size slack)."""
+        lay = layout_hypercube(8, layers=2)
+        m = measure(lay)
+        # width ~ cols*(side + W_j); longest wire < width but > width/4
+        assert m.width / 4 < m.max_wire < m.width + m.height

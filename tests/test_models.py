@@ -1,0 +1,86 @@
+"""Layout model descriptors."""
+
+import pytest
+
+from repro.core import layout_hypercube, layout_kary
+from repro.core.folding import fold_layout
+from repro.core.models import (
+    Multilayer3DModel,
+    MultilayerGridModel,
+    ThompsonModel,
+    model_of,
+)
+from repro.core.threedee import layout_product_3d
+from repro.grid.validate import LayoutError
+from repro.topology import Ring
+
+
+class TestThompson:
+    def test_accepts_two_layer_layout(self):
+        lay = layout_kary(3, 2, layers=2)
+        ThompsonModel().check(lay)
+
+    def test_rejects_multilayer(self):
+        lay = layout_kary(3, 2, layers=4)
+        with pytest.raises(LayoutError, match="L = 2"):
+            ThompsonModel().check(lay)
+
+    def test_rejects_stacked_nodes(self):
+        folded = fold_layout(layout_hypercube(6, layers=2), 4)
+        with pytest.raises(LayoutError):
+            ThompsonModel().check(folded)
+
+
+class TestMultilayer2D:
+    def test_accepts_within_budget(self):
+        lay = layout_hypercube(5, layers=6)
+        MultilayerGridModel(8).check(lay)
+
+    def test_rejects_over_budget(self):
+        lay = layout_hypercube(5, layers=8)
+        with pytest.raises(LayoutError, match="exceeds"):
+            MultilayerGridModel(4).check(lay)
+
+    def test_rejects_risers(self):
+        lay = layout_product_3d(Ring(3), Ring(3), Ring(3), layers=6)
+        with pytest.raises(LayoutError, match="first layer|3-D"):
+            MultilayerGridModel(8).check(lay)
+
+
+class TestMultilayer3D:
+    def test_accepts_deck_stack(self):
+        lay = layout_product_3d(Ring(3), Ring(3), Ring(3), layers=6)
+        Multilayer3DModel(6, 3).check(lay)
+
+    def test_rejects_too_many_active_layers(self):
+        lay = layout_product_3d(Ring(4), Ring(4), Ring(4), layers=8)
+        with pytest.raises(LayoutError, match="active"):
+            Multilayer3DModel(8, 2).check(lay)
+
+
+class TestModelOf:
+    def test_thompson_layout(self):
+        m = model_of(layout_kary(3, 2, layers=2))
+        assert isinstance(m, ThompsonModel)
+
+    def test_multilayer_layout(self):
+        m = model_of(layout_kary(3, 2, layers=6))
+        assert isinstance(m, MultilayerGridModel)
+        assert m.layers == 6
+
+    def test_folded_is_3d(self):
+        folded = fold_layout(layout_hypercube(6, layers=2), 8)
+        m = model_of(folded)
+        assert isinstance(m, Multilayer3DModel)
+        assert m.active_layers == 4
+
+    def test_deck_stack_is_3d(self):
+        lay = layout_product_3d(Ring(3), Ring(3), Ring(3), layers=6)
+        m = model_of(lay)
+        assert isinstance(m, Multilayer3DModel)
+        assert m.active_layers == 3
+
+    def test_names(self):
+        assert "Thompson" in ThompsonModel().name
+        assert "L=4" in MultilayerGridModel(4).name
+        assert "L_A=3" in Multilayer3DModel(8, 3).name

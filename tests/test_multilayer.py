@@ -1,0 +1,55 @@
+"""Track-to-layer assignment (the Section 2.4 transform)."""
+
+import pytest
+
+from repro.core.multilayer import LayerGroups
+
+
+class TestLayerGroups:
+    def test_thompson_degenerate(self):
+        g = LayerGroups(tracks=7, layers=2)
+        assert g.groups == 1
+        assert g.per_group == 7
+        for t in range(7):
+            slot = g.slot(t)
+            assert slot.offset == t
+            assert (slot.h_layer, slot.v_layer) == (1, 2)
+
+    def test_even_layers_split(self):
+        g = LayerGroups(tracks=10, layers=4)
+        assert g.groups == 2 and g.per_group == 5
+        assert g.slot(0).h_layer == 1
+        assert g.slot(4).offset == 4
+        assert g.slot(5).h_layer == 3 and g.slot(5).offset == 0
+        assert g.slot(9).v_layer == 4
+
+    def test_odd_layers_use_one_fewer(self):
+        g = LayerGroups(tracks=10, layers=5)
+        assert g.groups == 2  # floor(5/2): the 5th layer is unused
+        assert g.per_group == 5
+
+    def test_ceiling_division(self):
+        g = LayerGroups(tracks=7, layers=6)
+        assert g.groups == 3 and g.per_group == 3
+        # group for each track
+        assert [g.slot(t).h_layer for t in range(7)] == [1, 1, 1, 3, 3, 3, 5]
+
+    def test_zero_tracks(self):
+        g = LayerGroups(tracks=0, layers=8)
+        assert g.physical_extent() == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            LayerGroups(tracks=3, layers=2).slot(3)
+
+    def test_extent_shrinks_with_layers(self):
+        extents = [LayerGroups(tracks=24, layers=L).physical_extent()
+                   for L in (2, 4, 6, 8, 12)]
+        assert extents == [24, 12, 8, 6, 4]
+
+    def test_all_layers_within_budget(self):
+        for L in range(2, 12):
+            g = LayerGroups(tracks=30, layers=L)
+            for t in range(30):
+                slot = g.slot(t)
+                assert 1 <= slot.h_layer < slot.v_layer <= L

@@ -1,0 +1,97 @@
+"""The brute-force oracle agrees with the production validator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import layout_ccc, layout_folded_hypercube, layout_hypercube, layout_kary
+from repro.core.folding import fold_layout
+from repro.core.threedee import layout_product_3d
+from repro.grid.oracle import OracleViolation, oracle_validate
+from repro.grid.validate import LayoutError, validate_layout
+from repro.topology import Ring
+
+# Reuse the random-spec strategies from the builder property tests.
+from test_properties_builder import block_specs, grid_specs
+from repro.core.builder import build_orthogonal_layout
+
+
+class TestOracleOnSchemes:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: layout_kary(3, 2, layers=4),
+            lambda: layout_hypercube(5, layers=4),
+            lambda: layout_ccc(3, layers=4),
+            lambda: layout_folded_hypercube(4, layers=4),
+            lambda: fold_layout(layout_hypercube(6, layers=2), 8),
+            lambda: layout_product_3d(Ring(3), Ring(3), Ring(3), layers=6),
+        ],
+        ids=["kary", "hypercube", "ccc", "folded-hc", "fold", "3d"],
+    )
+    def test_all_constructions_pass_oracle(self, factory):
+        lay = factory()
+        oracle_validate(lay)
+
+    def test_oracle_catches_overlap(self):
+        from repro.grid.geometry import Rect, Segment
+        from repro.grid.layout import GridLayout
+        from repro.grid.wire import Wire
+
+        lay = GridLayout(layers=2)
+        lay.place("a", Rect(0, 2, 1, 1))
+        lay.place("b", Rect(9, 2, 1, 1))
+        lay.add_wire(Wire("a", "b", [Segment.make(1, 2, 9, 2, 1)]))
+        lay.add_wire(Wire("a", "b", [Segment.make(1, 2, 9, 2, 1)], edge_key=1))
+        with pytest.raises(OracleViolation, match="grid edge"):
+            oracle_validate(lay)
+
+    def test_oracle_catches_knock_knee(self):
+        from repro.grid.geometry import Rect, Segment
+        from repro.grid.layout import GridLayout
+        from repro.grid.wire import Wire
+
+        lay = GridLayout(layers=2)
+        lay.place("a", Rect(0, 4, 1, 1))
+        lay.place("b", Rect(4, 9, 1, 1))
+        lay.place("c", Rect(9, 4, 1, 1))
+        lay.place("d", Rect(4, 0, 1, 1))
+        lay.add_wire(Wire("a", "b", [Segment.make(1, 5, 5, 5, 1),
+                                     Segment.make(5, 5, 5, 9, 2)]))
+        lay.add_wire(Wire("c", "d", [Segment.make(9, 5, 5, 5, 1),
+                                     Segment.make(5, 5, 5, 1, 2)]))
+        # Both wires claim the via z-edge (5,5,1)-(5,5,2) -- the oracle
+        # reports whichever occupancy rule it hits first.
+        with pytest.raises(OracleViolation, match="turn/via|grid edge"):
+            oracle_validate(lay)
+
+    def test_oracle_allows_crossings(self):
+        from repro.grid.geometry import Rect, Segment
+        from repro.grid.layout import GridLayout
+        from repro.grid.wire import Wire
+
+        lay = GridLayout(layers=2)
+        lay.place("a", Rect(0, 4, 1, 1))
+        lay.place("b", Rect(9, 4, 1, 1))
+        lay.place("c", Rect(4, 0, 1, 1))
+        lay.place("d", Rect(4, 9, 1, 1))
+        lay.add_wire(Wire("a", "b", [Segment.make(1, 5, 9, 5, 1)]))
+        lay.add_wire(Wire("c", "d", [Segment.make(5, 1, 5, 9, 2)]))
+        oracle_validate(lay)
+
+
+class TestOracleAgreement:
+    @given(grid_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_verdicts_match_on_random_specs(self, spec):
+        lay = build_orthogonal_layout(spec)
+        # The production validator passes these by construction; the
+        # oracle must agree.
+        validate_layout(lay)
+        oracle_validate(lay)
+
+    @given(block_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_verdicts_match_on_block_specs(self, spec):
+        lay = build_orthogonal_layout(spec)
+        validate_layout(lay)
+        oracle_validate(lay)

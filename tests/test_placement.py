@@ -1,0 +1,59 @@
+"""Placement optimization for generic layouts."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core import measure
+from repro.core.placement import optimize_placement, placement_cost
+from repro.core.schemes import layout_generic_grid
+from repro.topology import DeBruijn, Hypercube, Ring, ShuffleExchange, StarGraph
+
+
+class TestPlacementCost:
+    def test_row_edges_cheap(self):
+        net = Ring(4)
+        inline = {0: (0, 0), 1: (0, 1), 2: (0, 2), 3: (0, 3)}
+        diagonal = {0: (0, 0), 1: (1, 1), 2: (0, 2), 3: (1, 3)}
+        assert placement_cost(net, inline) < placement_cost(net, diagonal)
+
+    def test_extra_penalty_weighting(self):
+        net = Ring(4)
+        diag = {0: (0, 0), 1: (1, 1), 2: (0, 2), 3: (1, 3)}
+        assert placement_cost(net, diag, extra_penalty=100) > placement_cost(
+            net, diag, extra_penalty=0
+        )
+
+
+class TestOptimizePlacement:
+    def test_is_a_bijection_onto_grid(self):
+        net = Hypercube(4)
+        pos = optimize_placement(net)
+        assert len(set(pos.values())) == net.num_nodes
+        assert set(pos) == set(net.nodes)
+
+    def test_deterministic(self):
+        net = ShuffleExchange(4)
+        assert optimize_placement(net, seed=1) == optimize_placement(net, seed=1)
+
+    def test_improves_over_index_order(self):
+        for net in (ShuffleExchange(5), DeBruijn(5), StarGraph(4)):
+            plain = measure(layout_generic_grid(net, layers=4))
+            opt = measure(layout_generic_grid(net, layers=4, optimize=True))
+            assert opt.area < plain.area
+
+    def test_optimized_layout_still_exact(self):
+        net = DeBruijn(4)
+        lay = layout_generic_grid(net, layers=4, optimize=True)
+        assert_layout_ok(lay, net)
+
+    def test_hypercube_gets_near_product_placement(self):
+        """On a true product network the optimizer should eliminate
+        most diagonal edges."""
+        net = Hypercube(4)
+        pos = optimize_placement(net, iterations=4000, restarts=3)
+        extra = sum(
+            1
+            for u, v in net.edges
+            if pos[u][0] != pos[v][0] and pos[u][1] != pos[v][1]
+        )
+        assert extra <= net.num_edges // 3

@@ -1,0 +1,190 @@
+"""Extended property-based tests across the newer subsystems.
+
+These drive the cluster scheme with *random partitions of random
+graphs*, round-trip random layouts through JSON, fold random
+uniform-pitch layouts, cross-check the collinear engine against the
+exact cutwidth DP, and fuzz the simulator -- each an invariant the
+library's correctness story rests on.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collinear.cutwidth import exact_cutwidth, optimal_order
+from repro.collinear.engine import collinear_layout
+from repro.core.builder import build_orthogonal_layout
+from repro.core.folding import fold_layout
+from repro.core.schemes import layout_cluster_network, layout_generic_grid
+from repro.core.spec import LayoutSpec, LinkSpec, NodeCell
+from repro.grid.io import layout_from_json, layout_to_json
+from repro.grid.oracle import oracle_validate
+from repro.grid.validate import check_topology, validate_layout
+from repro.routing import simulate
+from repro.topology import Partition
+from repro.topology.base import build_network
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(2, 12))
+    density = draw(st.floats(0.1, 0.9))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    nodes = list(range(n))
+    edge_set = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                edge_set.add((i, j))
+    # Guarantee connectivity with a random spanning tree.
+    for i in range(1, n):
+        edge_set.add((rng.randrange(i), i))
+    return build_network(nodes, sorted(edge_set), f"rand{n}")
+
+
+class TestRandomPartitions:
+    @given(random_networks(), st.integers(1, 4), st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_layout_legal_for_any_partition(self, net, k, seed):
+        rng = random.Random(seed)
+        mapping = {v: rng.randrange(k) for v in net.nodes}
+        # Cluster ids must be the occupied ones only.
+        used = sorted(set(mapping.values()))
+        relabel = {c: i for i, c in enumerate(used)}
+        part = Partition({v: relabel[c] for v, c in mapping.items()})
+        lay = layout_cluster_network(
+            net, part, lambda c: (0, c), layers=4
+        )
+        validate_layout(lay)
+        check_topology(lay, net.edges)
+
+    @given(random_networks())
+    @settings(max_examples=40, deadline=None)
+    def test_generic_grid_always_legal(self, net):
+        lay = layout_generic_grid(net, layers=4)
+        validate_layout(lay)
+        check_topology(lay, net.edges)
+        oracle_validate(lay)
+
+
+class TestSerializationProperty:
+    @given(random_networks(), st.sampled_from([2, 3, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_everything(self, net, layers):
+        lay = layout_generic_grid(net, layers=layers)
+        back = layout_from_json(layout_to_json(lay))
+        assert back.summary() == lay.summary()
+        assert back.edge_multiset() == lay.edge_multiset()
+        assert back.wire_lengths_by_edge() == lay.wire_lengths_by_edge()
+        validate_layout(back)
+
+
+@st.composite
+def foldable_specs(draw):
+    """Uniform-pitch specs whose column count divides by 2 and 4."""
+    rows = draw(st.integers(1, 3))
+    cols = draw(st.sampled_from([4, 8]))
+    side = draw(st.integers(4, 6))
+    cells = {
+        (i, j): NodeCell((i, j), side)
+        for i in range(rows)
+        for j in range(cols)
+    }
+    row_links, col_links = [], []
+    keys = {}
+    demand = {}
+    for _ in range(draw(st.integers(0, 10))):
+        i1 = draw(st.integers(0, rows - 1))
+        j1 = draw(st.integers(0, cols - 1))
+        i2 = draw(st.integers(0, rows - 1))
+        j2 = draw(st.integers(0, cols - 1))
+        if (i1, j1) == (i2, j2) or (i1 != i2 and j1 != j2):
+            continue
+        if demand.get((i1, j1), 0) >= side or demand.get((i2, j2), 0) >= side:
+            continue
+        demand[(i1, j1)] = demand.get((i1, j1), 0) + 1
+        demand[(i2, j2)] = demand.get((i2, j2), 0) + 1
+        key = ((i1, j1), (i2, j2))
+        ek = keys.get(key, 0)
+        keys[key] = ek + 1
+        link = LinkSpec((i1, j1), (i2, j2), (i1, j1), (i2, j2), edge_key=ek)
+        (row_links if i1 == i2 else col_links).append(link)
+    return LayoutSpec(
+        rows=rows, cols=cols, cells=cells,
+        row_links=row_links, col_links=col_links,
+        layers=2, name="foldable",
+    )
+
+
+class TestFoldingProperty:
+    @given(foldable_specs(), st.sampled_from([4, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_fold_preserves_wires_and_validates(self, spec, L):
+        base = build_orthogonal_layout(spec)
+        # Uniform pitch requires uniform channel extents; skip specs
+        # whose random links make columns uneven.
+        pitches = {
+            w + e
+            for w, e in zip(
+                base.meta["col_widths"], base.meta["col_channel_extents"]
+            )
+        }
+        if len(pitches) > 1:
+            return
+        folded = fold_layout(base, L)
+        validate_layout(folded)
+        oracle_validate(folded)
+        assert folded.edge_multiset() == base.edge_multiset()
+        assert folded.total_wire_length() == base.total_wire_length()
+        assert folded.max_wire_length() == base.max_wire_length()
+
+
+class TestCutwidthProperty:
+    @given(random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_order_achieves_dp_value(self, net):
+        if net.num_nodes > 10:
+            return
+        cw = exact_cutwidth(net)
+        order = optimal_order(net)
+        lay = collinear_layout(net.nodes, net.edges, order)
+        assert lay.num_tracks == cw
+
+    @given(random_networks(), st.integers(0, 999))
+    @settings(max_examples=25, deadline=None)
+    def test_dp_lower_bounds_any_order(self, net, seed):
+        if net.num_nodes > 10:
+            return
+        cw = exact_cutwidth(net)
+        rng = random.Random(seed)
+        order = list(net.nodes)
+        rng.shuffle(order)
+        lay = collinear_layout(net.nodes, net.edges, order)
+        assert lay.num_tracks >= cw
+
+
+class TestSimulatorProperty:
+    @given(random_networks(), st.integers(0, 99),
+           st.sampled_from(["store_forward", "cut_through"]))
+    @settings(max_examples=40, deadline=None)
+    def test_all_messages_complete(self, net, seed, mode):
+        rng = random.Random(seed)
+        nodes = list(net.nodes)
+        msgs = [
+            (rng.choice(nodes), rng.choice(nodes)) for _ in range(8)
+        ]
+        res = simulate(net, msgs, mode=mode, message_length=3)
+        assert res.messages == 8
+        assert res.makespan >= res.max_latency >= 0
+        assert res.avg_latency <= res.max_latency
+
+    @given(random_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_more_contention_never_faster(self, net):
+        nodes = list(net.nodes)
+        if len(nodes) < 2:
+            return
+        one = simulate(net, [(nodes[0], nodes[-1])])
+        two = simulate(net, [(nodes[0], nodes[-1])] * 2)
+        assert two.makespan >= one.makespan

@@ -1,0 +1,181 @@
+"""Scheme-level tests for product families: exact channel structure.
+
+The rigorous content of Sections 3.1, 4.1, 5.1 at finite sizes is the
+per-channel track arithmetic: each row of the k-ary n-cube layout is a
+collinear k-ary floor(n/2)-cube (f_k tracks), each column a k-ary
+ceil(n/2)-cube, and under L layers each channel's physical extent is
+ceil(tracks / floor(L/2)).  These tests assert those counts exactly,
+then check the full legality + topology of the routed result.
+"""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.collinear.formulas import hypercube_tracks, kary_tracks, mixed_radix_ghc_tracks
+from repro.core import (
+    layout_complete,
+    layout_ghc,
+    layout_hypercube,
+    layout_kary,
+    layout_product,
+)
+from repro.topology import (
+    CompleteGraph,
+    GeneralizedHypercube,
+    Hypercube,
+    KAryNCube,
+    Mesh,
+    ProductNetwork,
+    Ring,
+)
+
+
+class TestKAryChannels:
+    @pytest.mark.parametrize("k,n", [(3, 2), (4, 2), (3, 3), (3, 4), (5, 2)])
+    def test_row_tracks_match_formula(self, k, n):
+        lay = layout_kary(k, n)
+        lo = n // 2  # digits per row subnetwork
+        expect_row = kary_tracks(k, lo) if lo else 0
+        assert all(t == expect_row for t in lay.meta["row_tracks"])
+        hi = n - lo
+        expect_col = kary_tracks(k, hi)
+        assert all(t == expect_col for t in lay.meta["col_tracks"])
+
+    @pytest.mark.parametrize("k,n", [(3, 2), (4, 2), (3, 3)])
+    @pytest.mark.parametrize("L", [2, 3, 4, 6, 8])
+    def test_channel_extent_is_ceiling(self, k, n, L):
+        lay = layout_kary(k, n, layers=L)
+        G = max(L // 2, 1)
+        lo = n // 2
+        expect = -(-kary_tracks(k, lo) // G) if lo else 0
+        assert all(e == expect for e in lay.meta["row_channel_extents"])
+
+    @pytest.mark.parametrize("k,n,L", [(3, 2, 2), (3, 2, 4), (4, 2, 4), (3, 3, 6)])
+    def test_valid_and_topologically_exact(self, k, n, L):
+        lay = layout_kary(k, n, layers=L)
+        assert_layout_ok(lay, KAryNCube(k, n))
+
+    def test_mesh_variant(self):
+        lay = layout_kary(4, 2, wraparound=False)
+        assert_layout_ok(lay, Mesh(4, 2))
+        # Mesh rows are paths: 1 track each.
+        assert all(t == 1 for t in lay.meta["row_tracks"])
+
+    def test_folded_variant_shortens_wires(self):
+        plain = layout_kary(8, 2)
+        folded = layout_kary(8, 2, folded=True)
+        assert_layout_ok(folded, KAryNCube(8, 2))
+        assert folded.max_wire_length() < plain.max_wire_length()
+        # Track counts (hence area) unchanged by folding.
+        assert folded.meta["row_tracks"] == plain.meta["row_tracks"]
+
+    def test_area_decreases_with_layers(self):
+        # Rows of the 3-ary 4-cube have f_3(2) = 8 tracks: the per-layer
+        # extents under L = 2, 4, 8 are 8, 4, 2 -- strictly shrinking.
+        areas = [layout_kary(3, 4, layers=L).area for L in (2, 4, 8)]
+        assert areas[0] > areas[1] > areas[2]
+
+
+class TestHypercubeChannels:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_row_tracks_match_formula(self, n):
+        lay = layout_hypercube(n)
+        lo = n // 2
+        expect_row = hypercube_tracks(lo) if lo else 0
+        assert all(t == expect_row for t in lay.meta["row_tracks"])
+        expect_col = hypercube_tracks(n - lo)
+        assert all(t == expect_col for t in lay.meta["col_tracks"])
+
+    @pytest.mark.parametrize("n,L", [(4, 2), (4, 4), (5, 3), (6, 8)])
+    def test_valid_and_exact(self, n, L):
+        lay = layout_hypercube(n, layers=L)
+        assert_layout_ok(lay, Hypercube(n))
+
+    def test_max_wire_scales_down_with_layers(self):
+        w2 = layout_hypercube(8, layers=2).max_wire_length()
+        w8 = layout_hypercube(8, layers=8).max_wire_length()
+        assert w8 < w2
+
+    def test_odd_layers_match_even_minus_one(self):
+        """Odd L uses floor(L/2) groups: the geometry equals L-1."""
+        a = layout_hypercube(6, layers=5)
+        b = layout_hypercube(6, layers=4)
+        assert a.area == b.area
+        assert a.volume == b.area * 5
+
+
+class TestGHCChannels:
+    @pytest.mark.parametrize("radices", [(3, 3), (4, 4), (3, 4, 3)])
+    def test_tracks_at_most_recurrence(self, radices):
+        """Left-edge packing may beat the paper's stacked construction;
+        never exceeds it."""
+        lay = layout_ghc(radices)
+        n = len(radices)
+        m = n // 2
+        lo = radices[n - m:]
+        hi = radices[:n - m]
+        assert all(
+            t <= mixed_radix_ghc_tracks(lo) for t in lay.meta["row_tracks"]
+        )
+        assert all(
+            t <= mixed_radix_ghc_tracks(hi) for t in lay.meta["col_tracks"]
+        )
+
+    def test_radix3_exact(self):
+        lay = layout_ghc((3, 3))
+        assert all(t == 2 for t in lay.meta["row_tracks"])  # |9/4| = 2
+
+    @pytest.mark.parametrize("radices,L", [((3, 3), 2), ((4, 4), 4), ((3, 4), 3)])
+    def test_valid_and_exact(self, radices, L):
+        lay = layout_ghc(radices, layers=L)
+        assert_layout_ok(lay, GeneralizedHypercube(radices))
+
+    def test_split_parameter(self):
+        lay = layout_ghc((3, 3, 3), split=1)
+        assert lay.meta["cols"] == 3
+        assert lay.meta["rows"] == 9
+        assert_layout_ok(lay, GeneralizedHypercube((3, 3, 3)))
+
+
+class TestCompleteAndProduct:
+    def test_k9_has_twenty_tracks(self):
+        lay = layout_complete(9)
+        assert lay.meta["row_tracks"] == [20]
+        assert_layout_ok(lay, CompleteGraph(9))
+
+    def test_product_of_rings(self):
+        a, b = Ring(4), Ring(5)
+        lay = layout_product(a, b)
+        assert_layout_ok(lay, ProductNetwork(a, b))
+        assert all(t == 2 for t in lay.meta["row_tracks"])
+        assert all(t == 2 for t in lay.meta["col_tracks"])
+
+    def test_product_ring_by_complete(self):
+        a, b = CompleteGraph(4), Ring(5)
+        lay = layout_product(a, b)
+        assert_layout_ok(lay, ProductNetwork(a, b))
+        assert all(t == 4 for t in lay.meta["row_tracks"])  # |16/4|
+
+
+class TestScalability:
+    """Section 3.2's claim: node squares can grow without changing the
+    channel structure (only the cell pitch)."""
+
+    def test_tracks_independent_of_node_side(self):
+        small = layout_kary(3, 2, node_side=4)
+        big = layout_kary(3, 2, node_side=12)
+        assert small.meta["row_tracks"] == big.meta["row_tracks"]
+        assert small.meta["col_tracks"] == big.meta["col_tracks"]
+
+    def test_area_grows_with_node_side(self):
+        small = layout_kary(3, 2, node_side=4)
+        big = layout_kary(3, 2, node_side=12)
+        assert big.area > small.area
+
+    def test_big_nodes_still_valid(self):
+        lay = layout_hypercube(4, node_side=20)
+        assert_layout_ok(lay, Hypercube(4))
+
+    def test_node_side_below_degree_fails_cleanly(self):
+        with pytest.raises(ValueError, match="node_side"):
+            layout_complete(8, node_side=2)

@@ -1,0 +1,76 @@
+"""Folded hypercube and enhanced cube layouts (Section 5.3)."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core import (
+    layout_enhanced_cube,
+    layout_folded_hypercube,
+    layout_hypercube,
+)
+from repro.topology import EnhancedCube, FoldedHypercube
+
+
+class TestFoldedHypercube:
+    @pytest.mark.parametrize("n,L", [(3, 2), (4, 2), (4, 4), (5, 4), (4, 3)])
+    def test_valid_and_exact(self, n, L):
+        lay = layout_folded_hypercube(n, layers=L)
+        assert_layout_ok(lay, FoldedHypercube(n))
+
+    def test_extra_track_accounting(self):
+        """N/2 diameter links, one dedicated H track in the source row
+        and one dedicated V track in the target column: totals must be
+        exactly N/2 each beyond the hypercube's packed channels."""
+        n = 4
+        plain = layout_hypercube(n)
+        folded = layout_folded_hypercube(n)
+        N = 1 << n
+        extra_h = sum(folded.meta["row_tracks"]) - sum(plain.meta["row_tracks"])
+        extra_v = sum(folded.meta["col_tracks"]) - sum(plain.meta["col_tracks"])
+        assert extra_h == N // 2
+        assert extra_v == N // 2
+        assert folded.meta["extra_link_count"] == N // 2
+
+    def test_diameter_links_routed_as_extras(self):
+        lay = layout_folded_hypercube(4)
+        ms = lay.edge_multiset()
+        assert ms[(0, 15)] == 1
+        assert ms[(1, 14)] == 1
+
+    def test_larger_than_plain_hypercube(self):
+        plain = layout_hypercube(5)
+        folded = layout_folded_hypercube(5)
+        assert folded.area > plain.area
+
+    def test_multilayer_shrinks(self):
+        a2 = layout_folded_hypercube(5, layers=2).area
+        a4 = layout_folded_hypercube(5, layers=4).area
+        assert a4 < a2
+
+
+class TestEnhancedCube:
+    @pytest.mark.parametrize("n,L", [(3, 2), (4, 2), (4, 4)])
+    def test_valid_and_exact(self, n, L):
+        lay = layout_enhanced_cube(n, layers=L)
+        assert_layout_ok(lay, EnhancedCube(n))
+
+    def test_seed_changes_layout_but_not_structure(self):
+        a = layout_enhanced_cube(4, seed=1)
+        b = layout_enhanced_cube(4, seed=2)
+        assert len(a.wires) == len(b.wires)
+        assert_layout_ok(a, EnhancedCube(4, seed=1))
+        assert_layout_ok(b, EnhancedCube(4, seed=2))
+
+    def test_extra_count_is_N(self):
+        n = 4
+        lay = layout_enhanced_cube(n)
+        # Random links that land in the same row/column route as normal
+        # links, so extras <= N; the rest are still present as wires.
+        assert lay.meta["extra_link_count"] <= (1 << n)
+        assert len(lay.wires) == (1 << n) * n // 2 + (1 << n)
+
+    def test_bigger_than_folded(self):
+        """N random links cost more than N/2 diameter links."""
+        folded = layout_folded_hypercube(5)
+        enhanced = layout_enhanced_cube(5)
+        assert enhanced.area > folded.area

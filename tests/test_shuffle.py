@@ -1,0 +1,78 @@
+"""Shuffle-exchange and de Bruijn networks."""
+
+import networkx as nx
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.schemes import layout_collinear_network, layout_generic_grid
+from repro.topology.shuffle import DeBruijn, ShuffleExchange
+
+
+class TestShuffleExchange:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_counts(self, n):
+        net = ShuffleExchange(n)
+        assert net.num_nodes == 2**n
+        assert net.max_degree <= 3
+        assert net.is_connected()
+
+    def test_exchange_edges_present(self):
+        net = ShuffleExchange(4)
+        ms = net.edge_multiset()
+        assert (4, 5) in ms  # exchange pair
+
+    def test_shuffle_is_rotation(self):
+        net = ShuffleExchange(3)
+        # 3 (011) rotates to 6 (110).
+        assert (3, 6) in net.edge_multiset()
+
+    def test_degree_at_most_three(self):
+        net = ShuffleExchange(5)
+        assert all(net.degree(v) <= 3 for v in net.nodes)
+
+
+class TestDeBruijn:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_counts(self, n):
+        net = DeBruijn(n)
+        assert net.num_nodes == 2**n
+        assert net.max_degree <= 4
+        assert net.is_connected()
+
+    def test_diameter_is_n(self):
+        # de Bruijn diameter = n (shift in one symbol per hop).
+        assert DeBruijn(4).diameter() == 4
+
+    def test_matches_networkx_structure(self):
+        ours = nx.Graph(DeBruijn(3).edges)
+        ref = nx.Graph()
+        for w in range(8):
+            for b in (0, 1):
+                v = (2 * w + b) % 8
+                if v != w:
+                    ref.add_edge(w, v)
+        assert nx.is_isomorphic(ours, ref)
+
+
+class TestLayouts:
+    @pytest.mark.parametrize(
+        "net", [ShuffleExchange(4), DeBruijn(4)], ids=lambda n: n.name
+    )
+    def test_generic_grid(self, net):
+        lay = layout_generic_grid(net, layers=4)
+        assert_layout_ok(lay, net)
+
+    @pytest.mark.parametrize(
+        "net", [ShuffleExchange(4), DeBruijn(4)], ids=lambda n: n.name
+    )
+    def test_collinear(self, net):
+        lay = layout_collinear_network(net)
+        assert_layout_ok(lay, net)
+
+    def test_cutwidth_small(self):
+        """SE(3)'s exact cutwidth -- the graphs ref. [17] built the
+        lower-bound machinery for are tractable at toy sizes."""
+        from repro.collinear.cutwidth import exact_cutwidth
+
+        cw = exact_cutwidth(ShuffleExchange(3))
+        assert 2 <= cw <= 6

@@ -1,0 +1,167 @@
+"""Store-and-forward network simulator."""
+
+import pytest
+
+from repro.core import layout_hypercube
+from repro.routing import (
+    all_to_all,
+    bit_complement,
+    dimension_order_route,
+    hot_spot,
+    random_permutation,
+    simulate,
+)
+from repro.topology import Hypercube, Ring
+
+
+class TestSimulatorBasics:
+    def test_single_message(self):
+        net = Ring(6)
+        res = simulate(net, [(0, 3)])
+        # 3 hops x (1 delay + 1 router overhead).
+        assert res.makespan == 6
+        assert res.messages == 1
+        assert res.max_latency == 6
+
+    def test_zero_hop_message(self):
+        net = Ring(5)
+        res = simulate(net, [(2, 2)])
+        assert res.makespan == 0
+
+    def test_disjoint_messages_run_in_parallel(self):
+        net = Ring(8)
+        res = simulate(net, [(0, 1), (4, 5)])
+        assert res.makespan == 2  # both one hop, no contention
+
+    def test_contention_serializes(self):
+        net = Ring(8)
+        # Two messages over the same first link 0->1.
+        res = simulate(net, [(0, 1), (0, 1)])
+        assert res.makespan == 4  # second waits for the link
+        assert res.max_link_load == 2
+        assert res.busiest_link == (0, 1)
+
+    def test_deterministic(self):
+        net = Hypercube(4)
+        msgs = random_permutation(net)
+        a = simulate(net, msgs)
+        b = simulate(net, msgs)
+        assert a == b
+
+    def test_custom_router(self):
+        net = Hypercube(3)
+        route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+        res = simulate(net, bit_complement(net), router=route)
+        assert res.messages == 8
+        assert res.makespan > 0
+
+    def test_layout_delays_slow_things_down(self):
+        net = Hypercube(4)
+        lay = layout_hypercube(4)
+        fast = simulate(net, bit_complement(net))
+        slow = simulate(net, bit_complement(net), layout=lay)
+        assert slow.makespan > fast.makespan
+
+    def test_guard_against_runaway(self):
+        net = Ring(5)
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            simulate(net, all_to_all(net), max_cycles=3)
+
+
+class TestSimulatorScenarios:
+    def test_hot_spot_congestion(self):
+        net = Hypercube(4)
+        hs = simulate(net, hot_spot(net, spot=0))
+        perm = simulate(net, random_permutation(net))
+        # All 15 messages funnel into node 0's few links.
+        assert hs.max_link_load > perm.max_link_load
+
+    def test_multilayer_layout_speeds_up_traffic(self):
+        """The end-to-end performance claim: same network, same
+        traffic, same routes -- the L=8 layout's shorter wires finish
+        the pattern faster."""
+        net = Hypercube(6)
+        route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+        msgs = bit_complement(net)
+        l2 = simulate(
+            net, msgs, layout=layout_hypercube(6, layers=2, node_side="min"),
+            router=route,
+        )
+        l8 = simulate(
+            net, msgs, layout=layout_hypercube(6, layers=8, node_side="min"),
+            router=route,
+        )
+        assert l8.makespan < l2.makespan
+        assert l8.avg_latency < l2.avg_latency
+
+    def test_all_to_all_completes(self):
+        net = Hypercube(3)
+        res = simulate(net, all_to_all(net))
+        assert res.messages == 56
+        assert res.makespan >= res.max_latency
+
+    def test_result_dict(self):
+        net = Ring(4)
+        d = simulate(net, [(0, 2)]).as_dict()
+        assert set(d) == {
+            "makespan", "avg_latency", "max_latency", "messages",
+            "max_link_load", "busiest_link",
+        }
+
+
+class TestCutThrough:
+    def test_pipelining_beats_store_and_forward(self):
+        """Classic: SF ~ hops * L * d vs CT ~ hops * d + L."""
+        net = Ring(8)
+        sf = simulate(net, [(0, 4)], mode="store_forward", message_length=8)
+        ct = simulate(net, [(0, 4)], mode="cut_through", message_length=8)
+        assert sf.makespan == 4 * (8 + 1)  # 4 hops x (8 flits + router)
+        assert ct.makespan == 4 * 2 + 7    # headers pipeline, tail +7
+        assert ct.makespan < sf.makespan
+
+    def test_single_flit_equal(self):
+        net = Ring(8)
+        sf = simulate(net, [(0, 3)], mode="store_forward", message_length=1)
+        ct = simulate(net, [(0, 3)], mode="cut_through", message_length=1)
+        assert sf.makespan == ct.makespan
+
+    def test_serialization_contention(self):
+        # Two long messages over the same link: the second waits for
+        # the first's body even under cut-through.
+        net = Ring(8)
+        res = simulate(
+            net, [(0, 2), (0, 2)], mode="cut_through", message_length=10
+        )
+        assert res.makespan > 14  # second delayed by >= serialization
+
+    def test_zero_hop_no_tail(self):
+        net = Ring(5)
+        res = simulate(net, [(1, 1)], mode="cut_through", message_length=9)
+        assert res.makespan == 0
+
+    def test_bad_mode(self):
+        net = Ring(4)
+        with pytest.raises(ValueError, match="mode"):
+            simulate(net, [(0, 1)], mode="teleport")
+
+    def test_bad_length(self):
+        net = Ring(4)
+        with pytest.raises(ValueError, match="message_length"):
+            simulate(net, [(0, 1)], message_length=0)
+
+    def test_layout_wires_still_matter(self):
+        net = Hypercube(6)
+        route = lambda s, d: dimension_order_route(net, s, d)  # noqa: E731
+        from repro.core import layout_hypercube
+
+        l2 = simulate(
+            net, bit_complement(net), mode="cut_through", message_length=4,
+            layout=layout_hypercube(6, layers=2, node_side="min"),
+            router=route,
+        )
+        l8 = simulate(
+            net, bit_complement(net), mode="cut_through", message_length=4,
+            layout=layout_hypercube(6, layers=8, node_side="min"),
+            router=route,
+        )
+        assert l8.makespan < l2.makespan

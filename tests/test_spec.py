@@ -1,0 +1,89 @@
+"""LayoutSpec validation."""
+
+import pytest
+
+from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
+
+
+def one_row_spec():
+    cells = {(0, j): NodeCell(f"n{j}", 2) for j in range(3)}
+    return LayoutSpec(rows=1, cols=3, cells=cells)
+
+
+class TestCells:
+    def test_node_cell_side(self):
+        with pytest.raises(ValueError):
+            NodeCell("a", 0)
+
+    def test_block_cell_membership(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BlockCell("c", ["a", "a"], [], 2)
+        with pytest.raises(ValueError, match="leaves block"):
+            BlockCell("c", ["a", "b"], [("a", "zzz")], 2)
+
+
+class TestLinkSpec:
+    def test_same_row_col(self):
+        l = LinkSpec((0, 0), (0, 2), "a", "b")
+        assert l.same_row and not l.same_col
+        l = LinkSpec((0, 1), (2, 1), "a", "b")
+        assert l.same_col and not l.same_row
+
+
+class TestSpecValidation:
+    def test_valid_passes(self):
+        spec = one_row_spec()
+        spec.row_links.append(LinkSpec((0, 0), (0, 2), "n0", "n2"))
+        spec.validate()
+
+    def test_min_layers(self):
+        spec = one_row_spec()
+        spec.layers = 1
+        with pytest.raises(ValueError, match="L >= 2"):
+            spec.validate()
+
+    def test_cell_outside_grid(self):
+        spec = one_row_spec()
+        spec.cells[(5, 0)] = NodeCell("x", 2)
+        with pytest.raises(ValueError, match="outside"):
+            spec.validate()
+
+    def test_row_link_must_be_same_row(self):
+        spec = one_row_spec()
+        spec.row_links.append(LinkSpec((0, 0), (0, 0), "n0", "n0"))
+        with pytest.raises(ValueError, match="bad row link"):
+            spec.validate()
+
+    def test_link_node_must_live_in_cell(self):
+        spec = one_row_spec()
+        spec.row_links.append(LinkSpec((0, 0), (0, 2), "n0", "WRONG"))
+        with pytest.raises(ValueError, match="holds"):
+            spec.validate()
+
+    def test_link_into_empty_cell(self):
+        spec = one_row_spec()
+        del spec.cells[(0, 2)]
+        spec.row_links.append(LinkSpec((0, 0), (0, 2), "n0", "n2"))
+        with pytest.raises(ValueError, match="empty cell"):
+            spec.validate()
+
+    def test_block_membership_checked(self):
+        cells = {
+            (0, 0): BlockCell("c0", ["a", "b"], [("a", "b")], 2),
+            (0, 1): NodeCell("z", 2),
+        }
+        spec = LayoutSpec(rows=1, cols=2, cells=cells)
+        spec.row_links.append(LinkSpec((0, 0), (0, 1), "nope", "z"))
+        with pytest.raises(ValueError, match="absent from block"):
+            spec.validate()
+
+    def test_extra_link_within_cell_rejected(self):
+        spec = one_row_spec()
+        spec.extra_links.append(LinkSpec((0, 0), (0, 0), "n0", "n0"))
+        with pytest.raises(ValueError, match="within one cell"):
+            spec.validate()
+
+    def test_all_links(self):
+        spec = one_row_spec()
+        spec.row_links.append(LinkSpec((0, 0), (0, 1), "n0", "n1"))
+        assert len(spec.all_links()) == 1

@@ -1,0 +1,116 @@
+"""Multilayer 3-D grid layouts (deck stacking + risers)."""
+
+import pytest
+
+from repro.core import layout_kary, measure
+from repro.core.threedee import (
+    greedy_edge_coloring,
+    layout_product_3d,
+)
+from repro.grid.validate import check_topology, validate_layout
+from repro.grid.wire import Wire, WirePathError
+from repro.topology import CompleteGraph, Hypercube, ProductNetwork, Ring
+
+
+def product3(a, b, c):
+    return ProductNetwork(ProductNetwork(a, b), c)
+
+
+class TestRiserWires:
+    def test_make_riser(self):
+        w = Wire.make_riser("a", "b", 3, 4, 1, 5)
+        assert w.length == 4
+        assert w.vias() == [(3, 4)]
+        assert w.layers_used() == {1, 2, 3, 4, 5}
+        assert w.z_occupancy() == [((3, 4), 1, 5)]
+        assert w.start.planar() == w.end.planar() == (3, 4)
+
+    def test_riser_with_segments_rejected(self):
+        from repro.grid.geometry import Segment
+
+        with pytest.raises(WirePathError, match="riser"):
+            Wire("a", "b", [Segment.make(0, 0, 1, 0, 1)], riser=(0, 0, 1, 3))
+
+    def test_bad_riser_layers(self):
+        with pytest.raises(WirePathError):
+            Wire.make_riser("a", "b", 0, 0, 3, 3)
+
+
+class TestEdgeColoring:
+    def test_ring_two_colors(self):
+        colors = greedy_edge_coloring(Ring(6))
+        for u in range(6):
+            incident = [c for (a, b), c in colors.items() if u in (a, b)]
+            assert len(incident) == len(set(incident))
+
+    def test_complete_graph(self):
+        colors = greedy_edge_coloring(CompleteGraph(5))
+        assert max(colors.values()) <= 2 * 4 - 1
+
+
+class TestLayout3D:
+    def test_torus_4x4x4(self):
+        lay = layout_product_3d(Ring(4), Ring(4), Ring(4), layers=8)
+        validate_layout(lay)
+        check_topology(lay, product3(Ring(4), Ring(4), Ring(4)).edges)
+        assert lay.meta["decks"] == 4
+        assert lay.meta["active_layers"] == [1, 3, 5, 7]
+
+    def test_hypercube_decks(self):
+        lay = layout_product_3d(
+            Hypercube(2), Hypercube(2), Hypercube(2), layers=8
+        )
+        validate_layout(lay)
+        check_topology(
+            lay, product3(Hypercube(2), Hypercube(2), Hypercube(2)).edges
+        )
+
+    def test_mixed_factors(self):
+        lay = layout_product_3d(Ring(3), CompleteGraph(3), Ring(3), layers=6)
+        validate_layout(lay)
+        check_topology(lay, product3(Ring(3), CompleteGraph(3), Ring(3)).edges)
+
+    def test_footprint_beats_2d(self):
+        """The point of the 3-D model: same network, same L, much
+        smaller footprint and volume."""
+        lay3 = layout_product_3d(Ring(4), Ring(4), Ring(4), layers=8)
+        m3 = measure(lay3)
+        m2 = measure(layout_kary(4, 3, layers=8))
+        assert m3.area < m2.area / 2
+        assert m3.volume < m2.volume / 2
+        assert m3.max_wire < m2.max_wire
+
+    def test_riser_count(self):
+        lay = layout_product_3d(Ring(4), Ring(4), Ring(4), layers=8)
+        risers = [w for w in lay.wires if w.riser is not None]
+        # |C-edges| x planar positions = 4 x 16
+        assert len(risers) == 64
+
+    def test_riser_pins_unique_per_position(self):
+        lay = layout_product_3d(Ring(4), Ring(4), Ring(4), layers=8)
+        seen = {}
+        for w in lay.wires:
+            if w.riser is None:
+                continue
+            x, y, zlo, zhi = w.riser
+            for (pt, lo, hi, other) in seen.get((x, y), []):
+                assert hi < zlo or zhi < lo  # stacked disjointly
+            seen.setdefault((x, y), []).append(((x, y), zlo, zhi, w))
+
+    def test_insufficient_layers(self):
+        with pytest.raises(ValueError, match="layers"):
+            layout_product_3d(Ring(4), Ring(4), Ring(4), layers=4)
+
+    def test_too_small_nodes(self):
+        with pytest.raises(ValueError, match="node_side|free top pins"):
+            layout_product_3d(
+                Ring(4), Ring(4), Ring(4), layers=8, node_side=2
+            )
+
+    def test_serialization_roundtrip(self):
+        from repro.grid.io import layout_from_json, layout_to_json
+
+        lay = layout_product_3d(Ring(3), Ring(3), Ring(3), layers=6)
+        back = layout_from_json(layout_to_json(lay))
+        assert back.summary() == lay.summary()
+        validate_layout(back)

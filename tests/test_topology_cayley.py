@@ -1,0 +1,121 @@
+"""Cayley-graph networks vs. known structure and networkx oracles."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    BubbleSortGraph,
+    PancakeGraph,
+    StarConnectedCycles,
+    StarGraph,
+    TranspositionNetwork,
+    quotient,
+)
+
+
+def to_nx(net):
+    g = nx.Graph()
+    g.add_nodes_from(net.nodes)
+    g.add_edges_from(net.edges)
+    return g
+
+
+class TestStarGraph:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_counts(self, n):
+        s = StarGraph(n)
+        assert s.num_nodes == math.factorial(n)
+        assert s.is_regular() and s.max_degree == n - 1
+        assert s.is_connected()
+
+    def test_diameter_star4(self):
+        # Known: diameter of S_4 is floor(3(n-1)/2) = 4.
+        assert StarGraph(4).diameter() == 4
+
+    def test_last_symbol_quotient(self):
+        s = StarGraph(4)
+        q = quotient(s, s.last_symbol_partition())
+        mult = q.multiplicity()
+        assert len(q.clusters) == 4
+        # Quotient is K_4 with multiplicity (n-2)! = 2.
+        assert len(mult) == 6 and set(mult.values()) == {2}
+
+    def test_clusters_are_smaller_stars(self):
+        s = StarGraph(4)
+        q = quotient(s, s.last_symbol_partition())
+        s3 = to_nx(StarGraph(3))
+        for c, es in q.intra_edges.items():
+            assert nx.is_isomorphic(nx.Graph(es), s3)
+
+
+class TestPancake:
+    def test_counts(self):
+        p = PancakeGraph(4)
+        assert p.num_nodes == 24
+        assert p.is_regular() and p.max_degree == 3
+
+    def test_diameter_known_value(self):
+        # Pancake number P(4) = 4.
+        assert PancakeGraph(4).diameter() == 4
+
+    def test_quotient_structure(self):
+        p = PancakeGraph(4)
+        q = quotient(p, p.last_symbol_partition())
+        # Only the full reversal changes the last symbol: multiplicity
+        # (n-2)! between complementary first-symbol clusters.
+        assert set(q.multiplicity().values()) == {math.factorial(2)}
+
+
+class TestBubbleSort:
+    def test_counts(self):
+        b = BubbleSortGraph(4)
+        assert b.num_nodes == 24
+        assert b.is_regular() and b.max_degree == 3
+
+    def test_diameter_is_inversions(self):
+        # Diameter = n(n-1)/2 (max inversion count).
+        assert BubbleSortGraph(4).diameter() == 6
+
+    def test_bipartite(self):
+        assert nx.is_bipartite(to_nx(BubbleSortGraph(4)))
+
+
+class TestTransposition:
+    def test_counts(self):
+        t = TranspositionNetwork(4)
+        assert t.num_nodes == 24
+        assert t.is_regular() and t.max_degree == 6
+
+    def test_diameter(self):
+        # n-1 transpositions sort any permutation of n symbols.
+        assert TranspositionNetwork(4).diameter() == 3
+
+    def test_contains_star_edges(self):
+        star = set(map(frozenset, (map(tuple, e) for e in [])))
+        s = StarGraph(4)
+        t = TranspositionNetwork(4)
+        t_edges = {frozenset(e) for e in t.edges}
+        assert all(frozenset(e) in t_edges for e in s.edges)
+
+
+class TestSCC:
+    def test_counts(self):
+        scc = StarConnectedCycles(4)
+        assert scc.num_nodes == 24 * 3
+        assert scc.is_regular() and scc.max_degree == 3
+        assert scc.is_connected()
+
+    def test_clusters_are_cycles(self):
+        scc = StarConnectedCycles(4)
+        q = quotient(scc, scc.cluster_partition())
+        for c, es in q.intra_edges.items():
+            g = nx.Graph(es)
+            assert len(g) == 3 and all(d == 2 for _, d in g.degree())
+
+    def test_quotient_is_star_graph(self):
+        scc = StarConnectedCycles(4)
+        q = quotient(scc, scc.cluster_partition())
+        g = nx.Graph(list(q.multiplicity()))
+        assert nx.is_isomorphic(g, to_nx(StarGraph(4)))

@@ -1,0 +1,200 @@
+"""PN-cluster topologies and their quotient structure.
+
+The quotient facts tested here are exactly what Sections 4.2, 4.3, 5.2
+and 3.2 rely on: butterfly row-pairs -> hypercube quotient with
+multiplicity 4; ISN -> multiplicity 2; CCC/RH -> multiplicity 1;
+k-ary cluster-c -> k-ary n-cube quotient.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    Butterfly,
+    CubeConnectedCycles,
+    IndirectSwapNetwork,
+    KAryNCube,
+    KAryNCubeCluster,
+    PNCluster,
+    ReducedHypercube,
+    quotient,
+)
+
+
+def to_nx(net):
+    g = nx.MultiGraph()
+    g.add_nodes_from(net.nodes)
+    g.add_edges_from(net.edges)
+    return g
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_counts(self, m):
+        bf = Butterfly(m)
+        assert bf.num_nodes == (m + 1) * 2**m
+        assert bf.num_edges == 2 * m * 2**m
+        assert bf.is_connected()
+
+    def test_degrees(self):
+        bf = Butterfly(3)
+        degs = {bf.degree(v) for v in bf.nodes}
+        assert degs == {2, 4}  # end levels 2, interior 4
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_quotient_is_hypercube_mult4(self, m):
+        bf = Butterfly(m)
+        q = quotient(bf, bf.row_pair_partition())
+        assert len(q.clusters) == 2 ** (m - 1)
+        mult = q.multiplicity()
+        assert set(mult.values()) == {4}
+        for a, b in mult:
+            assert bin(a ^ b).count("1") == 1  # hypercube adjacency
+        assert len(mult) == (m - 1) * 2 ** (m - 2)
+
+    def test_cluster_sizes(self):
+        bf = Butterfly(3)
+        q = quotient(bf, bf.row_pair_partition())
+        assert all(len(ms) == 2 * (3 + 1) for ms in q.members.values())
+
+    def test_edge_conservation(self):
+        bf = Butterfly(3)
+        q = quotient(bf, bf.row_pair_partition())
+        intra = sum(len(es) for es in q.intra_edges.values())
+        assert intra + len(q.inter_edges) == bf.num_edges
+
+    def test_small_m_rejects_partition(self):
+        with pytest.raises(ValueError):
+            Butterfly(1).row_pair_partition()
+
+
+class TestISN:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_quotient_mult2(self, m):
+        isn = IndirectSwapNetwork(m)
+        q = quotient(isn, isn.row_pair_partition())
+        assert set(q.multiplicity().values()) == {2}
+
+    def test_half_the_butterfly_cross_edges(self):
+        m = 3
+        bf, isn = Butterfly(m), IndirectSwapNetwork(m)
+        straight = (m) * 2**m
+        assert bf.num_edges - straight == 2 * (isn.num_edges - straight)
+
+    def test_connected(self):
+        assert IndirectSwapNetwork(3).is_connected()
+
+
+class TestCCC:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_counts(self, n):
+        ccc = CubeConnectedCycles(n)
+        assert ccc.num_nodes == n * 2**n
+        assert ccc.is_regular() and ccc.max_degree == 3
+        assert ccc.is_connected()
+
+    def test_quotient_is_hypercube(self):
+        ccc = CubeConnectedCycles(4)
+        q = quotient(ccc, ccc.cluster_partition())
+        assert len(q.clusters) == 16
+        assert set(q.multiplicity().values()) == {1}
+        g = nx.Graph(list(q.multiplicity()))
+        assert nx.is_isomorphic(g, nx.hypercube_graph(4))
+
+    def test_clusters_are_cycles(self):
+        ccc = CubeConnectedCycles(4)
+        q = quotient(ccc, ccc.cluster_partition())
+        for c, es in q.intra_edges.items():
+            g = nx.Graph(es)
+            assert len(g) == 4 and nx.is_connected(g)
+            assert all(d == 2 for _, d in g.degree())
+
+    def test_matches_reference_construction(self):
+        # Independent oracle: build CCC(3) explicitly via nx.
+        n = 3
+        ref = nx.Graph()
+        for w in range(2**n):
+            for i in range(n):
+                ref.add_edge((w, i), (w, (i + 1) % n))
+                ref.add_edge((w, i), (w ^ (1 << i), i))
+        assert nx.is_isomorphic(to_nx(CubeConnectedCycles(3)), nx.MultiGraph(ref))
+
+
+class TestReducedHypercube:
+    def test_counts(self):
+        rh = ReducedHypercube(4)
+        assert rh.num_nodes == 4 * 16
+        assert rh.is_regular() and rh.max_degree == 3  # 2 cluster + 1 cube
+        assert rh.is_connected()
+
+    def test_clusters_are_hypercubes(self):
+        rh = ReducedHypercube(4)
+        q = quotient(rh, rh.cluster_partition())
+        for c, es in q.intra_edges.items():
+            g = nx.Graph(es)
+            assert nx.is_isomorphic(g, nx.hypercube_graph(2))
+
+    def test_quotient_mult1(self):
+        rh = ReducedHypercube(4)
+        q = quotient(rh, rh.cluster_partition())
+        assert set(q.multiplicity().values()) == {1}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ReducedHypercube(6)
+
+
+class TestKAryCluster:
+    def test_counts(self):
+        net = KAryNCubeCluster(3, 2, 4)
+        assert net.num_nodes == 9 * 4
+        assert net.is_connected()
+
+    def test_quotient_is_kary(self):
+        net = KAryNCubeCluster(3, 2, 4)
+        q = quotient(net, net.cluster_partition())
+        g = nx.MultiGraph(
+            [(a, b) for (a, b), c in q.multiplicity().items() for _ in range(c)]
+        )
+        assert nx.is_isomorphic(g, to_nx(KAryNCube(3, 2)))
+
+    def test_complete_clusters(self):
+        net = KAryNCubeCluster(3, 2, 3, cluster="complete")
+        q = quotient(net, net.cluster_partition())
+        for es in q.intra_edges.values():
+            assert len(es) == 3  # K_3
+
+    def test_attachment_round_robin(self):
+        net = KAryNCubeCluster(3, 2, 2)
+        # Each quotient node has 4 incident links spread over 2 nodes.
+        counts = {}
+        q = quotient(net, net.cluster_partition())
+        for cu, cv, u, v in q.inter_edges:
+            for node in (u, v):
+                counts[node] = counts.get(node, 0) + 1
+        assert max(counts.values()) <= 2
+
+    def test_bad_cluster_kind(self):
+        with pytest.raises(ValueError):
+            KAryNCubeCluster(3, 2, 4, cluster="mystery")
+
+    def test_hypercube_cluster_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            KAryNCubeCluster(3, 2, 3, cluster="hypercube")
+
+
+class TestGenericPNCluster:
+    def test_custom_attach(self):
+        from repro.topology import Ring
+
+        net = PNCluster(
+            Ring(4), 2, [(0, 1)], attach=lambda q, idx: idx % 2
+        )
+        assert net.num_nodes == 8
+        assert net.is_connected()
+
+    def test_cluster_edge_bounds(self):
+        from repro.topology import Ring
+
+        with pytest.raises(ValueError):
+            PNCluster(Ring(4), 2, [(0, 5)])

@@ -1,0 +1,198 @@
+"""Product-family topologies, cross-checked against networkx oracles."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    CompleteGraph,
+    GeneralizedHypercube,
+    Hypercube,
+    KAryNCube,
+    Mesh,
+    ProductNetwork,
+    Ring,
+)
+
+
+def to_nx(net):
+    g = nx.MultiGraph()
+    g.add_nodes_from(net.nodes)
+    g.add_edges_from(net.edges)
+    return g
+
+
+class TestRing:
+    def test_counts(self):
+        r = Ring(7)
+        assert r.num_nodes == 7 and r.num_edges == 7
+        assert r.is_regular() and r.max_degree == 2
+
+    def test_is_cycle(self):
+        g = to_nx(Ring(9))
+        assert nx.is_connected(g)
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_diameter(self):
+        assert Ring(8).diameter() == 4
+        assert Ring(9).diameter() == 4
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            Ring(2)
+
+
+class TestKAryNCube:
+    @pytest.mark.parametrize("k,n", [(3, 1), (3, 2), (4, 2), (5, 3), (3, 4)])
+    def test_torus_counts(self, k, n):
+        net = KAryNCube(k, n)
+        assert net.num_nodes == k**n
+        assert net.num_edges == n * k**n  # k>2: each dim a k-ring
+        assert net.is_regular() and net.max_degree == 2 * n
+
+    def test_binary_torus_is_hypercube(self):
+        t = KAryNCube(2, 4)
+        h = Hypercube(4)
+        assert t.num_edges == h.num_edges
+        gt = to_nx(t)
+        assert all(d == 4 for _, d in gt.degree())
+
+    @pytest.mark.parametrize("k,n", [(3, 2), (4, 2), (3, 3)])
+    def test_matches_networkx_torus(self, k, n):
+        net = KAryNCube(k, n)
+        ours = to_nx(net)
+        ref = nx.grid_graph(dim=[k] * n, periodic=True)
+        assert nx.is_isomorphic(ours, nx.MultiGraph(ref))
+
+    def test_diameter(self):
+        assert KAryNCube(5, 2).diameter() == 4  # n * floor(k/2)
+
+    def test_dimension_of_edge(self):
+        net = KAryNCube(3, 2)
+        assert net.dimension_of_edge((0, 0), (0, 1)) == 0
+        assert net.dimension_of_edge((0, 0), (2, 0)) == 1
+        with pytest.raises(ValueError):
+            net.dimension_of_edge((0, 0), (1, 1))
+
+
+class TestMesh:
+    def test_counts(self):
+        m = Mesh(4, 2)
+        assert m.num_nodes == 16
+        assert m.num_edges == 2 * 4 * 3  # 2 dims x 4 lines x 3 links
+
+    def test_matches_networkx_grid(self):
+        ours = to_nx(Mesh(3, 2))
+        ref = nx.grid_graph(dim=[3, 3])
+        assert nx.is_isomorphic(ours, nx.MultiGraph(ref))
+
+    def test_corner_degree(self):
+        m = Mesh(3, 2)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 1)) == 4
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_counts(self, n):
+        h = Hypercube(n)
+        assert h.num_nodes == 2**n
+        assert h.num_edges == n * 2 ** (n - 1)
+        assert h.is_regular() and h.max_degree == n
+
+    def test_matches_networkx(self):
+        ours = to_nx(Hypercube(4))
+        ref = nx.hypercube_graph(4)
+        assert nx.is_isomorphic(ours, nx.MultiGraph(ref))
+
+    def test_diameter_is_dimension(self):
+        assert Hypercube(5).diameter() == 5
+
+    def test_dimension_of_edge(self):
+        h = Hypercube(4)
+        assert h.dimension_of_edge(0, 8) == 3
+        with pytest.raises(ValueError):
+            h.dimension_of_edge(0, 3)
+
+
+class TestComplete:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_counts(self, n):
+        k = CompleteGraph(n)
+        assert k.num_nodes == n
+        assert k.num_edges == n * (n - 1) // 2
+
+    def test_diameter(self):
+        assert CompleteGraph(6).diameter() == 1
+
+
+class TestGHC:
+    def test_counts_uniform(self):
+        g = GeneralizedHypercube((3, 3))
+        assert g.num_nodes == 9
+        assert g.num_edges == 9 * 4 // 2
+        assert g.max_degree == 4
+
+    def test_counts_mixed(self):
+        g = GeneralizedHypercube((2, 5))
+        assert g.num_nodes == 10
+        assert g.max_degree == (2 - 1) + (5 - 1)
+        assert g.is_regular()
+
+    def test_radix2_is_hypercube(self):
+        g = GeneralizedHypercube((2, 2, 2))
+        assert nx.is_isomorphic(to_nx(g), nx.MultiGraph(nx.hypercube_graph(3)))
+
+    def test_diameter_is_dimensions(self):
+        assert GeneralizedHypercube((4, 4, 4)).diameter() == 3
+
+    def test_is_product_of_completes(self):
+        a, b = CompleteGraph(3), CompleteGraph(4)
+        prod = ProductNetwork(a, b)
+        g = GeneralizedHypercube((4, 3))  # r1=4 rows? orientation-free iso
+        assert nx.is_isomorphic(to_nx(prod), to_nx(g))
+
+    def test_dimension_of_edge(self):
+        g = GeneralizedHypercube((3, 4))
+        assert g.dimension_of_edge((0, 0), (0, 3)) == 0
+        assert g.dimension_of_edge((0, 0), (2, 0)) == 1
+
+
+class TestProduct:
+    def test_counts(self):
+        p = ProductNetwork(Ring(4), Ring(5))
+        assert p.num_nodes == 20
+        assert p.num_edges == 4 * 5 + 5 * 4
+
+    def test_matches_networkx_cartesian(self):
+        a, b = Ring(4), CompleteGraph(3)
+        ours = to_nx(ProductNetwork(a, b))
+        ref = nx.cartesian_product(to_nx(a), to_nx(b))
+        assert nx.is_isomorphic(ours, nx.MultiGraph(ref))
+
+    def test_degree_additivity(self):
+        p = ProductNetwork(Ring(5), CompleteGraph(4))
+        assert p.max_degree == 2 + 3
+
+
+class TestBaseMachinery:
+    def test_bfs_and_shortest_path(self):
+        h = Hypercube(4)
+        path = h.shortest_path(0, 15)
+        assert len(path) == 5
+        assert path[0] == 0 and path[-1] == 15
+        dist = h.bfs_distances(0)
+        assert dist[15] == 4
+
+    def test_edge_multiset(self):
+        r = Ring(4)
+        ms = r.edge_multiset()
+        assert sum(ms.values()) == 4
+        assert all(c == 1 for c in ms.values())
+
+    def test_connectivity(self):
+        assert Hypercube(3).is_connected()
+
+    def test_index_roundtrip(self):
+        net = KAryNCube(3, 2)
+        for i, v in enumerate(net.nodes):
+            assert net.index[v] == i

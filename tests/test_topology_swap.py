@@ -1,0 +1,81 @@
+"""HSN / HHN structure (Section 4.3)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import HHN, HSN, CompleteGraph, Hypercube, quotient
+
+
+class TestHSN:
+    def test_counts(self):
+        h = HSN(CompleteGraph(4), 2)
+        assert h.num_nodes == 16
+        assert h.is_connected()
+
+    @pytest.mark.parametrize("r,l", [(3, 2), (4, 2), (3, 3), (2, 4)])
+    def test_node_count_is_r_to_l(self, r, l):
+        h = HSN(CompleteGraph(r), l)
+        assert h.num_nodes == r**l
+
+    def test_quotient_is_ghc(self):
+        """Cluster addresses differing in one digit are adjacent with
+        multiplicity exactly 1 -- the only structural property the
+        Section 4.3 layout uses."""
+        h = HSN(CompleteGraph(3), 3)
+        q = quotient(h, h.cluster_partition())
+        mult = q.multiplicity()
+        assert set(mult.values()) == {1}
+        for a, b in mult:
+            diffs = sum(1 for x, y in zip(a, b) if x != y)
+            assert diffs == 1
+        # 2-dim radix-3 GHC: 9 clusters, each adjacent to 4 others.
+        assert len(q.clusters) == 9
+        assert len(mult) == 9 * 4 // 2
+
+    def test_swap_links_are_involutions(self):
+        """Every inter-cluster edge appears exactly once (the swap rule
+        is symmetric)."""
+        h = HSN(CompleteGraph(4), 2)
+        seen = set()
+        q = quotient(h, h.cluster_partition())
+        for cu, cv, u, v in q.inter_edges:
+            key = tuple(sorted((u, v)))
+            assert key not in seen
+            seen.add(key)
+
+    def test_intra_cluster_is_nucleus(self):
+        h = HSN(CompleteGraph(4), 2)
+        q = quotient(h, h.cluster_partition())
+        for c, es in q.intra_edges.items():
+            g = nx.Graph((u[0], v[0]) for u, v in es)
+            assert nx.is_isomorphic(g, nx.complete_graph(4))
+
+    def test_max_degree(self):
+        # nucleus degree + at most (levels-1) swap links
+        h = HSN(CompleteGraph(3), 3)
+        assert h.max_degree <= (3 - 1) + 2
+
+    def test_rejects_bad_nucleus_labels(self):
+        from repro.topology.base import build_network
+
+        bad = build_network(["x", "y"], [("x", "y")], "bad")
+        with pytest.raises(ValueError, match="0..r-1"):
+            HSN(bad, 2)
+
+    def test_rejects_one_level(self):
+        with pytest.raises(ValueError):
+            HSN(CompleteGraph(3), 1)
+
+
+class TestHHN:
+    def test_is_hsn_with_hypercube_nucleus(self):
+        h = HHN(2, 2)
+        assert h.num_nodes == 16
+        assert isinstance(h.nucleus, Hypercube)
+        q = quotient(h, h.cluster_partition())
+        for c, es in q.intra_edges.items():
+            g = nx.Graph((u[0], v[0]) for u, v in es)
+            assert nx.is_isomorphic(g, nx.hypercube_graph(2))
+
+    def test_connected(self):
+        assert HHN(2, 3).is_connected()

@@ -1,0 +1,89 @@
+"""Folded hypercubes, enhanced cubes and partition machinery."""
+
+import pytest
+
+from repro.topology import (
+    EnhancedCube,
+    FoldedHypercube,
+    Hypercube,
+    Partition,
+    Ring,
+    quotient,
+)
+
+
+class TestFoldedHypercube:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_counts(self, n):
+        f = FoldedHypercube(n)
+        N = 2**n
+        assert f.num_nodes == N
+        assert f.num_edges == n * N // 2 + N // 2
+        assert f.is_regular() and f.max_degree == n + 1
+
+    def test_extra_links_are_complements(self):
+        f = FoldedHypercube(4)
+        for u, v in f.extra_links():
+            assert u ^ v == 15
+
+    def test_extra_link_count(self):
+        assert len(FoldedHypercube(5).extra_links()) == 16
+
+    def test_diameter_halves(self):
+        # Folded hypercube diameter is ceil(n/2).
+        assert FoldedHypercube(4).diameter() == 2
+        assert Hypercube(4).diameter() == 4
+
+
+class TestEnhancedCube:
+    def test_counts(self):
+        e = EnhancedCube(4)
+        N = 16
+        assert e.num_nodes == N
+        assert e.num_edges == 4 * N // 2 + N  # N extra links
+
+    def test_deterministic_by_seed(self):
+        a = EnhancedCube(4, seed=7).extra_links()
+        b = EnhancedCube(4, seed=7).extra_links()
+        c = EnhancedCube(4, seed=8).extra_links()
+        assert a == b
+        assert a != c
+
+    def test_extras_avoid_cube_edges_and_loops(self):
+        e = EnhancedCube(5, seed=3)
+        cube_edges = {tuple(sorted(x)) for x in Hypercube(5).edges}
+        for u, v in e.extra_links():
+            assert u != v
+            assert tuple(sorted((u, v))) not in cube_edges
+
+
+class TestPartition:
+    def test_members_and_clusters(self):
+        p = Partition({0: "a", 1: "a", 2: "b"})
+        assert set(p.clusters()) == {"a", "b"}
+        assert sorted(p.members()["a"]) == [0, 1]
+
+    def test_quotient_requires_total_map(self):
+        r = Ring(4)
+        with pytest.raises(ValueError, match="cover"):
+            quotient(r, Partition({0: "a"}))
+
+    def test_quotient_edge_conservation(self):
+        r = Ring(6)
+        p = Partition({v: v // 2 for v in r.nodes})
+        q = quotient(r, p)
+        intra = sum(len(es) for es in q.intra_edges.values())
+        assert intra + len(q.inter_edges) == r.num_edges
+
+    def test_quotient_keeps_endpoints(self):
+        r = Ring(6)
+        p = Partition({v: v // 3 for v in r.nodes})
+        q = quotient(r, p)
+        for cu, cv, u, v in q.inter_edges:
+            assert p.cluster_of(u) == cu and p.cluster_of(v) == cv
+
+    def test_simple_edges(self):
+        r = Ring(6)
+        p = Partition({v: v // 2 for v in r.nodes})
+        q = quotient(r, p)
+        assert len(q.simple_edges()) == 3  # triangle of supernodes

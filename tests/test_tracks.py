@@ -1,0 +1,111 @@
+"""Left-edge packing and max-overlap: unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.tracks import Interval, cuts, max_overlap, pack_intervals, verify_packing
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(3, 3)
+        with pytest.raises(ValueError):
+            Interval(4, 2)
+
+
+class TestPacking:
+    def test_disjoint_share_one_track(self):
+        ivs = [Interval(0, 1), Interval(2, 3), Interval(4, 9)]
+        _, n = pack_intervals(ivs)
+        assert n == 1
+
+    def test_touching_share_one_track(self):
+        ivs = [Interval(0, 3), Interval(3, 6), Interval(6, 9)]
+        assignment, n = pack_intervals(ivs)
+        assert n == 1
+        assert verify_packing(ivs, assignment)
+
+    def test_nested_need_two(self):
+        ivs = [Interval(0, 9), Interval(2, 4)]
+        _, n = pack_intervals(ivs)
+        assert n == 2
+
+    def test_ring_structure(self):
+        # k-1 unit edges + one wrap edge: the paper's 2-track ring.
+        k = 7
+        ivs = [Interval(i, i + 1) for i in range(k - 1)] + [Interval(0, k - 1)]
+        assignment, n = pack_intervals(ivs)
+        assert n == 2
+        assert verify_packing(ivs, assignment)
+
+    def test_complete_graph_count(self):
+        n = 8
+        ivs = [
+            Interval(i, j) for i in range(n) for j in range(i + 1, n)
+        ]
+        _, tracks = pack_intervals(ivs)
+        assert tracks == n * n // 4  # |N^2/4|, Section 4.1
+
+    def test_empty_input(self):
+        assignment, n = pack_intervals([])
+        assert assignment == {} and n == 0
+
+    def test_tuple_endpoints(self):
+        # The builder packs refined (cell, rank) coordinates.
+        ivs = [
+            Interval((0, 1), (4, 0)),
+            Interval((4, 1), (8, 0)),
+            Interval((0, 0), (8, 1)),
+        ]
+        assignment, n = pack_intervals(ivs)
+        assert n == 2
+        assert verify_packing(ivs, assignment)
+
+
+class TestMaxOverlap:
+    def test_simple(self):
+        assert max_overlap([Interval(0, 2), Interval(1, 3)]) == 2
+        assert max_overlap([Interval(0, 2), Interval(2, 4)]) == 1
+        assert max_overlap([]) == 0
+
+    def test_cuts_profile(self):
+        ivs = [Interval(0, 2), Interval(1, 3)]
+        assert cuts(ivs, [0, 1, 2]) == [1, 2, 1]
+
+
+@st.composite
+def interval_lists(draw):
+    n = draw(st.integers(1, 60))
+    out = []
+    for _ in range(n):
+        lo = draw(st.integers(0, 50))
+        hi = draw(st.integers(lo + 1, 52))
+        out.append(Interval(lo, hi))
+    return out
+
+
+class TestPackingProperties:
+    @given(interval_lists())
+    @settings(max_examples=200, deadline=None)
+    def test_left_edge_is_optimal(self, ivs):
+        """Track count equals max proper overlap (clique number)."""
+        assignment, n = pack_intervals(ivs)
+        assert n == max_overlap(ivs)
+        assert verify_packing(ivs, assignment)
+
+    @given(interval_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_every_interval_assigned(self, ivs):
+        assignment, n = pack_intervals(ivs)
+        assert sorted(assignment) == list(range(len(ivs)))
+        assert all(0 <= t < n for t in assignment.values())
+
+    @given(interval_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariant_count(self, ivs):
+        """The optimal count is order-independent."""
+        _, n1 = pack_intervals(ivs)
+        _, n2 = pack_intervals(list(reversed(ivs)))
+        assert n1 == n2

@@ -1,0 +1,67 @@
+"""Two-sided collinear layouts (ablation/extension)."""
+
+import pytest
+
+from conftest import assert_layout_ok
+from repro.collinear.two_sided import two_sided_collinear_layout
+from repro.core import layout_collinear_network, measure
+from repro.grid.oracle import oracle_validate
+from repro.topology import CompleteGraph, Hypercube, Ring
+from repro.collinear.orders import binary_order
+
+
+class TestTwoSided:
+    @pytest.mark.parametrize(
+        "net", [Ring(8), CompleteGraph(7), Hypercube(4)], ids=lambda n: n.name
+    )
+    def test_valid_and_exact(self, net):
+        lay = two_sided_collinear_layout(net)
+        assert_layout_ok(lay, net)
+        oracle_validate(lay)
+
+    def test_splits_tracks_evenly(self):
+        two = two_sided_collinear_layout(CompleteGraph(9))
+        assert two.meta["tracks"] == 20
+        assert two.meta["upper_tracks"] == 10
+        assert two.meta["lower_tracks"] == 10
+
+    def test_shortens_wires(self):
+        """The point of two-sided channels: halved channel depth means
+        shorter vertical runs (height itself is unchanged)."""
+        for net in (CompleteGraph(9), Hypercube(5)):
+            one = measure(layout_collinear_network(net))
+            two = measure(two_sided_collinear_layout(net))
+            assert two.max_wire < one.max_wire
+            assert two.total_wire < one.total_wire
+            assert two.height <= one.height + 1
+
+    def test_same_width(self):
+        net = Hypercube(4)
+        one = layout_collinear_network(net)
+        two = two_sided_collinear_layout(net)
+        assert measure(two).width == measure(one).width
+
+    def test_multilayer(self):
+        net = CompleteGraph(8)
+        lay = two_sided_collinear_layout(net, layers=4)
+        assert_layout_ok(lay, net)
+        l2 = measure(two_sided_collinear_layout(net, layers=2))
+        l4 = measure(lay)
+        assert l4.height < l2.height
+
+    def test_order_respected(self):
+        net = Hypercube(3)
+        lay = two_sided_collinear_layout(net, order=binary_order(3))
+        xs = {v: p.rect.x0 for v, p in lay.placements.items()}
+        assert xs[0] < xs[1] < xs[7]
+
+    def test_pin_capacity_error(self):
+        with pytest.raises(ValueError, match="node_side"):
+            two_sided_collinear_layout(CompleteGraph(8), node_side=2)
+
+    def test_single_edge(self):
+        from repro.topology.base import build_network
+
+        net = build_network([0, 1], [(0, 1)], "edge")
+        lay = two_sided_collinear_layout(net)
+        assert_layout_ok(lay, net)

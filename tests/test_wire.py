@@ -1,0 +1,111 @@
+"""Unit tests for wire path tracing, vias and bends."""
+
+import pytest
+
+from repro.grid.geometry import Segment
+from repro.grid.wire import Wire, WirePathError
+
+
+def L_wire(layer_h=1, layer_v=2):
+    """A simple L: right 5 then down 3, with a via at the corner."""
+    return Wire(
+        "a",
+        "b",
+        [
+            Segment.make(0, 0, 5, 0, layer_h),
+            Segment.make(5, 0, 5, 3, layer_v),
+        ],
+    )
+
+
+class TestTracing:
+    def test_single_segment(self):
+        w = Wire("a", "b", [Segment.make(0, 0, 4, 0, 1)])
+        assert w.length == 4
+        assert w.start.planar() == (0, 0)
+        assert w.end.planar() == (4, 0)
+        assert w.vias() == []
+        assert w.bends() == []
+
+    def test_l_wire(self):
+        w = L_wire()
+        assert w.length == 8
+        assert w.start.planar() == (0, 0)
+        assert w.end.planar() == (5, 3)
+        assert w.vias() == [(5, 0)]
+        assert w.bends() == [(5, 0)]
+
+    def test_same_layer_bend_is_not_via(self):
+        w = L_wire(layer_h=1, layer_v=1)
+        assert w.vias() == []
+        assert w.bends() == [(5, 0)]
+
+    def test_reversed_segment_order_traces(self):
+        # Segments are stored normalized; path may traverse in reverse.
+        w = Wire(
+            "a",
+            "b",
+            [
+                Segment.make(5, 0, 0, 0, 1),  # normalized to (0,0)-(5,0)
+                Segment.make(5, 3, 5, 0, 2),
+            ],
+        )
+        assert w.start.planar() == (0, 0)
+        assert w.end.planar() == (5, 3)
+
+    def test_three_segments_u_shape(self):
+        w = Wire(
+            "a",
+            "b",
+            [
+                Segment.make(0, 5, 0, 0, 2),
+                Segment.make(0, 0, 7, 0, 1),
+                Segment.make(7, 0, 7, 5, 2),
+            ],
+        )
+        assert w.start.planar() == (0, 5)
+        assert w.end.planar() == (7, 5)
+        assert w.bends() == [(0, 0), (7, 0)]
+        assert len(w.vias()) == 2
+
+    def test_layers_used(self):
+        assert L_wire().layers_used() == {1, 2}
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(WirePathError):
+            Wire(
+                "a",
+                "b",
+                [
+                    Segment.make(0, 0, 5, 0, 1),
+                    Segment.make(6, 1, 6, 4, 2),
+                ],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(WirePathError):
+            Wire("a", "b", [])
+
+    def test_key_is_endpoint_sorted(self):
+        w1 = Wire("a", "b", [Segment.make(0, 0, 1, 0, 1)])
+        w2 = Wire("b", "a", [Segment.make(0, 0, 1, 0, 1)])
+        assert w1.key() == w2.key()
+
+    def test_key_distinguishes_parallel_edges(self):
+        w1 = Wire("a", "b", [Segment.make(0, 0, 1, 0, 1)], edge_key=0)
+        w2 = Wire("a", "b", [Segment.make(0, 1, 1, 1, 1)], edge_key=1)
+        assert w1.key() != w2.key()
+
+    def test_long_path_via_count(self):
+        # Staircase: H V H V H -> 4 interior vertices, all layer changes.
+        segs = [
+            Segment.make(0, 0, 2, 0, 1),
+            Segment.make(2, 0, 2, 2, 2),
+            Segment.make(2, 2, 4, 2, 1),
+            Segment.make(4, 2, 4, 4, 2),
+            Segment.make(4, 4, 6, 4, 1),
+        ]
+        w = Wire("a", "b", segs)
+        assert w.length == 10
+        assert len(w.vias()) == 4
+        assert w.bends() == [(2, 0), (2, 2), (4, 2), (4, 4)]

@@ -1,0 +1,65 @@
+"""Wrapped butterfly: structure and layout."""
+
+import networkx as nx
+import pytest
+
+from conftest import assert_layout_ok
+from repro.core.schemes import layout_network, layout_wrapped_butterfly
+from repro.topology import WrappedButterfly, quotient
+
+
+class TestTopology:
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_counts(self, m):
+        net = WrappedButterfly(m)
+        assert net.num_nodes == m * 2**m
+        assert net.num_edges == 2 * m * 2**m
+        assert net.is_regular() and net.max_degree == 4
+        assert net.is_connected()
+
+    def test_vertex_transitive_degree(self):
+        net = WrappedButterfly(3)
+        g = nx.MultiGraph()
+        g.add_edges_from(net.edges)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            WrappedButterfly(2)
+
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_quotient_is_hypercube_mult4(self, m):
+        net = WrappedButterfly(m)
+        q = quotient(net, net.row_pair_partition())
+        assert len(q.clusters) == 2 ** (m - 1)
+        assert set(q.multiplicity().values()) == {4}
+        for a, b in q.multiplicity():
+            assert bin(a ^ b).count("1") == 1
+
+    def test_same_size_as_ccc(self):
+        # WBF(m) and CCC(m) have the same node count -- the classical
+        # relationship (CCC is a subgraph of WBF).
+        from repro.topology import CubeConnectedCycles
+
+        assert WrappedButterfly(4).num_nodes == CubeConnectedCycles(4).num_nodes
+
+
+class TestLayout:
+    @pytest.mark.parametrize("m,L", [(3, 2), (3, 4), (4, 2)])
+    def test_valid_and_exact(self, m, L):
+        lay = layout_wrapped_butterfly(m, layers=L)
+        assert_layout_ok(lay, WrappedButterfly(m))
+
+    def test_dispatch(self):
+        lay = layout_network(WrappedButterfly(3), layers=4)
+        assert_layout_ok(lay, WrappedButterfly(3))
+
+    def test_channels_match_plain_butterfly(self):
+        """Same quotient structure, same channel accounting (within the
+        +1 attachment rounding)."""
+        from repro.core import layout_butterfly
+
+        wbf = layout_wrapped_butterfly(4)
+        bf = layout_butterfly(4)
+        for a, b in zip(wbf.meta["row_tracks"], bf.meta["row_tracks"]):
+            assert abs(a - b) <= 1
