@@ -1,41 +1,135 @@
 """Benchmark harness plumbing.
 
 Each bench regenerates one paper artifact (table/figure/closed form)
-and reports paper-vs-measured rows.  Reports are printed (visible with
-``pytest -s``) and appended to ``benchmarks/results/<bench>.txt`` so
-EXPERIMENTS.md can quote them.
+and reports paper-vs-measured rows.  Reports go to three places:
+
+* printed (visible with ``pytest -s``);
+* appended to ``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md can
+  quote them verbatim;
+* accumulated into ``benchmarks/results/<bench>.json`` -- the same
+  tables as structured data -- and aggregated at session end into
+  ``BENCH_summary.json`` at the repo root, the machine-diffable perf
+  trajectory across PRs (environment stamp + per-bench wall times).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import time
 
 import pytest
 
-from repro.bench.harness import format_table
+from repro import __version__
+from repro.bench.harness import format_table, json_cell
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SUMMARY_SCHEMA = "repro.bench-summary/v1"
+
+# module name -> {"bench", "tables", "tests"}; filled as benches run,
+# flushed to JSON at session end.
+_SESSION: dict[str, dict] = {}
+
+
+def _module_record(module: str) -> dict:
+    rec = _SESSION.get(module)
+    if rec is None:
+        rec = _SESSION[module] = {"bench": module, "tables": [], "tests": []}
+    return rec
+
+
+def _environment() -> dict:
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
 
 
 @pytest.fixture
 def report(request):
     """report(title, headers, rows): print + persist a comparison table."""
     RESULTS.mkdir(exist_ok=True)
-    out_file = RESULTS / f"{request.node.module.__name__}.txt"
+    module = request.node.module.__name__
+    out_file = RESULTS / f"{module}.txt"
+    rec = _module_record(module)
 
     def _report(title: str, headers, rows) -> None:
         text = f"\n== {title} ==\n{format_table(headers, rows)}\n"
         print(text)
         with out_file.open("a") as fh:
             fh.write(text)
+        rec["tables"].append(
+            {
+                "test": request.node.name,
+                "title": title,
+                "headers": [str(h) for h in headers],
+                "rows": [[json_cell(c) for c in row] for row in rows],
+            }
+        )
 
     return _report
 
 
+@pytest.fixture(autouse=True)
+def _bench_timer(request):
+    """Record every bench test's wall time into the session summary."""
+    rec = _module_record(request.node.module.__name__)
+    t0 = time.perf_counter()
+    yield
+    rec["tests"].append(
+        {
+            "test": request.node.name,
+            "seconds": round(time.perf_counter() - t0, 4),
+        }
+    )
+
+
+def _flush_json_results() -> None:
+    env = _environment()
+    benches = []
+    for module in sorted(_SESSION):
+        rec = _SESSION[module]
+        out = {
+            "schema": "repro.bench-result/v1",
+            "environment": env,
+            **rec,
+        }
+        path = RESULTS / f"{module}.json"
+        with path.open("w") as fh:
+            json.dump(out, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        benches.append(
+            {
+                "bench": module,
+                "tests": len(rec["tests"]),
+                "tables": len(rec["tables"]),
+                "seconds": round(sum(t["seconds"] for t in rec["tests"]), 4),
+                "titles": [t["title"] for t in rec["tables"]],
+                "results_file": str(path.relative_to(REPO_ROOT)),
+            }
+        )
+    if not benches:
+        return
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "environment": env,
+        "total_seconds": round(sum(b["seconds"] for b in benches), 4),
+        "benches": benches,
+    }
+    with (REPO_ROOT / "BENCH_summary.json").open("w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results():
-    """Start each bench session with clean result files."""
+    """Start each bench session clean; flush JSON results at the end."""
     if RESULTS.exists():
-        for f in RESULTS.glob("*.txt"):
+        for f in list(RESULTS.glob("*.txt")) + list(RESULTS.glob("*.json")):
             f.unlink()
     yield
+    _flush_json_results()

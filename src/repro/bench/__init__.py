@@ -1,5 +1,10 @@
 """Benchmark/report harness shared by benches and examples."""
 
-from repro.bench.harness import comparison_row, print_table
+from repro.bench.harness import (
+    comparison_row,
+    format_table,
+    json_cell,
+    print_table,
+)
 
-__all__ = ["print_table", "comparison_row"]
+__all__ = ["print_table", "comparison_row", "format_table", "json_cell"]

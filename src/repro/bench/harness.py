@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["print_table", "comparison_row", "format_table"]
+__all__ = ["print_table", "comparison_row", "format_table", "json_cell"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -34,15 +34,23 @@ def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) ->
 
 
 def comparison_row(params: Sequence, paper: float, measured: float) -> list:
-    """A standard (params..., paper, measured, measured/paper) row."""
-    ratio = measured / paper if paper else float("nan")
+    """A standard (params..., paper, measured, measured/paper) row.
+
+    When the paper value is 0 the ratio is undefined and reported as
+    ``None`` (rendered ``-``), not NaN.
+    """
+    ratio = measured / paper if paper else None
     return [*params, paper, measured, ratio]
 
 
 def _fmt(v) -> str:
+    if v is None:
+        return "-"
     if isinstance(v, bool):
         return str(v)
     if isinstance(v, float):
+        if v != v:  # NaN never equals itself
+            return "nan"
         if v == 0:
             return "0"
         if abs(v) >= 1e6 or abs(v) < 1e-3:
@@ -50,4 +58,18 @@ def _fmt(v) -> str:
         return f"{v:,.3f}" if abs(v) < 100 else f"{v:,.1f}"
     if isinstance(v, int):
         return f"{v:,}"
+    return str(v)
+
+
+def json_cell(v):
+    """A JSON-serializable rendering of one table cell.
+
+    Numbers, strings, bools, and None pass through (non-finite floats
+    become None, since JSON has no NaN/Inf); everything else keeps its
+    ``str`` form, matching what the text table printed.
+    """
+    if v is None or isinstance(v, (bool, int, str)):
+        return v
+    if isinstance(v, float):
+        return v if v == v and abs(v) != float("inf") else None
     return str(v)

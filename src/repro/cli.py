@@ -11,6 +11,11 @@ simulate run a traffic kernel through a network on its layout
 cost     price a layout under the cost model (area, layers, yield)
 fold     geometrically fold a network's Thompson layout into L layers
 stack    3-D deck stacking for a torus (A x B x C of rings)
+stats    run the zoo traced and print a pipeline-phase timing breakdown
+
+Every command also accepts ``--trace`` (print the span tree after the
+run) and ``--report FILE`` (write a machine-readable JSON run report,
+see :mod:`repro.obs`).
 
 Network specs for ``layout`` are ``family:arg,arg,...``, e.g.::
 
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.bench.harness import print_table
 from repro.core import layout_network, measure, paper_prediction
 from repro.core.schemes import layout_cayley
@@ -122,17 +128,8 @@ def _cmd_layout(args) -> int:
     return 0
 
 
-def _cmd_zoo(args) -> int:
-    from repro.core.schemes import layout_generic_grid
-
-    def dispatch(net, layers):
-        if isinstance(net, (ShuffleExchange, DeBruijn)):
-            return layout_generic_grid(net, layers=layers, optimize=True)
-        if isinstance(net, StarGraph):
-            return layout_cayley(net, layers=layers)
-        return layout_network(net, layers=layers)
-
-    zoo = [
+def _zoo_networks() -> list:
+    return [
         Ring(12), KAryNCube(4, 2), Hypercube(5), FoldedHypercube(4),
         CompleteGraph(10), GeneralizedHypercube((4, 4)), Butterfly(3),
         WrappedButterfly(3), IndirectSwapNetwork(3),
@@ -140,15 +137,60 @@ def _cmd_zoo(args) -> int:
         HSN(CompleteGraph(4), 2), StarGraph(4), StarConnectedCycles(4),
         ShuffleExchange(5), DeBruijn(5),
     ]
+
+
+def _zoo_dispatch(net, layers: int):
+    from repro.core.schemes import layout_generic_grid
+
+    if isinstance(net, (ShuffleExchange, DeBruijn)):
+        return layout_generic_grid(net, layers=layers, optimize=True)
+    if isinstance(net, StarGraph):
+        return layout_cayley(net, layers=layers)
+    return layout_network(net, layers=layers)
+
+
+def _cmd_zoo(args) -> int:
     rows = []
-    for net in zoo:
-        lay = dispatch(net, layers=args.layers)
+    for net in _zoo_networks():
+        lay = _zoo_dispatch(net, args.layers)
         validate_layout(lay)
         m = measure(lay)
         rows.append([net.name, net.num_nodes, m.area, m.volume, m.max_wire])
     print_table(
         f"network zoo at L={args.layers}",
         ["network", "N", "area", "volume", "max wire"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Run the zoo with tracing on; print the phase timing breakdown."""
+    obs.enable()
+    nets = _zoo_networks()
+    for net in nets:
+        with obs.span("network", network=net.name, N=net.num_nodes):
+            lay = _zoo_dispatch(net, args.layers)
+            validate_layout(lay)
+            measure(lay)
+    totals = obs.phase_totals()
+    grand = sum(t["self_s"] for t in totals.values()) or 1.0
+    rows = [
+        [
+            name,
+            t["calls"],
+            f"{t['total_s'] * 1e3:,.2f}",
+            f"{t['self_s'] * 1e3:,.2f}",
+            f"{100 * t['self_s'] / grand:.1f}%",
+        ]
+        for name, t in sorted(
+            totals.items(), key=lambda kv: -kv[1]["self_s"]
+        )
+    ]
+    print_table(
+        f"pipeline phase timings, zoo ({len(nets)} networks) "
+        f"at L={args.layers}",
+        ["phase", "calls", "total ms", "self ms", "self share"],
         rows,
     )
     return 0
@@ -300,9 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Multilayer VLSI layout for interconnection networks "
         "(Yeh, Varvarigos & Parhami, ICPP 2000).",
     )
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", action="store_true",
+        help="collect spans and print the span tree after the command",
+    )
+    common.add_argument(
+        "--report", metavar="FILE",
+        help="write a machine-readable JSON run report to FILE",
+    )
+
+    def add_parser(name, **kw):
+        return sub.add_parser(name, parents=[common], **kw)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("layout", help="lay out one network")
+    p = add_parser("layout", help="lay out one network")
     p.add_argument("network", help="family:args, e.g. hypercube:8 or kary:4,3")
     p.add_argument("--layers", "-L", type=int, default=2)
     p.add_argument("--validate", action="store_true")
@@ -310,19 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE")
     p.set_defaults(fn=_cmd_layout)
 
-    p = sub.add_parser("zoo", help="lay out the network zoo")
+    p = add_parser("zoo", help="lay out the network zoo")
     p.add_argument("--layers", "-L", type=int, default=4)
     p.set_defaults(fn=_cmd_zoo)
 
-    p = sub.add_parser("figures", help="print the paper's figures (ASCII)")
+    p = add_parser("figures", help="print the paper's figures (ASCII)")
     p.set_defaults(fn=_cmd_figures)
 
-    p = sub.add_parser("predict", help="print paper closed forms")
+    p = add_parser("predict", help="print paper closed forms")
     p.add_argument("network", help="family:args, e.g. hypercube:10")
     p.add_argument("--layers", "-L", type=int, default=2)
     p.set_defaults(fn=_cmd_predict)
 
-    p = sub.add_parser("simulate", help="run a traffic kernel")
+    p = add_parser("simulate", help="run a traffic kernel")
     p.add_argument("network")
     p.add_argument("--layers", "-L", type=int, default=2)
     p.add_argument("--kernel", default="bit-complement")
@@ -331,31 +387,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--message-length", type=int, default=1)
     p.set_defaults(fn=_cmd_simulate)
 
-    p = sub.add_parser("cost", help="price a layout")
+    p = add_parser("cost", help="price a layout")
     p.add_argument("network")
     p.add_argument("--layers", "-L", type=int, default=2)
     p.add_argument("--layer-sweep", type=int, nargs="*")
     p.add_argument("--defect-density", type=float, default=0.0)
     p.set_defaults(fn=_cmd_cost)
 
-    p = sub.add_parser("fold", help="fold a Thompson layout into L layers")
+    p = add_parser("fold", help="fold a Thompson layout into L layers")
     p.add_argument("network")
     p.add_argument("--layers", "-L", type=int, default=4)
     p.add_argument("--svg", metavar="FILE")
     p.set_defaults(fn=_cmd_fold)
 
-    p = sub.add_parser("stack", help="3-D deck stacking for a k^3 torus")
+    p = add_parser("stack", help="3-D deck stacking for a k^3 torus")
     p.add_argument("k", type=int)
     p.add_argument("--layers", "-L", type=int, default=8)
     p.add_argument("--svg", metavar="FILE")
     p.set_defaults(fn=_cmd_stack)
+
+    p = add_parser(
+        "stats",
+        help="trace the zoo pipeline and print phase timings",
+    )
+    p.add_argument("--layers", "-L", type=int, default=4)
+    p.set_defaults(fn=_cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    trace = getattr(args, "trace", False)
+    report_path = getattr(args, "report", None)
+    observing = trace or report_path or args.command == "stats"
+    if observing:
+        obs.reset()
+        obs.enable()
+    try:
+        rc = args.fn(args)
+        if trace:
+            print("\n== span tree ==")
+            print(obs.format_span_tree())
+        if report_path:
+            rep = obs.collect_report(
+                args.command,
+                spec={
+                    k: v
+                    for k, v in vars(args).items()
+                    if k not in ("fn", "trace", "report")
+                    and isinstance(v, (str, int, float, bool, type(None)))
+                },
+                layers=getattr(args, "layers", None),
+                command=list(argv) if argv is not None else sys.argv[1:],
+            )
+            rep.write(report_path)
+            print(f"run report written to {report_path}")
+    finally:
+        if observing:
+            obs.disable()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

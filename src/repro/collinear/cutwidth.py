@@ -20,6 +20,7 @@ instances needed to certify the paper's orders:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.topology.base import Network
 
 __all__ = ["exact_cutwidth", "optimal_order"]
@@ -71,32 +72,36 @@ def exact_cutwidth(network: Network, *, limit: int = 20) -> int:
         wadj[iv][iu] = wt
 
     size = 1 << n
-    INF = float("inf")
-    dp = [INF] * size
-    cut = [0] * size
-    dp[0] = 0
-    for s in range(1, size):
-        v = (s & -s).bit_length() - 1
-        prev = s & (s - 1)
-        # cut(S) from cut(prev): edges of v to outside(S) add, to prev drop.
-        delta = 0
-        for w, wt in wadj[v].items():
-            if (prev >> w) & 1:
-                delta -= wt
-            else:
-                delta += wt
-        cut[s] = cut[prev] + delta
-        best = INF
-        t = s
-        while t:
-            u = (t & -t).bit_length() - 1
-            t &= t - 1
-            # Removing u last: recompute cut(S) is the same for all u;
-            # candidate = max(dp[S - u], cut(S)).
-            cand = dp[s ^ (1 << u)]
-            if cand < best:
-                best = cand
-        dp[s] = max(best, cut[s])
+    with obs.span("exact_cutwidth", n=n, states=size):
+        INF = float("inf")
+        dp = [INF] * size
+        cut = [0] * size
+        dp[0] = 0
+        for s in range(1, size):
+            v = (s & -s).bit_length() - 1
+            prev = s & (s - 1)
+            # cut(S) from cut(prev): edges of v to outside(S) add, to
+            # prev drop.
+            delta = 0
+            for w, wt in wadj[v].items():
+                if (prev >> w) & 1:
+                    delta -= wt
+                else:
+                    delta += wt
+            cut[s] = cut[prev] + delta
+            best = INF
+            t = s
+            while t:
+                u = (t & -t).bit_length() - 1
+                t &= t - 1
+                # Removing u last: recompute cut(S) is the same for all
+                # u; candidate = max(dp[S - u], cut(S)).
+                cand = dp[s ^ (1 << u)]
+                if cand < best:
+                    best = cand
+            dp[s] = max(best, cut[s])
+    obs.count("cutwidth.dp_runs")
+    obs.count("cutwidth.dp_states", size)
     return int(dp[size - 1])
 
 
@@ -119,26 +124,29 @@ def optimal_order(network: Network, *, limit: int = 18) -> list:
         wadj[iv][iu] = wt
 
     size = 1 << n
-    INF = float("inf")
-    dp = [INF] * size
-    cut = [0] * size
-    dp[0] = 0
-    for s in range(1, size):
-        v = (s & -s).bit_length() - 1
-        prev = s & (s - 1)
-        delta = 0
-        for w, wt in wadj[v].items():
-            delta += -wt if (prev >> w) & 1 else wt
-        cut[s] = cut[prev] + delta
-        best = INF
-        t = s
-        while t:
-            u = (t & -t).bit_length() - 1
-            t &= t - 1
-            cand = dp[s ^ (1 << u)]
-            if cand < best:
-                best = cand
-        dp[s] = max(best, cut[s])
+    with obs.span("optimal_order", n=n, states=size):
+        INF = float("inf")
+        dp = [INF] * size
+        cut = [0] * size
+        dp[0] = 0
+        for s in range(1, size):
+            v = (s & -s).bit_length() - 1
+            prev = s & (s - 1)
+            delta = 0
+            for w, wt in wadj[v].items():
+                delta += -wt if (prev >> w) & 1 else wt
+            cut[s] = cut[prev] + delta
+            best = INF
+            t = s
+            while t:
+                u = (t & -t).bit_length() - 1
+                t &= t - 1
+                cand = dp[s ^ (1 << u)]
+                if cand < best:
+                    best = cand
+            dp[s] = max(best, cut[s])
+    obs.count("cutwidth.dp_runs")
+    obs.count("cutwidth.dp_states", size)
 
     # Backtrack: peel off a final vertex that realizes dp[S].
     order_rev: list[int] = []

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
+from repro import obs
 from repro.grid.tracks import Interval, max_overlap, pack_intervals
 
 __all__ = ["CollinearLayout", "collinear_layout"]
@@ -132,16 +133,23 @@ def collinear_layout(
         raise ValueError("order must be a permutation of the nodes")
     pos = {v: p for p, v in enumerate(seq)}
 
-    intervals = []
-    for u, v in edges:
-        if u == v:
-            raise ValueError(f"self-loop not embeddable: {u}")
-        a, b = pos[u], pos[v]
-        if a > b:
-            a, b = b, a
-        intervals.append(Interval(a, b))
-    assignment, num_tracks = pack_intervals(intervals)
-    tracks = [assignment[i] for i in range(len(intervals))]
+    with obs.span(
+        "collinear_layout", nodes=len(seq), edges=len(edges)
+    ) as sp:
+        intervals = []
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop not embeddable: {u}")
+            a, b = pos[u], pos[v]
+            if a > b:
+                a, b = b, a
+            intervals.append(Interval(a, b))
+        assignment, num_tracks = pack_intervals(intervals)
+        tracks = [assignment[i] for i in range(len(intervals))]
+        sp.add("tracks", num_tracks)
+    obs.count("collinear.layouts_built")
+    obs.count("collinear.tracks_packed", num_tracks)
+    obs.count("collinear.intervals_packed", len(intervals))
     return CollinearLayout(
         order=seq, edges=list(edges), tracks=tracks, num_tracks=num_tracks
     )

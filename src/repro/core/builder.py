@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from repro import obs
 from repro.core.multilayer import LayerGroups
 from repro.core.pins import PinAllocator
 from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
@@ -124,18 +125,42 @@ class _Builder:
     # -- top level -------------------------------------------------------
 
     def build(self) -> GridLayout:
-        self._prepare_blocks()
-        self._allocate_dist_slots()
-        self._request_pins()
-        self.pins.freeze()
-        self._pack_channels()
-        geo = self._compute_geometry()
+        with obs.span(
+            "build", name=self.spec.name, layers=self.spec.layers,
+            rows=self.spec.rows, cols=self.spec.cols,
+        ) as sp:
+            layout = self._build_phases(sp)
+        obs.count("builder.layouts_built")
+        obs.count("builder.wires_routed", len(layout.wires))
+        obs.count(
+            "builder.tracks_packed",
+            sum(self.row_tracks_total) + sum(self.col_tracks_total),
+        )
+        return layout
+
+    def _build_phases(self, sp) -> GridLayout:
+        with obs.span("prepare_blocks"):
+            self._prepare_blocks()
+            self._allocate_dist_slots()
+        with obs.span("request_pins"):
+            self._request_pins()
+            self.pins.freeze()
+        with obs.span("pack_channels"):
+            self._pack_channels()
+        with obs.span("compute_geometry"):
+            geo = self._compute_geometry()
         layout = GridLayout(layers=self.spec.layers)
-        self._place_nodes(geo, layout)
-        self._route_row_links(geo, layout)
-        self._route_col_links(geo, layout)
-        self._route_extra_links(geo, layout)
-        self._route_strips(geo, layout)
+        with obs.span("place_nodes"):
+            self._place_nodes(geo, layout)
+        with obs.span("route_row_links"):
+            self._route_row_links(geo, layout)
+        with obs.span("route_col_links"):
+            self._route_col_links(geo, layout)
+        with obs.span("route_extra_links"):
+            self._route_extra_links(geo, layout)
+        with obs.span("route_strips"):
+            self._route_strips(geo, layout)
+        sp.add("wires", len(layout.wires))
         layout.meta.update(
             {
                 "scheme": "orthogonal-multilayer",

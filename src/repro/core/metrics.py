@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro import obs
 from repro.grid.layout import GridLayout
 from repro.topology.base import Network
 
@@ -97,14 +98,17 @@ def weighted_diameter(
     (every ceil(N/max_sources)-th node), giving a lower bound that is
     exact for vertex-transitive networks (every family in the paper).
     """
-    adj = wire_length_weights(layout)
-    nodes = list(layout.placements)
-    if max_sources is not None and len(nodes) > max_sources:
-        step = -(-len(nodes) // max_sources)
-        nodes = nodes[::step]
-    best = 0
-    for s in nodes:
-        best = max(best, _dijkstra_far(adj, s))
+    with obs.span("weighted_diameter") as sp:
+        adj = wire_length_weights(layout)
+        nodes = list(layout.placements)
+        if max_sources is not None and len(nodes) > max_sources:
+            step = -(-len(nodes) // max_sources)
+            nodes = nodes[::step]
+        best = 0
+        for s in nodes:
+            best = max(best, _dijkstra_far(adj, s))
+        sp.add("sources", len(nodes))
+    obs.count("measure.dijkstra_sources", len(nodes))
     return best
 
 
@@ -122,10 +126,18 @@ def measure(
     prediction calls and future routing models but the weights come
     from the layout itself.
     """
-    bb = layout.bounding_box()
-    pw = None
-    if path_wire:
-        pw = weighted_diameter(layout, max_sources=max_sources)
+    with obs.span(
+        "measure",
+        name=str(layout.meta.get("name", "layout")),
+        path_wire=path_wire,
+    ):
+        bb = layout.bounding_box()
+        pw = None
+        if path_wire:
+            pw = weighted_diameter(layout, max_sources=max_sources)
+        max_wire = layout.max_wire_length()
+        total_wire = layout.total_wire_length()
+    obs.count("measure.layouts_measured")
     return LayoutMetrics(
         name=str(layout.meta.get("name", "layout")),
         num_nodes=len(layout.placements),
@@ -134,7 +146,7 @@ def measure(
         height=bb.h,
         area=bb.w * bb.h,
         volume=layout.layers * bb.w * bb.h,
-        max_wire=layout.max_wire_length(),
-        total_wire=layout.total_wire_length(),
+        max_wire=max_wire,
+        total_wire=total_wire,
         path_wire=pw,
     )

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Hashable
 
+from repro import obs
 from repro.grid.layout import GridLayout
 from repro.grid.wire import Wire
 
@@ -65,22 +66,39 @@ def validate_layout(
 
     Returns a report dict (counts of segments, conflicts checked).
     """
-    _check_layer_budget(layout)
+    checks: list = [_check_layer_budget]
     if check_parity:
-        _check_parity(layout)
-    _check_wire_self_consistency(layout)
-    seg_count = _check_edge_disjointness(layout)
-    _check_bend_exclusivity(layout)
-    _check_via_occupancy(layout)
+        checks.append(_check_parity)
+    checks += [
+        _check_wire_self_consistency,
+        _check_edge_disjointness,
+        _check_bend_exclusivity,
+        _check_via_occupancy,
+    ]
     if check_node_interference:
-        _check_node_interference(layout)
+        checks.append(_check_node_interference)
     if check_pins:
-        _check_pins(layout)
+        checks.append(_check_pins)
+
+    seg_count = 0
+    with obs.span(
+        "validate", wires=len(layout.wires), layers=layout.layers
+    ) as sp:
+        for check in checks:
+            with obs.span(check.__name__.lstrip("_")):
+                result = check(layout)
+            if check is _check_edge_disjointness:
+                seg_count = result
+        sp.add("checks", len(checks)).add("segments", seg_count)
+    obs.count("validator.layouts_validated")
+    obs.count("validator.checks_run", len(checks))
+    obs.count("validator.segments_checked", seg_count)
     return {
         "segments": seg_count,
         "wires": len(layout.wires),
         "nodes": len(layout.placements),
         "layers": layout.layers,
+        "checks": len(checks),
     }
 
 

@@ -1,0 +1,114 @@
+"""repro.obs: tracing, metrics, and machine-readable run reports.
+
+Zero-dependency observability for the layout pipeline:
+
+* :func:`span` -- nestable timing spans with attributes and counts,
+  collected into a tree by a thread-safe in-process collector
+  (:mod:`repro.obs.trace`);
+* :func:`count` / :func:`observe` / :func:`gauge` -- named counters,
+  histograms, and gauges in a process-wide registry
+  (:mod:`repro.obs.metrics`);
+* :class:`RunReport` -- a JSON document capturing spec, layer budget,
+  metrics snapshot, span tree, and environment
+  (:mod:`repro.obs.report`).
+
+Everything is **off by default**: ``span`` returns a shared no-op and
+the helpers return immediately, so instrumented hot paths pay one
+boolean check.  ``enable()`` turns collection on (the CLI does this
+for ``--trace`` / ``--report`` and for ``python -m repro stats``).
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("build", layers=4) as sp:
+        ...
+        sp.add("wires", 128)
+    obs.count("builder.wires_routed", 128)
+    report = obs.collect_report("my-run", layers=4)
+    report.write("run.json")
+"""
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    collect_report,
+    environment_info,
+    validate_report,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    disable,
+    enable,
+    enabled,
+    format_span_tree,
+    phase_totals,
+    reset_trace,
+    span,
+    trace_roots,
+)
+
+__all__ = [
+    # switch
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    # tracing
+    "span",
+    "Span",
+    "SpanRecord",
+    "trace_roots",
+    "reset_trace",
+    "phase_totals",
+    "format_span_tree",
+    # metrics
+    "count",
+    "observe",
+    "gauge",
+    "registry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # reports
+    "RunReport",
+    "collect_report",
+    "environment_info",
+    "validate_report",
+    "REPORT_SCHEMA_VERSION",
+]
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op while disabled)."""
+    if _trace._enabled:
+        registry().counter(name).inc(n)
+
+
+def observe(name: str, value: float, bounds: tuple | None = None) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled)."""
+    if _trace._enabled:
+        registry().histogram(name, bounds).observe(value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    if _trace._enabled:
+        registry().gauge(name).set(value)
+
+
+def reset() -> None:
+    """Clear collected spans and all registry instruments."""
+    reset_trace()
+    registry().reset()

@@ -1,0 +1,163 @@
+"""Counters, gauges, and histograms for the layout pipeline.
+
+A :class:`MetricsRegistry` holds named instruments created on first
+use: monotonically increasing :class:`Counter`\\ s (wires routed,
+tracks packed, validator checks run), last-value :class:`Gauge`\\ s,
+and :class:`Histogram`\\ s (queue depths, link utilization) with
+power-of-two bucket boundaries by default.
+
+Creation is lock-guarded so concurrent first-use from several threads
+is safe; the per-instrument update path is a plain ``+=`` / ``append``
+under CPython's atomic-enough semantics for our single-writer spans,
+with a lock available via :meth:`MetricsRegistry.counter` consumers
+that need strict cross-thread totals (the instruments themselves use
+a lock for updates, so totals are exact).
+
+The module-level default registry is what the ``obs`` helpers
+(:func:`repro.obs.count` etc.) write into when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus bucket counts.
+
+    ``bounds`` are inclusive upper bucket edges; values above the last
+    edge land in the overflow bucket.  The default edges are powers of
+    two, a good fit for queue depths and cycle counts.
+    """
+
+    __slots__ = ("_lock", "bounds", "buckets", "count", "total", "min", "max")
+
+    DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def __init__(self, bounds: tuple = DEFAULT_BOUNDS):
+        self._lock = threading.Lock()
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, v: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            for i, edge in enumerate(self.bounds):
+                if v <= edge:
+                    self.buckets[i] += 1
+                    break
+            else:
+                self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"le_{edge}": n for edge, n in zip(self.bounds, self.buckets)
+            }
+            | {"overflow": self.buckets[-1]},
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter())
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge())
+        return g
+
+    def histogram(self, name: str, bounds: tuple | None = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(
+                    name,
+                    Histogram(bounds) if bounds is not None else Histogram(),
+                )
+        return h
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.as_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry

@@ -1,0 +1,160 @@
+"""Machine-readable run reports.
+
+A :class:`RunReport` freezes one observed run -- what was laid out
+(spec), under which layer budget, the measured metrics snapshot, the
+span tree, and the environment (library version, python, platform) --
+into a JSON document that can be diffed across PRs.  The schema is
+deliberately small and validated by :func:`validate_report`, which CI
+uses to gate the ``python -m repro stats --report`` smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "RunReport",
+    "collect_report",
+    "environment_info",
+    "validate_report",
+]
+
+REPORT_SCHEMA_VERSION = "repro.run-report/v1"
+
+
+def environment_info() -> dict:
+    """Version/interpreter/platform stamp included in every report."""
+    from repro import __version__  # deferred: repro imports obs modules
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+@dataclass(slots=True)
+class RunReport:
+    """One run's observations, serializable to/from JSON."""
+
+    name: str
+    spec: dict = field(default_factory=dict)
+    layers: int | None = None
+    command: list[str] | None = None
+    metrics: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    environment: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    schema: str = REPORT_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+def collect_report(
+    name: str,
+    *,
+    spec: dict | None = None,
+    layers: int | None = None,
+    command: list[str] | None = None,
+    extra: dict | None = None,
+) -> RunReport:
+    """Snapshot the current trace forest + metrics into a report."""
+    return RunReport(
+        name=name,
+        spec=dict(spec or {}),
+        layers=layers,
+        command=list(command) if command is not None else None,
+        metrics=_metrics.registry().snapshot(),
+        spans=[r.as_dict() for r in _trace.trace_roots()],
+        environment=environment_info(),
+        extra=dict(extra or {}),
+    )
+
+
+def _check_span(node, path: str, problems: list[str]) -> None:
+    if not isinstance(node, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    if not isinstance(node.get("name"), str) or not node.get("name"):
+        problems.append(f"{path}: span missing non-empty 'name'")
+    if not isinstance(node.get("duration_ms"), (int, float)):
+        problems.append(f"{path}: span missing numeric 'duration_ms'")
+    for key in ("attrs", "counts"):
+        if not isinstance(node.get(key, {}), dict):
+            problems.append(f"{path}: span '{key}' is not an object")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}: span 'children' is not a list")
+        return
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}.children[{i}]", problems)
+
+
+def validate_report(data: dict) -> None:
+    """Raise ``ValueError`` listing every schema problem in ``data``."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        raise ValueError("report is not a JSON object")
+    if data.get("schema") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema is {data.get('schema')!r}, "
+            f"expected {REPORT_SCHEMA_VERSION!r}"
+        )
+    if not isinstance(data.get("name"), str) or not data.get("name"):
+        problems.append("missing non-empty 'name'")
+    if not isinstance(data.get("spec", {}), dict):
+        problems.append("'spec' is not an object")
+    layers = data.get("layers")
+    if layers is not None and not isinstance(layers, int):
+        problems.append("'layers' is neither null nor an integer")
+    env = data.get("environment")
+    if not isinstance(env, dict):
+        problems.append("missing 'environment' object")
+    else:
+        for key in ("repro_version", "python", "platform"):
+            if not env.get(key):
+                problems.append(f"environment missing '{key}'")
+    met = data.get("metrics")
+    if not isinstance(met, dict):
+        problems.append("missing 'metrics' object")
+    else:
+        for key in ("counters", "gauges", "histograms"):
+            if key in met and not isinstance(met[key], dict):
+                problems.append(f"metrics '{key}' is not an object")
+    spans = data.get("spans")
+    if not isinstance(spans, list):
+        problems.append("missing 'spans' list")
+    else:
+        for i, node in enumerate(spans):
+            _check_span(node, f"spans[{i}]", problems)
+    if problems:
+        raise ValueError(
+            "invalid run report: " + "; ".join(problems)
+        )

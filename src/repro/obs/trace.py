@@ -1,0 +1,248 @@
+"""Nestable tracing spans with a thread-safe in-process collector.
+
+A *span* brackets one pipeline phase (``with span("route_row_links")``)
+and records wall time, custom attributes, and ad-hoc counts.  Spans
+nest: entering a span inside another makes it a child, so one traced
+run yields a tree mirroring the pipeline's call structure
+(build -> pack_channels -> ..., validate -> ..., measure -> ...).
+
+Tracing is **off by default** and the disabled path is a single module
+global check returning a shared no-op span, so instrumentation costs
+~nothing unless :func:`enable` was called.  The collector keeps one
+span stack per thread (spans opened on different threads never
+interleave into each other's trees) and guards the shared root list
+with a lock, so concurrent traced runs are safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "trace_roots",
+    "reset_trace",
+    "phase_totals",
+    "format_span_tree",
+]
+
+_enabled = False
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed (or in-flight) span: a node of the trace tree."""
+
+    name: str
+    attrs: dict
+    start: float = 0.0
+    duration: float = 0.0
+    counts: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1e3, 4),
+            "attrs": dict(self.attrs),
+            "counts": dict(self.counts),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def self_time(self) -> float:
+        """Duration minus time attributed to child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+
+class _Collector:
+    """Thread-safe span sink: per-thread stacks, shared root list."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._roots: list[SpanRecord] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, rec: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(rec)
+        else:
+            with self._lock:
+                self._roots.append(rec)
+        stack.append(rec)
+
+    def pop(self, rec: SpanRecord) -> None:
+        stack = self._stack()
+        # Pop back to (and including) rec; tolerates a span closed out
+        # of order rather than corrupting the tree.
+        while stack:
+            if stack.pop() is rec:
+                break
+
+    def roots(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
+
+_collector = _Collector()
+
+
+class Span:
+    """Context manager recording one :class:`SpanRecord`."""
+
+    __slots__ = ("_rec",)
+
+    def __init__(self, name: str, attrs: dict):
+        self._rec = SpanRecord(name=name, attrs=attrs)
+
+    def __enter__(self) -> "Span":
+        self._rec.start = time.perf_counter()
+        _collector.push(self._rec)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._rec.duration = time.perf_counter() - self._rec.start
+        _collector.pop(self._rec)
+        return False
+
+    def set(self, **attrs) -> "Span":
+        self._rec.attrs.update(attrs)
+        return self
+
+    def add(self, key: str, n: int = 1) -> "Span":
+        counts = self._rec.counts
+        counts[key] = counts.get(key, 0) + n
+        return self
+
+    @property
+    def record(self) -> SpanRecord:
+        return self._rec
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def add(self, key, n=1):
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, /, **attrs):
+    """Open a span named ``name``; a no-op unless tracing is enabled.
+
+    The name is positional-only, so ``name=...`` is a legal attribute
+    (``span("build", name=spec.name)``).
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def enable() -> None:
+    """Turn on span collection (and the ``obs`` metric helpers)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def trace_roots() -> list[SpanRecord]:
+    """The collected root spans (each a tree), in start order."""
+    return _collector.roots()
+
+
+def reset_trace() -> None:
+    """Drop all collected spans (the enabled flag is untouched)."""
+    _collector.reset()
+
+
+def phase_totals(
+    roots: list[SpanRecord] | None = None,
+) -> dict[str, dict]:
+    """Aggregate the span forest by span name.
+
+    Returns ``{name: {"calls", "total_s", "self_s"}}`` where ``self_s``
+    excludes time spent in child spans -- the number a phase-timing
+    breakdown should rank by.
+    """
+    totals: dict[str, dict] = {}
+
+    def visit(rec: SpanRecord) -> None:
+        t = totals.setdefault(
+            rec.name, {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        t["calls"] += 1
+        t["total_s"] += rec.duration
+        t["self_s"] += rec.self_time()
+        for c in rec.children:
+            visit(c)
+
+    for r in roots if roots is not None else trace_roots():
+        visit(r)
+    return totals
+
+
+def format_span_tree(
+    roots: list[SpanRecord] | None = None, *, indent: str = "  "
+) -> str:
+    """Render the span forest as indented ``name  time  attrs`` lines."""
+    lines: list[str] = []
+
+    def visit(rec: SpanRecord, depth: int) -> None:
+        extras = []
+        if rec.attrs:
+            extras.append(
+                " ".join(f"{k}={v}" for k, v in sorted(rec.attrs.items()))
+            )
+        if rec.counts:
+            extras.append(
+                " ".join(f"{k}:{v}" for k, v in sorted(rec.counts.items()))
+            )
+        suffix = ("  [" + "; ".join(extras) + "]") if extras else ""
+        lines.append(
+            f"{indent * depth}{rec.name}  {rec.duration * 1e3:.2f}ms{suffix}"
+        )
+        for c in rec.children:
+            visit(c, depth + 1)
+
+    for r in roots if roots is not None else trace_roots():
+        visit(r, 0)
+    return "\n".join(lines)

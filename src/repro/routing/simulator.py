@@ -15,9 +15,10 @@ makespan for the same traffic.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from repro import obs
 from repro.grid.layout import GridLayout
 from repro.routing.paths import RoutingTable, layout_link_delays
 from repro.topology.base import Network
@@ -30,7 +31,15 @@ Message = tuple[Node, Node]
 
 @dataclass(frozen=True, slots=True)
 class SimulationResult:
-    """Outcome of one traffic run."""
+    """Outcome of one traffic run.
+
+    ``link_utilization`` maps each used directed link to the fraction
+    of the makespan it was busy; ``queue_depth_hist`` counts, for every
+    wait event (a message finding its next link busy), how many
+    messages were then queued on that link -- ``{depth: events}``.
+    Both are also published to the :mod:`repro.obs` metrics registry
+    when observability is enabled.
+    """
 
     makespan: int
     avg_latency: float
@@ -38,6 +47,19 @@ class SimulationResult:
     messages: int
     max_link_load: int
     busiest_link: tuple[Node, Node] | None
+    link_utilization: dict[tuple[Node, Node], float] = field(
+        default_factory=dict
+    )
+    queue_depth_hist: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.link_utilization.values(), default=0.0)
+
+    @property
+    def avg_utilization(self) -> float:
+        u = self.link_utilization
+        return sum(u.values()) / len(u) if u else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -47,6 +69,9 @@ class SimulationResult:
             "messages": self.messages,
             "max_link_load": self.max_link_load,
             "busiest_link": self.busiest_link,
+            "max_utilization": self.max_utilization,
+            "avg_utilization": self.avg_utilization,
+            "queue_depth_hist": dict(self.queue_depth_hist),
         }
 
 
@@ -57,6 +82,7 @@ class _Msg:
     hop: int = 0
     start: int = 0
     done: int | None = None
+    waiting_on: tuple | None = None
 
 
 def simulate(
@@ -151,43 +177,80 @@ def simulate(
     heapq.heapify(events)
     link_free: dict[tuple[Node, Node], int] = {}
     link_load: dict[tuple[Node, Node], int] = {}
+    link_busy_time: dict[tuple[Node, Node], int] = {}
+    waiters: dict[tuple[Node, Node], int] = {}
+    depth_hist: dict[int, int] = {}
     finished = 0
     makespan = 0
     latencies: list[int] = []
 
-    guard = 0
-    while events:
-        guard += 1
-        if guard > max_cycles:
-            raise RuntimeError("simulation exceeded max_cycles")
-        t, idx = heapq.heappop(events)
-        m = msgs[idx]
-        if m.hop >= len(m.route) - 1:
-            if m.done is None:
-                # Cut-through: the tail arrives message_length - 1
-                # cycles after the header (body streaming).
-                tail = message_length - 1 if mode == "cut_through" else 0
-                if len(m.route) == 1:
-                    tail = 0
-                m.done = t + tail
-                finished += 1
-                makespan = max(makespan, m.done)
-                latencies.append(m.done - m.start)
-            continue
-        u, v = m.route[m.hop], m.route[m.hop + 1]
-        free_at = link_free.get((u, v), 0)
-        if t < free_at:
-            heapq.heappush(events, (free_at, idx))
-            continue
-        d, busy = delay_of(u, v)
-        link_free[(u, v)] = t + busy
-        link_load[(u, v)] = link_load.get((u, v), 0) + 1
-        m.hop += 1
-        heapq.heappush(events, (t + d, idx))
+    with obs.span(
+        "simulate", messages=len(msgs), mode=mode,
+        message_length=message_length,
+    ) as sp:
+        guard = 0
+        while events:
+            guard += 1
+            if guard > max_cycles:
+                raise RuntimeError("simulation exceeded max_cycles")
+            t, idx = heapq.heappop(events)
+            m = msgs[idx]
+            if m.hop >= len(m.route) - 1:
+                if m.done is None:
+                    # Cut-through: the tail arrives message_length - 1
+                    # cycles after the header (body streaming).
+                    tail = message_length - 1 if mode == "cut_through" else 0
+                    if len(m.route) == 1:
+                        tail = 0
+                    m.done = t + tail
+                    finished += 1
+                    makespan = max(makespan, m.done)
+                    latencies.append(m.done - m.start)
+                continue
+            u, v = m.route[m.hop], m.route[m.hop + 1]
+            link = (u, v)
+            free_at = link_free.get(link, 0)
+            if t < free_at:
+                if m.waiting_on != link:
+                    m.waiting_on = link
+                    depth = waiters.get(link, 0) + 1
+                    waiters[link] = depth
+                    depth_hist[depth] = depth_hist.get(depth, 0) + 1
+                heapq.heappush(events, (free_at, idx))
+                continue
+            if m.waiting_on is not None:
+                waiters[m.waiting_on] -= 1
+                m.waiting_on = None
+            d, busy = delay_of(u, v)
+            link_free[link] = t + busy
+            link_busy_time[link] = link_busy_time.get(link, 0) + busy
+            link_load[link] = link_load.get(link, 0) + 1
+            m.hop += 1
+            heapq.heappush(events, (t + d, idx))
+        sp.add("events", guard)
 
     if finished != len(msgs):
         raise RuntimeError("simulation ended with unfinished messages")
     busiest = max(link_load, key=link_load.__getitem__) if link_load else None
+    # Busy fractions clip at 1.0: the last transit may overrun the
+    # makespan (its message already arrived; the tail streams on).
+    link_utilization = {
+        link: min(1.0, busy / makespan) if makespan else 0.0
+        for link, busy in link_busy_time.items()
+    }
+    if obs.enabled():
+        obs.count("simulator.runs")
+        obs.count("simulator.events", guard)
+        obs.count("simulator.messages", len(msgs))
+        obs.count("simulator.hops", sum(link_load.values()))
+        for util in link_utilization.values():
+            obs.observe(
+                "simulator.link_utilization", util,
+                bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+            )
+        for depth, times in depth_hist.items():
+            for _ in range(times):
+                obs.observe("simulator.queue_depth", depth)
     return SimulationResult(
         makespan=makespan,
         avg_latency=sum(latencies) / len(latencies) if latencies else 0.0,
@@ -195,4 +258,6 @@ def simulate(
         messages=len(msgs),
         max_link_load=link_load.get(busiest, 0) if busiest else 0,
         busiest_link=busiest,
+        link_utilization=link_utilization,
+        queue_depth_hist=depth_hist,
     )

@@ -1,6 +1,11 @@
 """The table harness used by benches and examples."""
 
-from repro.bench.harness import comparison_row, format_table, print_table
+from repro.bench.harness import (
+    comparison_row,
+    format_table,
+    json_cell,
+    print_table,
+)
 
 
 class TestFormatTable:
@@ -26,17 +31,51 @@ class TestFormatTable:
     def test_strings_passthrough(self):
         assert "hello" in format_table(["s"], [["hello"]])
 
+    def test_none_renders_dash(self):
+        lines = format_table(["v"], [[None]]).splitlines()
+        assert lines[-1].strip() == "-"
+
+    def test_nan_renders_nan(self):
+        lines = format_table(["v"], [[float("nan")]]).splitlines()
+        assert lines[-1].strip() == "nan"
+
+    def test_negative_small_floats(self):
+        text = format_table(["v"], [[-0.25], [-1.5e-5], [-12.5], [-150.0]])
+        assert "-0.250" in text
+        assert "-1.500e-05" in text
+        assert "-12.500" in text
+        assert "-150.0" in text
+
 
 class TestComparisonRow:
     def test_ratio(self):
         row = comparison_row(["x"], 10.0, 15.0)
         assert row == ["x", 10.0, 15.0, 1.5]
 
-    def test_zero_paper(self):
+    def test_zero_paper_gives_none(self):
         row = comparison_row([], 0, 5)
-        assert row[-1] != row[-1]  # NaN
+        assert row[-1] is None
+        lines = format_table(["p", "m", "ratio"], [row]).splitlines()
+        assert lines[-1].split()[-1] == "-"
 
     def test_print_table(self, capsys):
         print_table("title", ["a"], [[1]])
         out = capsys.readouterr().out
         assert "== title ==" in out
+
+
+class TestJsonCell:
+    def test_passthrough(self):
+        assert json_cell(3) == 3
+        assert json_cell(2.5) == 2.5
+        assert json_cell("x") == "x"
+        assert json_cell(True) is True
+        assert json_cell(None) is None
+
+    def test_non_finite_floats_become_none(self):
+        assert json_cell(float("nan")) is None
+        assert json_cell(float("inf")) is None
+        assert json_cell(float("-inf")) is None
+
+    def test_other_objects_stringified(self):
+        assert json_cell((1, 2)) == "(1, 2)"

@@ -1,0 +1,267 @@
+"""The observability subsystem: spans, metrics, run reports, CLI."""
+
+import json
+import threading
+
+import pytest
+
+from repro import layout_hypercube, measure, obs, validate_layout
+from repro.obs.trace import NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_disabled_is_noop(self):
+        with obs.span("outer", k=1) as sp:
+            sp.add("n", 3).set(x=2)
+        assert sp is NOOP_SPAN
+        assert obs.trace_roots() == []
+
+    def test_nesting_builds_a_tree(self):
+        obs.enable()
+        with obs.span("outer", layers=4) as sp:
+            with obs.span("inner_a"):
+                with obs.span("leaf"):
+                    pass
+            with obs.span("inner_b"):
+                pass
+            sp.add("wires", 7).add("wires", 3)
+        roots = obs.trace_roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+        assert outer.attrs == {"layers": 4}
+        assert outer.counts == {"wires": 10}
+        assert outer.duration >= outer.children[0].duration >= 0.0
+        assert outer.self_time() <= outer.duration
+
+    def test_sequential_roots(self):
+        obs.enable()
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert [r.name for r in obs.trace_roots()] == ["first", "second"]
+
+    def test_reset_clears(self):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        obs.reset_trace()
+        assert obs.trace_roots() == []
+
+    def test_threads_do_not_interleave(self):
+        obs.enable()
+
+        def work(tag):
+            with obs.span(f"root_{tag}"):
+                for _ in range(50):
+                    with obs.span("child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = obs.trace_roots()
+        assert len(roots) == 4  # one tree per thread, never nested
+        for r in roots:
+            assert len(r.children) == 50
+            assert all(c.name == "child" for c in r.children)
+
+    def test_phase_totals_aggregates_by_name(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("phase"):
+                with obs.span("sub"):
+                    pass
+        totals = obs.phase_totals()
+        assert totals["phase"]["calls"] == 3
+        assert totals["sub"]["calls"] == 3
+        assert totals["phase"]["total_s"] >= totals["phase"]["self_s"]
+
+    def test_format_span_tree(self):
+        obs.enable()
+        with obs.span("build", name="ring") as sp:
+            sp.add("wires", 5)
+            with obs.span("pack"):
+                pass
+        text = obs.format_span_tree()
+        assert "build" in text and "  pack" in text
+        assert "name=ring" in text and "wires:5" in text
+
+
+class TestMetrics:
+    def test_count_noop_when_disabled(self):
+        obs.count("x", 5)
+        assert obs.registry().snapshot()["counters"] == {}
+
+    def test_counter_aggregation(self):
+        obs.enable()
+        obs.count("wires", 3)
+        obs.count("wires", 4)
+        obs.count("vias")
+        snap = obs.registry().snapshot()
+        assert snap["counters"] == {"wires": 7, "vias": 1}
+
+    def test_counter_thread_safety(self):
+        obs.enable()
+        c = obs.registry().counter("hot")
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+    def test_gauge_last_value_wins(self):
+        obs.enable()
+        obs.gauge("depth", 3)
+        obs.gauge("depth", 9)
+        assert obs.registry().snapshot()["gauges"] == {"depth": 9}
+
+    def test_histogram_buckets_and_stats(self):
+        obs.enable()
+        for v in (1, 2, 3, 100, 5000):
+            obs.observe("q", v)
+        h = obs.registry().snapshot()["histograms"]["q"]
+        assert h["count"] == 5
+        assert h["sum"] == 5106
+        assert h["min"] == 1 and h["max"] == 5000
+        assert h["buckets"]["le_1"] == 1
+        assert h["buckets"]["le_2"] == 1
+        assert h["buckets"]["le_4"] == 1
+        assert h["buckets"]["le_128"] == 1
+        assert h["buckets"]["overflow"] == 1
+
+    def test_registry_reset(self):
+        obs.enable()
+        obs.count("x")
+        obs.registry().reset()
+        assert obs.registry().snapshot()["counters"] == {}
+
+
+class TestRunReport:
+    def _traced_run(self):
+        obs.enable()
+        lay = layout_hypercube(3, layers=4)
+        validate_layout(lay)
+        measure(lay)
+        return obs.collect_report(
+            "unit", spec={"network": "hypercube:3"}, layers=4
+        )
+
+    def test_pipeline_phases_present(self):
+        rep = self._traced_run()
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for c in node["children"]:
+                walk(c)
+
+        for s in rep.spans:
+            walk(s)
+        assert {"build", "validate", "measure"} <= names
+
+    def test_environment_stamp(self):
+        from repro import __version__
+
+        rep = self._traced_run()
+        assert rep.environment["repro_version"] == __version__
+        assert rep.environment["python"]
+        assert rep.environment["platform"]
+
+    def test_json_round_trip(self):
+        rep = self._traced_run()
+        clone = obs.RunReport.from_json(rep.to_json())
+        assert clone.to_dict() == rep.to_dict()
+        # And through a plain json pass (what CI's smoke job does).
+        obs.validate_report(json.loads(rep.to_json()))
+
+    def test_validate_report_rejects_bad_docs(self):
+        rep = self._traced_run()
+        good = rep.to_dict()
+        for mutate, needle in [
+            (lambda d: d.pop("name"), "name"),
+            (lambda d: d.update(schema="bogus"), "schema"),
+            (lambda d: d.pop("spans"), "spans"),
+            (lambda d: d.pop("environment"), "environment"),
+            (lambda d: d["spans"][0].pop("duration_ms"), "duration_ms"),
+        ]:
+            bad = json.loads(json.dumps(good))
+            mutate(bad)
+            with pytest.raises(ValueError, match=needle):
+                obs.validate_report(bad)
+
+    def test_counters_land_in_report(self):
+        rep = self._traced_run()
+        counters = rep.metrics["counters"]
+        assert counters["builder.wires_routed"] > 0
+        assert counters["validator.checks_run"] > 0
+        assert counters["measure.layouts_measured"] == 1
+
+
+class TestCliObservability:
+    def test_stats_writes_valid_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.json"
+        assert main(["stats", "--layers", "4", "--report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "pipeline phase timings" in text
+        data = json.loads(out.read_text())
+        obs.validate_report(data)
+        assert data["name"] == "stats"
+        assert data["layers"] == 4
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for c in node["children"]:
+                walk(c)
+
+        for s in data["spans"]:
+            walk(s)
+        assert {"network", "build", "validate", "measure"} <= names
+        # main() turns collection back off.
+        assert not obs.enabled()
+
+    def test_trace_flag_prints_span_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["predict", "hypercube:6", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+
+    def test_layout_report(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "layout.json"
+        rc = main(
+            ["layout", "hypercube:4", "-L", "4", "--validate",
+             "--report", str(out)]
+        )
+        assert rc == 0
+        data = json.loads(out.read_text())
+        obs.validate_report(data)
+        assert data["spec"]["network"] == "hypercube:4"
+        assert data["metrics"]["counters"]["builder.wires_routed"] == 32

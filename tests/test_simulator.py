@@ -105,8 +105,66 @@ class TestSimulatorScenarios:
         d = simulate(net, [(0, 2)]).as_dict()
         assert set(d) == {
             "makespan", "avg_latency", "max_latency", "messages",
-            "max_link_load", "busiest_link",
+            "max_link_load", "busiest_link", "max_utilization",
+            "avg_utilization", "queue_depth_hist",
         }
+
+
+class TestLinkObservability:
+    def test_contended_link_fully_utilized(self):
+        net = Ring(8)
+        res = simulate(net, [(0, 1), (0, 1)])
+        # Link (0, 1) is busy back-to-back for the whole makespan.
+        assert res.link_utilization[(0, 1)] == 1.0
+        assert res.max_utilization == 1.0
+        # The second message waited once, alone in the queue.
+        assert res.queue_depth_hist == {1: 1}
+
+    def test_uncontended_run_has_empty_queue_hist(self):
+        net = Ring(6)
+        res = simulate(net, [(0, 3)])
+        assert res.queue_depth_hist == {}
+        # Each of the 3 links is busy 2 of the 6 cycles.
+        assert res.link_utilization[(0, 1)] == pytest.approx(1 / 3)
+        assert res.avg_utilization == pytest.approx(1 / 3)
+
+    def test_deeper_queues_recorded(self):
+        net = Ring(8)
+        res = simulate(net, [(0, 1)] * 4)
+        # Messages 2..4 queue behind the head: depths 1, 2, 3 observed.
+        assert res.queue_depth_hist == {1: 1, 2: 1, 3: 1}
+        assert res.link_utilization[(0, 1)] == 1.0
+
+    def test_metrics_published_when_enabled(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            net = Ring(8)
+            simulate(net, [(0, 1), (0, 1)])
+            snap = obs.registry().snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap["counters"]["simulator.runs"] == 1
+        assert snap["counters"]["simulator.messages"] == 2
+        assert snap["counters"]["simulator.hops"] == 2
+        assert snap["counters"]["simulator.events"] >= 3
+        assert snap["histograms"]["simulator.queue_depth"]["count"] == 1
+        util = snap["histograms"]["simulator.link_utilization"]
+        assert util["count"] == 1
+        assert util["max"] == 1.0
+
+    def test_metrics_not_published_when_disabled(self):
+        from repro import obs
+
+        obs.reset()
+        net = Ring(8)
+        res = simulate(net, [(0, 1), (0, 1)])
+        assert obs.registry().snapshot()["counters"] == {}
+        # ...but the result still carries the observability fields.
+        assert res.max_utilization == 1.0
 
 
 class TestCutThrough:

@@ -1,0 +1,144 @@
+"""One test per LayoutError rule, asserting the *precise* message.
+
+The validator's messages are part of its contract: benches and users
+debug layouts from them, so each rule's wording (offending wires,
+coordinates, layers) is pinned here verbatim.  ``test_validate.py``
+covers the legality semantics; this file covers the diagnostics.
+"""
+
+import pytest
+
+from repro.grid.geometry import Rect, Segment
+from repro.grid.layout import GridLayout
+from repro.grid.validate import LayoutError, validate_layout
+from repro.grid.wire import Wire
+
+
+def two_node_layout(layers=2):
+    lay = GridLayout(layers=layers)
+    lay.place("a", Rect(0, 10, 2, 2))
+    lay.place("b", Rect(10, 10, 2, 2))
+    return lay
+
+
+def straight_wire(y=9, layer_h=1, layer_v=2, x1=1, x2=11):
+    return Wire(
+        "a",
+        "b",
+        [
+            Segment.make(x1, 10, x1, y, layer_v),
+            Segment.make(x1, y, x2, y, layer_h),
+            Segment.make(x2, y, x2, 10, layer_v),
+        ],
+    )
+
+
+def error_of(lay, **kw) -> str:
+    with pytest.raises(LayoutError) as exc:
+        validate_layout(lay, **kw)
+    return str(exc.value)
+
+
+def test_layer_budget_message():
+    lay = two_node_layout(layers=2)
+    lay.add_wire(straight_wire(layer_h=3))
+    assert error_of(lay) == "wire a-b: layers [2, 3] exceed the L=2 budget"
+
+
+def test_edge_overlap_message():
+    lay = two_node_layout()
+    lay.add_wire(straight_wire(y=9))
+    lay.add_wire(straight_wire(y=9, x1=0, x2=12))
+    assert error_of(lay) == (
+        "overlap on ('h', 1, 9): wire a-b and wire a-b "
+        "share grid edges in [1, 11]"
+    )
+
+
+def test_knock_knee_message():
+    lay = GridLayout(layers=4)
+    lay.place("a", Rect(0, 4, 1, 1))
+    lay.place("b", Rect(4, 9, 1, 1))
+    lay.place("c", Rect(9, 4, 1, 1))
+    lay.place("d", Rect(4, 0, 1, 1))
+    lay.add_wire(
+        Wire(
+            "a",
+            "b",
+            [Segment.make(1, 5, 5, 5, 1), Segment.make(5, 5, 5, 9, 2)],
+        )
+    )
+    lay.add_wire(
+        Wire(
+            "c",
+            "d",
+            [Segment.make(9, 5, 5, 5, 1), Segment.make(5, 5, 5, 1, 2)],
+        )
+    )
+    assert error_of(
+        lay, check_node_interference=False, check_pins=False
+    ) == (
+        "knock-knee / via conflict at (5, 5): wires a-b (layers 1-2) "
+        "and c-d (layers 1-2) occupy overlapping layers"
+    )
+
+
+def test_node_interference_message():
+    lay = two_node_layout()
+    lay.place("c", Rect(4, 8, 3, 3))  # straddles the y=9 wire run
+    lay.add_wire(straight_wire(y=9))
+    assert error_of(lay) == (
+        "wire a-b crosses interior of node 'c' at "
+        "Rect(x0=4, y0=8, w=3, h=3): segment "
+        "Segment(x1=1, y1=9, x2=11, y2=9, layer=1)"
+    )
+
+
+def test_node_overlap_message():
+    lay = GridLayout(layers=2)
+    lay.place("a", Rect(0, 0, 4, 4))
+    lay.place("b", Rect(2, 2, 4, 4))
+    assert error_of(lay) == (
+        "node squares overlap on layer 1: 'b' at "
+        "Rect(x0=2, y0=2, w=4, h=4) and 'a' at Rect(x0=0, y0=0, w=4, h=4)"
+    )
+
+
+def test_pin_sharing_message():
+    # Both wires leave node a at abscissa 1: same top pin, two owners.
+    lay = two_node_layout(layers=4)
+    lay.add_wire(straight_wire(y=9, layer_h=1, layer_v=2))
+    lay.add_wire(straight_wire(y=8, layer_h=3, layer_v=4))
+    assert error_of(lay) == (
+        "pin conflict at (1, 10) on node 'a': wires a-b and a-b"
+    )
+
+
+def test_self_overlap_message():
+    # Consecutive collinear same-layer segments = an unmerged
+    # self-overlapping run.
+    lay = two_node_layout()
+    lay.add_wire(
+        Wire(
+            "a",
+            "b",
+            [
+                Segment.make(2, 11, 6, 11, 1),
+                Segment.make(6, 11, 10, 11, 1),
+            ],
+        )
+    )
+    assert error_of(lay) == (
+        "wire a-b: consecutive collinear same-layer segments should be "
+        "merged: Segment(x1=2, y1=11, x2=6, y2=11, layer=1) / "
+        "Segment(x1=6, y1=11, x2=10, y2=11, layer=1)"
+    )
+
+
+def test_success_report_counts_checks():
+    lay = two_node_layout()
+    lay.add_wire(straight_wire())
+    report = validate_layout(lay)
+    assert report["checks"] == 7
+    assert report["wires"] == 1
+    assert report["segments"] == 3
