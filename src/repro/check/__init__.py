@@ -1,0 +1,73 @@
+"""repro.check: the differential fuzzing subsystem.
+
+Turns the library's one-off property tests into a reusable
+verification engine:
+
+* :mod:`repro.check.generate` -- seeded random-network generators
+  (connected graphs, randomized zoo members, structural mutants) and
+  the layout-corruption harness;
+* :mod:`repro.check.differential` -- a pipeline driver running every
+  generated network through every applicable scheme and asserting
+  cross-stage invariants against independent oracles (brute-force
+  occupancy, exact cutwidth DP, exact bisection bounds);
+* :mod:`repro.check.shrink` -- a delta-debugging shrinker that reduces
+  failures to minimal counterexamples and serializes them into the
+  replayable corpus under ``tests/corpus/``.
+
+CLI: ``python -m repro fuzz --budget N --seed S`` (with ``--trace`` /
+``--report`` observability like every other subcommand).
+"""
+
+from repro.check.differential import (
+    STAGES,
+    CheckResult,
+    FuzzReport,
+    Violation,
+    build_scheme_layout,
+    check_case,
+    run_fuzz,
+)
+from repro.check.generate import (
+    KINDS,
+    CheckCase,
+    generate_cases,
+    mutate_layout,
+    mutate_network,
+    network_from_doc,
+    network_to_doc,
+    random_connected_network,
+    random_zoo_network,
+)
+from repro.check.shrink import (
+    CORPUS_FORMAT,
+    iter_corpus,
+    load_counterexample,
+    save_counterexample,
+    shrink_failing_case,
+    shrink_network,
+)
+
+__all__ = [
+    "CheckCase",
+    "CheckResult",
+    "FuzzReport",
+    "Violation",
+    "STAGES",
+    "KINDS",
+    "CORPUS_FORMAT",
+    "generate_cases",
+    "random_connected_network",
+    "random_zoo_network",
+    "mutate_network",
+    "mutate_layout",
+    "network_to_doc",
+    "network_from_doc",
+    "check_case",
+    "run_fuzz",
+    "build_scheme_layout",
+    "shrink_network",
+    "shrink_failing_case",
+    "save_counterexample",
+    "load_counterexample",
+    "iter_corpus",
+]

@@ -1,0 +1,489 @@
+"""Differential pipeline driver: every scheme, cross-checked.
+
+Each generated network runs through every *applicable* layout scheme
+and a battery of invariants, every one backed by an independent
+reference model:
+
+``collinear-tracks``
+    the left-edge engine's track count equals the max edge-cut of the
+    order (interval coloring = clique number), for the canonical and a
+    seeded random order;
+``cutwidth-cert``
+    the exact-cutwidth DP's optimal order, realized through the
+    engine, achieves exactly the DP value (n <= ``exact_limit``);
+``cutwidth-lb``
+    no order beats the DP value;
+``layout-legal``
+    the fast validator accepts every layout the schemes build;
+``oracle-legal``
+    so does the brute-force occupancy oracle;
+``topology``
+    the routed edge multiset equals the network's;
+``validator-oracle``
+    on randomly corrupted clones, the fast validator and the oracle
+    return the *same* verdict;
+``area-lb`` / ``volume-lb`` / ``wire-lb``
+    measured area/volume/total-wire respect the bisection and unit-edge
+    lower bounds of :mod:`repro.core.bounds` (exact brute-force
+    bisection, small n only);
+``multilayer-area``
+    the L-layer layout's area never exceeds the 2-layer layout's;
+``fold-*``
+    geometric folding preserves legality, the edge multiset and wire
+    lengths (uniform-pitch layouts only);
+``threedee-legal``
+    3-D deck stacking of k^3 tori yields legal layouts.
+
+A violated invariant (or a crash anywhere in a stage) becomes a
+:class:`Violation`; :func:`run_fuzz` streams cases from
+:mod:`repro.check.generate`, tallies per-stage counters and spans into
+:mod:`repro.obs`, and returns a :class:`FuzzReport`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.check.generate import (
+    CheckCase,
+    generate_cases,
+    mutate_layout,
+)
+from repro.collinear.cutwidth import cutwidth_certificate
+from repro.collinear.engine import collinear_layout
+from repro.core.bounds import (
+    area_lower_bound,
+    exact_bisection,
+    volume_lower_bound,
+    wire_lower_bound,
+)
+from repro.core.folding import fold_layout
+from repro.core.metrics import measure
+from repro.core.schemes import (
+    layout_cayley,
+    layout_generic_grid,
+    layout_network,
+)
+from repro.grid.io import clone_layout
+from repro.grid.layout import GridLayout
+from repro.grid.oracle import OracleViolation, oracle_validate
+from repro.grid.validate import LayoutError, check_topology, validate_layout
+from repro.topology import DeBruijn, KAryNCube, Ring, ShuffleExchange, StarGraph
+
+__all__ = [
+    "Violation",
+    "CheckResult",
+    "FuzzReport",
+    "STAGES",
+    "check_case",
+    "run_fuzz",
+    "build_scheme_layout",
+]
+
+STAGES = (
+    "collinear",
+    "cutwidth",
+    "orthogonal",
+    "agreement",
+    "folding",
+    "threedee",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant on one case."""
+
+    invariant: str
+    stage: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.stage}/{self.invariant}] {self.detail}"
+
+
+@dataclass
+class CheckResult:
+    """Everything one case's differential run produced."""
+
+    case: CheckCase
+    violations: list[Violation] = field(default_factory=list)
+    stages_run: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, invariant: str, stage: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, stage, detail))
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one :func:`run_fuzz` sweep."""
+
+    seed: int
+    budget: int
+    cases_run: int = 0
+    kind_counts: dict = field(default_factory=dict)
+    stage_counts: dict = field(default_factory=dict)
+    failures: list[CheckResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def violations(self) -> int:
+        return sum(len(r.violations) for r in self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ---------------------------------------------------------------------------
+# Scheme dispatch
+
+
+def build_scheme_layout(case: CheckCase, layers: int) -> GridLayout:
+    """The layout scheme the paper (or the generic fallback) assigns.
+
+    Zoo instances go through their family constructors; generated and
+    shrunk graphs take the universal near-square grid, which is the
+    scheme under adversarial test.
+    """
+    net = case.network
+    if case.kind == "zoo":
+        if isinstance(net, (ShuffleExchange, DeBruijn)):
+            return layout_generic_grid(net, layers=layers)
+        if isinstance(net, StarGraph):
+            return layout_cayley(net, layers=layers)
+        return layout_network(net, layers=layers)
+    return layout_generic_grid(net, layers=layers)
+
+
+# ---------------------------------------------------------------------------
+# Stages
+
+
+def _stage_collinear(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    net = case.network
+    lay = collinear_layout(net.nodes, net.edges)
+    lay.check()
+    if lay.num_tracks != lay.max_cut():
+        res.add(
+            "collinear-tracks", "collinear",
+            f"left-edge used {lay.num_tracks} tracks but the order's "
+            f"max cut is {lay.max_cut()}",
+        )
+    rng = random.Random(case.seed ^ 0x5EED5EED)
+    order = list(net.nodes)
+    rng.shuffle(order)
+    shuffled = collinear_layout(net.nodes, net.edges, order)
+    shuffled.check()
+    if shuffled.num_tracks != shuffled.max_cut():
+        res.add(
+            "collinear-tracks", "collinear",
+            f"random order: {shuffled.num_tracks} tracks vs max cut "
+            f"{shuffled.max_cut()}",
+        )
+    opts["_tracks"] = min(lay.num_tracks, shuffled.num_tracks)
+
+
+def _stage_cutwidth(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    net = case.network
+    if net.num_nodes > opts["exact_limit"]:
+        res.skipped.append("cutwidth")
+        return
+    cw, order = cutwidth_certificate(net, limit=opts["exact_limit"])
+    achieved = opts.get("_tracks")
+    if achieved is not None and cw > achieved:
+        res.add(
+            "cutwidth-lb", "cutwidth",
+            f"DP cutwidth {cw} exceeds an achieved track count "
+            f"{achieved} -- the 'lower bound' is not one",
+        )
+    opt = collinear_layout(net.nodes, net.edges, order)
+    opt.check()
+    if opt.num_tracks != cw:
+        res.add(
+            "cutwidth-cert", "cutwidth",
+            f"optimal order realizes {opt.num_tracks} tracks, DP "
+            f"says {cw}",
+        )
+
+
+def _validate_both(
+    lay: GridLayout, res: CheckResult, stage: str, label: str
+) -> bool:
+    ok = True
+    try:
+        validate_layout(lay)
+    except LayoutError as exc:
+        res.add("layout-legal", stage, f"{label}: {exc}")
+        ok = False
+    try:
+        oracle_validate(lay)
+    except OracleViolation as exc:
+        res.add("oracle-legal", stage, f"{label}: {exc}")
+        ok = False
+    return ok
+
+
+def _stage_orthogonal(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    net = case.network
+    areas: dict[int, int] = {}
+    bis = None
+    if net.num_nodes <= opts["bisect_limit"]:
+        bis = exact_bisection(net)
+    for L in sorted(case.layers):
+        lay = build_scheme_layout(case, L)
+        label = f"L={L}"
+        if not _validate_both(lay, res, "orthogonal", label):
+            continue
+        try:
+            check_topology(lay, net.edges)
+        except LayoutError as exc:
+            res.add("topology", "orthogonal", f"{label}: {exc}")
+            continue
+        m = measure(lay)
+        areas[L] = m.area
+        if net.num_edges and m.total_wire < wire_lower_bound(net.num_edges):
+            res.add(
+                "wire-lb", "orthogonal",
+                f"{label}: total wire {m.total_wire} < |E| = "
+                f"{net.num_edges}",
+            )
+        if bis is not None:
+            alb = area_lower_bound(bis, L)
+            if m.area < alb:
+                res.add(
+                    "area-lb", "orthogonal",
+                    f"{label}: area {m.area} < bisection bound {alb} "
+                    f"(B={bis})",
+                )
+            vlb = volume_lower_bound(bis, L)
+            if m.volume < vlb:
+                res.add(
+                    "volume-lb", "orthogonal",
+                    f"{label}: volume {m.volume} < bound {vlb} (B={bis})",
+                )
+        opts.setdefault("_layouts", {})[L] = lay
+    if len(areas) >= 2:
+        lo = min(areas)
+        for L, a in areas.items():
+            if L > lo and a > areas[lo]:
+                res.add(
+                    "multilayer-area", "orthogonal",
+                    f"area at L={L} ({a}) exceeds area at L={lo} "
+                    f"({areas[lo]})",
+                )
+
+
+def _stage_agreement(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    base = opts.get("_layouts", {}).get(max(case.layers))
+    if base is None:
+        base = build_scheme_layout(case, max(case.layers))
+    rng = random.Random(case.seed * 7919 + 17)
+    for _ in range(opts["mutation_rounds"]):
+        lay = clone_layout(base)
+        applied = 0
+        for _ in range(rng.randint(1, 3)):
+            applied += mutate_layout(lay, rng)
+        if not applied:
+            continue
+        try:
+            validate_layout(
+                lay, check_pins=False, check_node_interference=True
+            )
+            fast_ok = True
+            fast_msg = ""
+        except LayoutError as exc:
+            fast_ok, fast_msg = False, str(exc)
+        try:
+            oracle_validate(lay)
+            oracle_ok = True
+            oracle_msg = ""
+        except OracleViolation as exc:
+            oracle_ok, oracle_msg = False, str(exc)
+        if fast_ok != oracle_ok:
+            res.add(
+                "validator-oracle", "agreement",
+                f"verdicts diverge: fast "
+                f"{'accepts' if fast_ok else f'rejects ({fast_msg})'}, "
+                f"oracle "
+                f"{'accepts' if oracle_ok else f'rejects ({oracle_msg})'}",
+            )
+
+
+def _stage_folding(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    if 2 not in case.layers or max(case.layers) < 4:
+        res.skipped.append("folding")
+        return
+    base = opts.get("_layouts", {}).get(2)
+    if base is None:
+        base = build_scheme_layout(case, 2)
+    widths = base.meta.get("col_widths")
+    extents = base.meta.get("col_channel_extents")
+    L = max(case.layers)
+    slabs = L // 2
+    if (
+        widths is None
+        or extents is None
+        or len(widths) % slabs
+        or len({w + e for w, e in zip(widths, extents)}) > 1
+    ):
+        res.skipped.append("folding")
+        return
+    folded = fold_layout(base, L)
+    if not _validate_both(folded, res, "folding", f"fold L={L}"):
+        return
+    if folded.edge_multiset() != base.edge_multiset():
+        res.add(
+            "fold-topology", "folding",
+            "folding changed the routed edge multiset",
+        )
+    if folded.total_wire_length() != base.total_wire_length():
+        res.add(
+            "fold-wire", "folding",
+            f"total wire changed: {base.total_wire_length()} -> "
+            f"{folded.total_wire_length()}",
+        )
+
+
+def _stage_threedee(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    net = case.network
+    if not (
+        case.kind == "zoo"
+        and isinstance(net, KAryNCube)
+        and net.wraparound
+        and net.n == 3
+        and 3 <= net.k <= 4
+    ):
+        res.skipped.append("threedee")
+        return
+    from repro.core.threedee import layout_product_3d
+
+    k = net.k
+    lay = layout_product_3d(Ring(k), Ring(k), Ring(k), layers=2 * k)
+    _validate_both(lay, res, "threedee", f"{k}^3 torus decks")
+
+
+_STAGE_FNS = {
+    "collinear": _stage_collinear,
+    "cutwidth": _stage_cutwidth,
+    "orthogonal": _stage_orthogonal,
+    "agreement": _stage_agreement,
+    "folding": _stage_folding,
+    "threedee": _stage_threedee,
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def check_case(
+    case: CheckCase,
+    *,
+    stages: tuple[str, ...] | None = None,
+    exact_limit: int = 12,
+    bisect_limit: int = 12,
+    mutation_rounds: int = 2,
+) -> CheckResult:
+    """Run ``case`` through every selected stage; collect violations.
+
+    An unexpected exception inside a stage is itself recorded as a
+    ``pipeline-crash`` violation -- the fuzzer keeps running and the
+    crash becomes a shrinkable counterexample like any other.
+    """
+    res = CheckResult(case=case)
+    opts = {
+        "exact_limit": exact_limit,
+        "bisect_limit": bisect_limit,
+        "mutation_rounds": mutation_rounds,
+    }
+    selected = stages if stages is not None else STAGES
+    with obs.span(
+        "fuzz.case",
+        case=case.case_id,
+        kind=case.kind,
+        n=case.network.num_nodes,
+    ):
+        for stage in selected:
+            fn = _STAGE_FNS[stage]
+            with obs.span(f"fuzz.{stage}"):
+                before = len(res.violations)
+                try:
+                    fn(case, res, opts)
+                except Exception as exc:  # noqa: BLE001 - fuzzing boundary
+                    res.add(
+                        "pipeline-crash", stage,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+            res.stages_run.append(stage)
+            obs.count(f"fuzz.stage.{stage}")
+            found = len(res.violations) - before
+            if found:
+                obs.count("fuzz.violations_found", found)
+    obs.count("fuzz.cases_run")
+    return res
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int = 100,
+    *,
+    layers: tuple[int, ...] = (2, 4),
+    max_nodes: int = 12,
+    stages: tuple[str, ...] | None = None,
+    kinds: tuple[str, ...] | None = None,
+    exact_limit: int = 12,
+    bisect_limit: int = 12,
+    mutation_rounds: int = 2,
+    max_failures: int | None = None,
+) -> FuzzReport:
+    """Generate ``budget`` cases and differential-check each one.
+
+    ``max_failures`` stops the sweep early once that many failing
+    cases have accumulated (the shrinker wants only a handful).
+    """
+    from repro.check.generate import KINDS
+
+    report = FuzzReport(seed=seed, budget=budget)
+    start = time.perf_counter()
+    with obs.span("fuzz.run", seed=seed, budget=budget):
+        for case in generate_cases(
+            seed,
+            budget,
+            layers=layers,
+            max_nodes=max_nodes,
+            kinds=kinds or KINDS,
+        ):
+            result = check_case(
+                case,
+                stages=stages,
+                exact_limit=exact_limit,
+                bisect_limit=bisect_limit,
+                mutation_rounds=mutation_rounds,
+            )
+            report.cases_run += 1
+            report.kind_counts[case.kind] = (
+                report.kind_counts.get(case.kind, 0) + 1
+            )
+            for st in result.stages_run:
+                if st not in result.skipped:
+                    report.stage_counts[st] = (
+                        report.stage_counts.get(st, 0) + 1
+                    )
+            if not result.ok:
+                report.failures.append(result)
+                if (
+                    max_failures is not None
+                    and len(report.failures) >= max_failures
+                ):
+                    break
+    report.elapsed_s = time.perf_counter() - start
+    return report

@@ -1,0 +1,222 @@
+"""Delta-debugging shrinker + replayable counterexample corpus.
+
+When the differential driver flags a network, the raw case is usually
+noisy -- a 12-node graph with 30 edges where 3 nodes and 2 edges
+suffice.  :func:`shrink_network` reduces it against a caller-supplied
+failure predicate with the classic ddmin moves, coarse to fine:
+
+1. drop *chunks* of nodes (half, quarter, ... single) taking induced
+   subgraphs, largest reductions first;
+2. drop individual edges (multiset-aware, so parallel edges shrink
+   too);
+
+repeating both passes until a fixed point.  Connectivity is preserved
+by default since every layout scheme under test assumes it.
+
+Minimal counterexamples are serialized into ``tests/corpus/`` as small
+JSON documents (:func:`save_counterexample`); the corpus replay test
+re-runs every document through the differential driver on each CI run,
+so past fuzz findings become permanent regression tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.check.differential import CheckResult, check_case
+from repro.check.generate import (
+    CheckCase,
+    network_from_doc,
+    network_to_doc,
+)
+from repro.topology.base import Network
+
+__all__ = [
+    "shrink_network",
+    "shrink_failing_case",
+    "save_counterexample",
+    "load_counterexample",
+    "iter_corpus",
+    "CORPUS_FORMAT",
+]
+
+CORPUS_FORMAT = 1
+
+
+def _acceptable(cand: Network, keep_connected: bool) -> bool:
+    return (
+        cand.num_nodes >= 2
+        and cand.num_edges >= 1
+        and (not keep_connected or cand.is_connected())
+    )
+
+
+def _shrink_nodes(
+    net: Network,
+    predicate: Callable[[Network], bool],
+    keep_connected: bool,
+) -> tuple[Network, bool]:
+    """One ddmin pass over node chunks; returns (net, improved?)."""
+    improved = False
+    chunk = max(net.num_nodes // 2, 1)
+    while chunk >= 1:
+        i = 0
+        while i < net.num_nodes:
+            nodes = list(net.nodes)
+            keep = nodes[:i] + nodes[i + chunk:]
+            if len(keep) >= 2:
+                cand = net.induced_subgraph(keep)
+                if _acceptable(cand, keep_connected) and predicate(cand):
+                    net = cand
+                    improved = True
+                    continue  # same i: the node list shifted left
+            i += chunk
+        chunk //= 2
+    return net, improved
+
+
+def _shrink_edges(
+    net: Network,
+    predicate: Callable[[Network], bool],
+    keep_connected: bool,
+) -> tuple[Network, bool]:
+    """Drop redundant edges one at a time (first-fit, restarting)."""
+    improved = False
+    e = 0
+    while e < net.num_edges:
+        cand = net.without_edges([net.edges[e]])
+        if _acceptable(cand, keep_connected) and predicate(cand):
+            net = cand
+            improved = True
+            continue  # same index: the edge list shifted left
+        e += 1
+    return net, improved
+
+
+def shrink_network(
+    net: Network,
+    predicate: Callable[[Network], bool],
+    *,
+    keep_connected: bool = True,
+    max_rounds: int = 8,
+) -> Network:
+    """Greedily minimize ``net`` while ``predicate`` keeps failing.
+
+    ``predicate(candidate)`` must return True iff the candidate still
+    exhibits the failure.  The input network is required to satisfy it
+    (a non-reproducing input returns unchanged).  The result is
+    1-minimal up to the move set: no single node or edge can be
+    removed without losing the failure.
+    """
+    if not predicate(net):
+        return net
+    for _ in range(max_rounds):
+        net, n_improved = _shrink_nodes(net, predicate, keep_connected)
+        net, e_improved = _shrink_edges(net, predicate, keep_connected)
+        if not (n_improved or e_improved):
+            break
+    return net
+
+
+def shrink_failing_case(
+    result: CheckResult,
+    *,
+    keep_connected: bool = True,
+    stages: tuple[str, ...] | None = None,
+    mutation_rounds: int = 12,
+    **check_opts,
+) -> Network:
+    """Shrink a failing case to a minimal still-failing network.
+
+    The predicate re-runs the differential driver on the candidate
+    (as a ``shrink``-kind case, same per-case seed) and asks whether
+    any of the *original* invariant violations reappears.  Stochastic
+    stages get more mutation rounds than the sweep default so the
+    reduction is reliable.
+    """
+    case = result.case
+    bad = {v.invariant for v in result.violations}
+    if stages is None:
+        stages = tuple(
+            dict.fromkeys(v.stage for v in result.violations)
+        )
+
+    def predicate(net: Network) -> bool:
+        cand = CheckCase(
+            case_id=f"{case.case_id}/shrink",
+            seed=case.seed,
+            kind="shrink",
+            network=net,
+            layers=case.layers,
+        )
+        r = check_case(
+            cand,
+            stages=stages,
+            mutation_rounds=mutation_rounds,
+            **check_opts,
+        )
+        return any(v.invariant in bad for v in r.violations)
+
+    return shrink_network(
+        case.network, predicate, keep_connected=keep_connected
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+
+
+def save_counterexample(
+    directory,
+    network: Network,
+    *,
+    case: CheckCase,
+    violations,
+    note: str = "",
+) -> Path:
+    """Serialize a (shrunk) counterexample for permanent replay."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    invariants = sorted({v.invariant for v in violations})
+    slug = case.case_id.replace("/", "-")
+    path = directory / f"cx-{slug}-{invariants[0] if invariants else 'x'}.json"
+    doc = {
+        "format": CORPUS_FORMAT,
+        "case_id": case.case_id,
+        "seed": case.seed,
+        "kind": case.kind,
+        "layers": list(case.layers),
+        "invariants": invariants,
+        "details": [str(v) for v in violations],
+        "note": note,
+        "network": network_to_doc(network),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_counterexample(path) -> CheckCase:
+    """Rebuild a corpus document as a replayable ``corpus``-kind case."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != CORPUS_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported corpus format {doc.get('format')!r}"
+        )
+    return CheckCase(
+        case_id=doc.get("case_id", Path(path).stem),
+        seed=int(doc.get("seed", 0)),
+        kind="corpus",
+        network=network_from_doc(doc["network"]),
+        layers=tuple(doc.get("layers", (2, 4))),
+    )
+
+
+def iter_corpus(directory) -> Iterator[tuple[Path, CheckCase]]:
+    """Yield ``(path, case)`` for every corpus document, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, load_counterexample(path)

@@ -12,6 +12,8 @@ cost     price a layout under the cost model (area, layers, yield)
 fold     geometrically fold a network's Thompson layout into L layers
 stack    3-D deck stacking for a torus (A x B x C of rings)
 stats    run the zoo traced and print a pipeline-phase timing breakdown
+fuzz     differential fuzzing: random networks through every scheme,
+         cross-checked against independent oracles
 
 Every command also accepts ``--trace`` (print the span tree after the
 run) and ``--report FILE`` (write a machine-readable JSON run report,
@@ -336,6 +338,51 @@ def _cmd_stack(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.check import run_fuzz, save_counterexample, shrink_failing_case
+    from repro.check.differential import STAGES
+
+    stages = tuple(args.stages) if args.stages else None
+    kinds = tuple(args.kinds) if args.kinds else None
+    rep = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        max_nodes=args.max_nodes,
+        stages=stages,
+        kinds=kinds,
+        max_failures=args.max_failures,
+    )
+    stage_cols = list(stages or STAGES)
+    print_table(
+        f"differential fuzz: seed={rep.seed} budget={rep.budget}",
+        ["cases", "violations", "elapsed s"] + stage_cols,
+        [[rep.cases_run, rep.violations, f"{rep.elapsed_s:.1f}"]
+         + [rep.stage_counts.get(s, 0) for s in stage_cols]],
+    )
+    if rep.ok:
+        print("fuzz: OK (no invariant violations)")
+        return 0
+    for res in rep.failures:
+        print(f"\nFAIL {res.case.describe()}")
+        for v in res.violations:
+            print(f"  [{v.stage}/{v.invariant}] {v.detail}")
+        if args.shrink:
+            small = shrink_failing_case(res)
+            print(
+                f"  shrunk to N={small.num_nodes} E={small.num_edges}: "
+                f"{sorted(small.edges)}"
+            )
+            if args.corpus_dir:
+                path = save_counterexample(
+                    args.corpus_dir, small,
+                    case=res.case, violations=res.violations,
+                )
+                print(f"  counterexample saved to {path}")
+    print(f"\nfuzz: {rep.violations} violation(s) in "
+          f"{len(rep.failures)} case(s)")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -412,6 +459,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--layers", "-L", type=int, default=4)
     p.set_defaults(fn=_cmd_stats)
+
+    from repro.check.differential import STAGES as _STAGES
+    from repro.check.generate import KINDS as _KINDS
+
+    p = add_parser("fuzz", help="differential fuzzing with oracle checks")
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of random cases to run (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="run seed; every case is replayable from it")
+    p.add_argument("--max-nodes", type=int, default=12,
+                   help="size cap for generated networks (default 12)")
+    p.add_argument("--stages", nargs="*", choices=list(_STAGES),
+                   help="restrict to these pipeline stages")
+    p.add_argument("--kinds", nargs="*", choices=list(_KINDS),
+                   help="restrict to these case generators")
+    p.add_argument("--max-failures", type=int, default=None,
+                   help="stop after this many failing cases")
+    p.add_argument("--corpus-dir", metavar="DIR",
+                   help="save shrunk counterexamples into DIR")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="report failures raw, without delta-debugging")
+    p.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

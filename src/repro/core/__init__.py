@@ -21,6 +21,8 @@ from repro.core.bounds import (
     exact_bisection,
     kernighan_lin,
     optimality_factor,
+    volume_lower_bound,
+    wire_lower_bound,
 )
 from repro.core.builder import build_orthogonal_layout
 from repro.core.delay import DelayModel, PerformanceReport, performance
@@ -81,6 +83,8 @@ __all__ = [
     "kernighan_lin",
     "bisection_formula",
     "area_lower_bound",
+    "volume_lower_bound",
+    "wire_lower_bound",
     "optimality_factor",
     "DelayModel",
     "PerformanceReport",

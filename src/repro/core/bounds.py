@@ -41,6 +41,8 @@ __all__ = [
     "kernighan_lin",
     "bisection_formula",
     "area_lower_bound",
+    "volume_lower_bound",
+    "wire_lower_bound",
     "optimality_factor",
 ]
 
@@ -166,6 +168,18 @@ def area_lower_bound(bisection: int, layers: int) -> int:
     """The trivial multilayer bound: area >= (B / L)^2."""
     side = -(-bisection // max(layers, 1))
     return side * side
+
+
+def volume_lower_bound(bisection: int, layers: int) -> int:
+    """Volume bound implied by the area bound: V = L * A >= L (B/L)^2."""
+    return max(layers, 1) * area_lower_bound(bisection, layers)
+
+
+def wire_lower_bound(num_edges: int) -> int:
+    """Trivial total-wire-length bound: every routed wire spans at
+    least one unit edge (pins sit on the perimeters of disjoint node
+    squares), so total wire >= |E|."""
+    return num_edges
 
 
 def optimality_factor(measured_area: int, bisection: int, layers: int) -> float:

@@ -15,7 +15,13 @@ from repro.grid.geometry import Rect, Segment
 from repro.grid.layout import GridLayout
 from repro.grid.wire import Wire
 
-__all__ = ["layout_to_json", "layout_from_json", "dump_layout", "load_layout"]
+__all__ = [
+    "layout_to_json",
+    "layout_from_json",
+    "dump_layout",
+    "load_layout",
+    "clone_layout",
+]
 
 FORMAT_VERSION = 1
 
@@ -120,6 +126,16 @@ def layout_from_json(text: str) -> GridLayout:
             )
         )
     return layout
+
+
+def clone_layout(layout: GridLayout) -> GridLayout:
+    """An independent deep copy, via the JSON round-trip.
+
+    The serialization is exact for every layout the library builds, so
+    this is the canonical way to get a mutable copy (the mutation
+    harness in :mod:`repro.check` corrupts clones, never originals).
+    """
+    return layout_from_json(layout_to_json(layout))
 
 
 def dump_layout(layout: GridLayout, path) -> None:

@@ -68,10 +68,26 @@ def _wire_turn_points(w):
 
 def oracle_validate(layout: GridLayout) -> None:
     """Raise :class:`OracleViolation` on the first broken rule."""
-    # 1. Unit-edge exclusivity (planar and z).
+    # 1. Unit-edge exclusivity (planar and z).  Planar re-use is
+    # illegal even within one wire (rule 6: a wire may not overlap
+    # itself -- the fast validator's sweep rejects it owner-blind);
+    # same-wire z re-use mirrors the fast validator's bend rule, which
+    # only compares distinct wires.
     edge_owner: dict[tuple, int] = {}
     for wi, w in enumerate(layout.wires):
-        for e in list(_wire_planar_edges(w)) + list(_wire_z_edges(w)):
+        for e in _wire_planar_edges(w):
+            prev = edge_owner.get(e)
+            if prev == wi:
+                raise OracleViolation(
+                    f"wire {w.u}-{w.v} overlaps itself on grid edge {e}"
+                )
+            if prev is not None:
+                a, b = layout.wires[prev], layout.wires[wi]
+                raise OracleViolation(
+                    f"grid edge {e} used by wires {a.u}-{a.v} and {b.u}-{b.v}"
+                )
+            edge_owner[e] = wi
+        for e in _wire_z_edges(w):
             prev = edge_owner.get(e)
             if prev is not None and prev != wi:
                 a, b = layout.wires[prev], layout.wires[wi]

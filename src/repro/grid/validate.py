@@ -151,7 +151,9 @@ def _check_edge_disjointness(layout: GridLayout) -> int:
     for line, spans in lines.items():
         total += len(spans)
         spans.sort()
-        max_hi = -1
+        # Sentinel must sit below any coordinate: spans may be negative
+        # (e.g. corrupted layouts fed in by the differential fuzzer).
+        max_hi: float = float("-inf")
         max_hi_owner = -1
         for lo, hi, wi in spans:
             if lo < max_hi:

@@ -158,6 +158,44 @@ class Network(ABC):
             out[key] = out.get(key, 0) + 1
         return out
 
+    # -- derived networks (used by the differential shrinker) -------------
+
+    def induced_subgraph(
+        self, keep: Iterable[Node], name: str | None = None
+    ) -> "Network":
+        """The subgraph induced by ``keep`` (node order preserved)."""
+        keep_set = set(keep)
+        nodes = [v for v in self.nodes if v in keep_set]
+        edges = [
+            (u, v)
+            for u, v in self.edges
+            if u in keep_set and v in keep_set
+        ]
+        return build_network(
+            nodes, edges, name or f"{self.name}[{len(nodes)}]"
+        )
+
+    def without_edges(
+        self, drop: Iterable[Edge], name: str | None = None
+    ) -> "Network":
+        """Remove one occurrence of each edge in ``drop`` (multiset
+        semantics, orientation-insensitive); nodes are kept."""
+        budget: dict[tuple, int] = {}
+        for u, v in drop:
+            key = _norm(u, v)
+            budget[key] = budget.get(key, 0) + 1
+        edges = []
+        for u, v in self.edges:
+            key = _norm(u, v)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                continue
+            edges.append((u, v))
+        leftover = {k: c for k, c in budget.items() if c > 0}
+        if leftover:
+            raise ValueError(f"edges not present: {leftover}")
+        return build_network(list(self.nodes), edges, name or self.name)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}: N={self.num_nodes}, E={self.num_edges}>"
 

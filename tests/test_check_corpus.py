@@ -1,0 +1,43 @@
+"""Corpus replay: every saved counterexample must pass on current code.
+
+Each ``tests/corpus/cx-*.json`` document is a shrunk network that once
+violated a differential invariant (or a seeded coverage case).  The
+replay runs each one through the full differential driver with the
+original per-case seed, so the exact stochastic path that found the
+bug -- layout corruptions included -- is retraced on every CI run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.differential import check_case
+from repro.check.shrink import iter_corpus
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_ENTRIES = list(iter_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_present():
+    assert CORPUS_DIR.is_dir()
+    assert len(_ENTRIES) >= 3, "seed corpus documents are missing"
+
+
+@pytest.mark.parametrize(
+    "path,case",
+    _ENTRIES,
+    ids=[p.stem for p, _ in _ENTRIES],
+)
+def test_corpus_case_passes(path, case):
+    result = check_case(case, mutation_rounds=6)
+    assert result.ok, (
+        f"{path.name} regressed: "
+        + "; ".join(str(v) for v in result.violations)
+    )
+
+
+def test_corpus_networks_are_connected():
+    for path, case in _ENTRIES:
+        assert case.network.is_connected(), path.name
+        assert case.network.num_nodes >= 2, path.name

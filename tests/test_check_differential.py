@@ -1,0 +1,143 @@
+"""Tests for the differential pipeline driver (repro.check.differential).
+
+Includes the subsystem's acceptance test: deliberately breaking the
+fast validator (disabling its edge-disjointness sweep for the duration
+of one test) must make the fuzzer report ``validator-oracle``
+disagreements, and the shrinker must reduce one to a tiny network.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    STAGES,
+    CheckResult,
+    build_scheme_layout,
+    check_case,
+    run_fuzz,
+)
+from repro.check.generate import CheckCase, generate_cases
+from repro.check.shrink import shrink_failing_case
+from repro.topology import Hypercube, StarGraph
+from repro.topology.base import build_network
+
+
+def _case(net, kind="random", seed=11, layers=(2, 4)):
+    return CheckCase(
+        case_id=f"test/{net.name}", seed=seed, kind=kind,
+        network=net, layers=layers,
+    )
+
+
+class TestCheckCase:
+    def test_clean_network_passes_all_stages(self):
+        res = check_case(_case(Hypercube(3)))
+        assert res.ok, [str(v) for v in res.violations]
+        assert res.stages_run == list(STAGES)
+
+    def test_stage_restriction(self):
+        res = check_case(_case(Hypercube(3)), stages=("collinear",))
+        assert res.stages_run == ["collinear"]
+        assert res.ok
+
+    def test_zoo_kind_uses_family_scheme(self):
+        case = _case(StarGraph(4), kind="zoo")
+        lay = build_scheme_layout(case, 4)
+        assert len(lay.wires) == case.network.num_edges
+        assert check_case(case).ok
+
+    def test_cutwidth_skipped_above_limit(self):
+        res = check_case(
+            _case(Hypercube(4)), stages=("collinear", "cutwidth"),
+            exact_limit=8,
+        )
+        assert "cutwidth" in res.skipped
+        assert res.ok
+
+    def test_stage_crash_is_recorded_not_raised(self, monkeypatch):
+        def boom(*a, **k):
+            raise RuntimeError("synthetic stage crash")
+
+        monkeypatch.setattr(
+            "repro.check.differential.collinear_layout", boom
+        )
+        res = check_case(_case(Hypercube(3)), stages=("collinear",))
+        assert not res.ok
+        assert res.violations[0].invariant == "pipeline-crash"
+        assert "synthetic stage crash" in res.violations[0].detail
+
+
+class TestRunFuzz:
+    def test_small_sweep_clean(self):
+        rep = run_fuzz(seed=1, budget=18)
+        assert rep.ok
+        assert rep.cases_run == 18
+        assert sum(rep.kind_counts.values()) == 18
+        assert rep.stage_counts["collinear"] == 18
+        assert rep.violations == 0
+
+    def test_max_failures_stops_early(self, monkeypatch):
+        def always_fail(case, **kw):
+            res = CheckResult(case=case)
+            res.add("synthetic", "collinear", "forced failure")
+            res.stages_run.append("collinear")
+            return res
+
+        monkeypatch.setattr(
+            "repro.check.differential.check_case", always_fail
+        )
+        rep = run_fuzz(seed=0, budget=50, max_failures=3)
+        assert len(rep.failures) == 3
+        assert rep.cases_run == 3
+        assert not rep.ok
+
+
+class TestInjectedBug:
+    """The acceptance criterion: a deliberately injected soundness hole
+    in the fast validator is caught by the agreement invariant and
+    shrunk to a minimal counterexample."""
+
+    @pytest.fixture()
+    def broken_validator(self, monkeypatch):
+        # The bug: the fast validator silently skips its
+        # edge-disjointness sweep, so overlapping wires are accepted
+        # while the brute-force oracle still rejects them.
+        monkeypatch.setattr(
+            "repro.grid.validate._check_edge_disjointness",
+            lambda layout: 0,
+        )
+
+    def test_fuzzer_catches_and_shrinker_minimizes(self, broken_validator):
+        rep = run_fuzz(
+            seed=0, budget=60, stages=("agreement",),
+            mutation_rounds=6, max_failures=3,
+        )
+        assert not rep.ok, "injected validator bug went undetected"
+        assert any(
+            v.invariant == "validator-oracle"
+            for res in rep.failures
+            for v in res.violations
+        )
+        small = shrink_failing_case(rep.failures[0], mutation_rounds=12)
+        assert small.num_nodes <= 6
+        assert small.num_edges >= 1
+        assert small.is_connected()
+
+
+class TestInvariantSensitivity:
+    """Each stage actually fires on hand-built degenerate inputs."""
+
+    def test_two_node_network(self):
+        net = build_network([0, 1], [(0, 1)], "k2")
+        res = check_case(_case(net))
+        assert res.ok, [str(v) for v in res.violations]
+
+    def test_dense_network(self):
+        nodes = list(range(6))
+        edges = [(i, j) for i in nodes for j in nodes if i < j]
+        res = check_case(_case(build_network(nodes, edges, "k6")))
+        assert res.ok, [str(v) for v in res.violations]
+
+    def test_replay_stream_case(self):
+        case = next(iter(generate_cases(3, 1)))
+        res = check_case(case)
+        assert res.ok, [str(v) for v in res.violations]

@@ -1,0 +1,149 @@
+"""Tests for the fuzzer's seeded generators (repro.check.generate)."""
+
+import random
+
+import pytest
+
+from repro.check.generate import (
+    KINDS,
+    generate_cases,
+    mutate_layout,
+    mutate_network,
+    network_from_doc,
+    network_to_doc,
+    random_connected_network,
+    random_zoo_network,
+)
+from repro.core.schemes import layout_generic_grid
+from repro.grid.io import clone_layout
+from repro.topology import KAryNCube
+
+
+class TestRandomConnected:
+    def test_connected_and_bounded(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            net = random_connected_network(rng, min_nodes=2, max_nodes=9)
+            assert 2 <= net.num_nodes <= 9
+            assert net.is_connected()
+            assert net.num_edges >= net.num_nodes - 1
+
+    def test_max_degree_cap(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            net = random_connected_network(rng, max_nodes=10, max_degree=3)
+            # The spanning tree ignores the cap; only extra edges
+            # respect it, so allow tree degree + capped extras.
+            for v in net.nodes:
+                assert net.degree(v) <= 3 + net.num_nodes
+
+    def test_simple_graph(self):
+        rng = random.Random(2)
+        for _ in range(30):
+            net = random_connected_network(rng)
+            assert len(set(net.edge_multiset())) == net.num_edges
+
+
+class TestZoo:
+    def test_every_builder_constructs(self):
+        rng = random.Random(3)
+        for _ in range(120):
+            net = random_zoo_network(rng)
+            assert net.num_nodes >= 2
+            assert net.is_connected()
+
+
+class TestMutants:
+    def test_mutation_keeps_connectivity(self):
+        rng = random.Random(4)
+        for _ in range(40):
+            base = random_connected_network(rng, min_nodes=4, max_nodes=10)
+            mut = mutate_network(base, rng)
+            assert mut.is_connected()
+
+    def test_mutation_changes_something_usually(self):
+        rng = random.Random(5)
+        changed = 0
+        for _ in range(40):
+            base = random_connected_network(rng, min_nodes=4, max_nodes=10)
+            mut = mutate_network(base, rng)
+            changed += (
+                sorted(map(str, mut.edges)) != sorted(map(str, base.edges))
+                or mut.num_nodes != base.num_nodes
+            )
+        assert changed >= 30
+
+
+class TestCaseStream:
+    def test_deterministic_replay(self):
+        a = list(generate_cases(5, 30))
+        b = list(generate_cases(5, 30))
+        for ca, cb in zip(a, b):
+            assert ca.case_id == cb.case_id
+            assert ca.seed == cb.seed
+            assert ca.kind == cb.kind
+            assert list(ca.network.nodes) == list(cb.network.nodes)
+            assert list(ca.network.edges) == list(cb.network.edges)
+
+    def test_prefix_stable_under_budget(self):
+        short = list(generate_cases(7, 10))
+        long = list(generate_cases(7, 40))[:10]
+        for cs, cl in zip(short, long):
+            assert cs.case_id == cl.case_id
+            assert list(cs.network.edges) == list(cl.network.edges)
+
+    def test_kinds_cycle_and_filter(self):
+        cases = list(generate_cases(0, 12))
+        assert [c.kind for c in cases] == list(KINDS) * 4
+        only_zoo = list(generate_cases(0, 6, kinds=("zoo",)))
+        assert all(c.kind == "zoo" for c in only_zoo)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            list(generate_cases(0, 1, kinds=("nope",)))
+
+    def test_ids_encode_seed_and_index(self):
+        cases = list(generate_cases(9, 3))
+        assert [c.case_id for c in cases] == [
+            "seed9/case0", "seed9/case1", "seed9/case2",
+        ]
+
+
+class TestLayoutMutation:
+    def test_applied_mutation_alters_geometry(self):
+        base = layout_generic_grid(KAryNCube(3, 2, wraparound=False), layers=4)
+        rng = random.Random(0)
+        altered = 0
+        for _ in range(30):
+            lay = clone_layout(base)
+            if mutate_layout(lay, rng):
+                before = [w.segments for w in base.wires]
+                after = [w.segments for w in lay.wires]
+                altered += before != after
+        assert altered >= 10
+
+    def test_rejected_mutation_leaves_layout_intact(self):
+        base = layout_generic_grid(KAryNCube(2, 1, wraparound=False), layers=2)
+        rng = random.Random(1)
+        for _ in range(20):
+            lay = clone_layout(base)
+            if not mutate_layout(lay, rng):
+                assert [w.segments for w in lay.wires] == [
+                    w.segments for w in base.wires
+                ]
+
+
+class TestNetworkDocs:
+    def test_roundtrip_int_labels(self):
+        rng = random.Random(6)
+        net = random_connected_network(rng)
+        back = network_from_doc(network_to_doc(net))
+        assert list(back.nodes) == list(net.nodes)
+        assert list(back.edges) == list(net.edges)
+        assert back.name == net.name
+
+    def test_roundtrip_tuple_labels(self):
+        net = KAryNCube(3, 2)
+        back = network_from_doc(network_to_doc(net))
+        assert list(back.nodes) == list(net.nodes)
+        assert sorted(back.edge_multiset()) == sorted(net.edge_multiset())

@@ -1,0 +1,173 @@
+"""Tests for the delta-debugging shrinker and the counterexample corpus."""
+
+import json
+
+import pytest
+
+from repro.check.generate import random_connected_network
+from repro.check.shrink import (
+    CORPUS_FORMAT,
+    iter_corpus,
+    load_counterexample,
+    save_counterexample,
+    shrink_network,
+)
+from repro.check.differential import CheckResult, Violation
+from repro.check.generate import CheckCase
+from repro.topology import CompleteGraph, Hypercube
+from repro.topology.base import build_network
+import random
+
+
+class TestShrinkNetwork:
+    def test_edge_predicate_reduces_to_single_edge(self):
+        net = CompleteGraph(6)
+
+        def has_01(cand):
+            return (0, 1) in cand.edge_multiset()
+
+        small = shrink_network(net, has_01)
+        assert small.num_nodes == 2
+        assert list(small.edges) == [(0, 1)]
+
+    def test_degree_predicate_reduces_to_star(self):
+        net = Hypercube(4)
+
+        def has_deg3(cand):
+            return any(cand.degree(v) >= 3 for v in cand.nodes)
+
+        small = shrink_network(net, has_deg3)
+        assert small.num_nodes == 4
+        assert small.num_edges == 3
+        assert max(small.degree(v) for v in small.nodes) == 3
+
+    def test_trivial_predicate_hits_floor(self):
+        small = shrink_network(CompleteGraph(5), lambda cand: True)
+        assert small.num_nodes == 2
+        assert small.num_edges == 1
+
+    def test_non_reproducing_input_unchanged(self):
+        net = CompleteGraph(4)
+        small = shrink_network(net, lambda cand: False)
+        assert small is net
+
+    def test_connectivity_preserved_at_every_step(self):
+        net = random_connected_network(random.Random(0), max_nodes=10)
+        seen = []
+
+        def pred(cand):
+            seen.append(cand)
+            return True
+
+        shrink_network(net, pred)
+        assert all(c.is_connected() for c in seen)
+
+    def test_disconnected_allowed_when_requested(self):
+        net = build_network(
+            [0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)], "path4"
+        )
+
+        def two_edges(cand):
+            return cand.num_edges >= 2
+
+        small = shrink_network(net, two_edges, keep_connected=False)
+        assert small.num_edges == 2
+
+    def test_result_is_one_minimal(self):
+        net = CompleteGraph(5)
+
+        def big(cand):
+            return cand.num_edges >= 4
+
+        small = shrink_network(net, big)
+        assert small.num_edges == 4
+        for e in small.edges:
+            cand = small.without_edges([e])
+            assert not (cand.num_edges >= 4 and cand.is_connected())
+
+
+class TestCorpus:
+    def _case(self, net):
+        return CheckCase(
+            case_id="seedX/case0", seed=42, kind="mutant",
+            network=net, layers=(2, 4),
+        )
+
+    def _violations(self):
+        return [Violation("validator-oracle", "agreement", "diverged")]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        net = build_network([0, 1, 2], [(0, 1), (1, 2)], "path3")
+        path = save_counterexample(
+            tmp_path, net, case=self._case(net),
+            violations=self._violations(), note="unit test",
+        )
+        assert path.name == "cx-seedX-case0-validator-oracle.json"
+        case = load_counterexample(path)
+        assert case.kind == "corpus"
+        assert case.seed == 42
+        assert case.layers == (2, 4)
+        assert list(case.network.edges) == [(0, 1), (1, 2)]
+
+    def test_doc_is_small_and_readable(self, tmp_path):
+        net = build_network([0, 1], [(0, 1)], "k2")
+        path = save_counterexample(
+            tmp_path, net, case=self._case(net),
+            violations=self._violations(),
+        )
+        doc = json.loads(path.read_text())
+        assert doc["format"] == CORPUS_FORMAT
+        assert doc["invariants"] == ["validator-oracle"]
+        assert doc["network"]["edges"] == [[0, 1]]
+
+    def test_bad_format_rejected(self, tmp_path):
+        p = tmp_path / "cx-bad.json"
+        p.write_text(json.dumps({"format": 99, "network": {}}))
+        with pytest.raises(ValueError):
+            load_counterexample(p)
+
+    def test_iter_corpus_sorted_and_missing_dir_ok(self, tmp_path):
+        assert list(iter_corpus(tmp_path / "nope")) == []
+        net = build_network([0, 1], [(0, 1)], "k2")
+        for cid in ("b", "a"):
+            save_counterexample(
+                tmp_path,
+                net,
+                case=CheckCase(
+                    case_id=cid, seed=0, kind="mutant",
+                    network=net, layers=(2,),
+                ),
+                violations=self._violations(),
+            )
+        names = [p.name for p, _ in iter_corpus(tmp_path)]
+        assert names == sorted(names)
+        assert len(names) == 2
+
+
+class TestShrinkFailingCase:
+    def test_shrinks_synthetic_collinear_failure(self, monkeypatch):
+        # Break the track-count invariant only for graphs that contain
+        # edge (0, 1): the shrinker should strip everything else.
+        import repro.check.differential as diff
+
+        real = diff._stage_collinear
+
+        def biased(case, res, opts):
+            real(case, res, opts)
+            if (0, 1) in case.network.edge_multiset():
+                res.add("collinear-tracks", "collinear", "synthetic")
+
+        monkeypatch.setattr(diff, "_stage_collinear", biased)
+        monkeypatch.setitem(diff._STAGE_FNS, "collinear", biased)
+        net = CompleteGraph(5)
+        case = CheckCase(
+            case_id="t/c", seed=0, kind="random",
+            network=net, layers=(2,),
+        )
+        result = diff.check_case(case, stages=("collinear",))
+        assert not result.ok
+        from repro.check.shrink import shrink_failing_case
+
+        small = shrink_failing_case(result)
+        assert small.num_nodes == 2
+        assert list(small.edges) == [(0, 1)]

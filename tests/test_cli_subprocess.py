@@ -1,0 +1,130 @@
+"""End-to-end CLI tests through a real subprocess.
+
+The in-process CLI tests (test_io.TestCli) exercise command logic;
+these run ``python -m repro ...`` the way a user does, checking exit
+codes, stdout stability and the machine-readable run reports.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.report import validate_report
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_cli(*args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+class TestExitCodes:
+    def test_layout_ok(self):
+        p = run_cli("layout", "hypercube:3", "--validate")
+        assert p.returncode == 0, p.stderr
+        assert "validation: OK" in p.stdout
+
+    def test_unknown_family_fails(self):
+        p = run_cli("layout", "nonsense:3")
+        assert p.returncode != 0
+        assert "unknown network family" in p.stderr
+
+    def test_missing_command_fails(self):
+        p = run_cli()
+        assert p.returncode != 0
+
+    def test_predict_ok(self):
+        p = run_cli("predict", "hypercube:6", "--layers", "4")
+        assert p.returncode == 0, p.stderr
+        assert "paper leading terms" in p.stdout
+
+
+class TestStdoutStability:
+    def test_layout_output_is_deterministic(self):
+        a = run_cli("layout", "kary:3,2", "--layers", "4")
+        b = run_cli("layout", "kary:3,2", "--layers", "4")
+        assert a.returncode == b.returncode == 0
+        assert a.stdout == b.stdout
+
+    def test_fuzz_output_is_deterministic(self):
+        a = run_cli("fuzz", "--budget", "12", "--seed", "5")
+        b = run_cli("fuzz", "--budget", "12", "--seed", "5")
+        assert a.returncode == b.returncode == 0
+        # The elapsed column varies; compare everything else.
+        stable_a = [l for l in a.stdout.splitlines() if "elapsed" not in l]
+        stable_b = [l for l in b.stdout.splitlines() if "elapsed" not in l]
+        assert stable_a[0] == stable_b[0]
+        assert stable_a[-1] == stable_b[-1] == (
+            "fuzz: OK (no invariant violations)"
+        )
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self):
+        p = run_cli("fuzz", "--budget", "9", "--seed", "2")
+        assert p.returncode == 0, p.stderr
+        assert "cases" in p.stdout
+        assert "fuzz: OK" in p.stdout
+
+    def test_stage_and_kind_filters(self):
+        p = run_cli(
+            "fuzz", "--budget", "6", "--seed", "0",
+            "--stages", "collinear", "cutwidth", "--kinds", "random",
+        )
+        assert p.returncode == 0, p.stderr
+        assert "agreement" not in p.stdout
+
+    def test_bad_stage_rejected(self):
+        p = run_cli("fuzz", "--budget", "1", "--stages", "bogus")
+        assert p.returncode != 0
+
+    def test_report_is_valid(self, tmp_path):
+        report = tmp_path / "fuzz.json"
+        p = run_cli(
+            "fuzz", "--budget", "9", "--seed", "1",
+            "--report", str(report),
+        )
+        assert p.returncode == 0, p.stderr
+        doc = json.loads(report.read_text())
+        validate_report(doc)
+        assert doc["name"] == "fuzz"
+        assert doc["spec"]["budget"] == 9
+        assert doc["spec"]["seed"] == 1
+        counters = doc["metrics"]["counters"]
+        assert counters["fuzz.cases_run"] == 9
+        assert counters["fuzz.stage.collinear"] == 9
+
+    def test_trace_prints_span_tree(self):
+        p = run_cli("fuzz", "--budget", "3", "--seed", "0", "--trace")
+        assert p.returncode == 0, p.stderr
+        assert "== span tree ==" in p.stdout
+        assert "fuzz.case" in p.stdout
+
+
+class TestReportsAcrossCommands:
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ("layout", "hypercube:3"),
+            ("zoo", "--layers", "4"),
+            ("predict", "kary:4,2"),
+        ],
+        ids=["layout", "zoo", "predict"],
+    )
+    def test_report_validates(self, tmp_path, args):
+        report = tmp_path / "run.json"
+        p = run_cli(*args, "--report", str(report))
+        assert p.returncode == 0, p.stderr
+        doc = json.loads(report.read_text())
+        validate_report(doc)
+        assert doc["name"] == args[0]

@@ -67,6 +67,31 @@ class TestRoundtrip:
         validate_layout(back)
 
 
+class TestZooRoundtrip:
+    """Every zoo layout survives the JSON round-trip exactly."""
+
+    def test_all_zoo_layouts(self):
+        from repro.cli import _zoo_dispatch, _zoo_networks
+
+        for net in _zoo_networks():
+            lay = _zoo_dispatch(net, 4)
+            back = roundtrip(lay)
+            assert back.summary() == lay.summary(), net.name
+            assert back.edge_multiset() == lay.edge_multiset(), net.name
+            assert (
+                back.wire_lengths_by_edge() == lay.wire_lengths_by_edge()
+            ), net.name
+
+    def test_clone_layout_is_independent(self):
+        from repro.grid.io import clone_layout
+
+        lay = layout_kary(3, 2, layers=4)
+        twin = clone_layout(lay)
+        assert twin.summary() == lay.summary()
+        twin.wires.pop()
+        assert len(twin.wires) == len(lay.wires) - 1
+
+
 class TestCli:
     def test_layout_command(self, tmp_path, capsys):
         from repro.cli import main

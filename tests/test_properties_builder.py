@@ -8,58 +8,10 @@ structural-legality argument, exercised adversarially.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import block_specs, grid_specs
 
 from repro.core.builder import build_orthogonal_layout
-from repro.core.spec import BlockCell, LayoutSpec, LinkSpec, NodeCell
 from repro.grid.validate import check_topology, validate_layout
-
-
-@st.composite
-def grid_specs(draw):
-    rows = draw(st.integers(1, 4))
-    cols = draw(st.integers(1, 4))
-    layers = draw(st.sampled_from([2, 3, 4, 5, 8]))
-    side = draw(st.integers(4, 8))
-    cells = {
-        (i, j): NodeCell((i, j), side) for i in range(rows) for j in range(cols)
-    }
-    n_links = draw(st.integers(0, 12))
-    row_links, col_links, extra_links = [], [], []
-    keys: dict[tuple, int] = {}
-    demand: dict[tuple, int] = {}
-    for _ in range(n_links):
-        i1 = draw(st.integers(0, rows - 1))
-        j1 = draw(st.integers(0, cols - 1))
-        i2 = draw(st.integers(0, rows - 1))
-        j2 = draw(st.integers(0, cols - 1))
-        if (i1, j1) == (i2, j2):
-            continue
-        # Respect pin capacity: at most `side` wires per node side.
-        if demand.get((i1, j1), 0) >= side or demand.get((i2, j2), 0) >= side:
-            continue
-        demand[(i1, j1)] = demand.get((i1, j1), 0) + 1
-        demand[(i2, j2)] = demand.get((i2, j2), 0) + 1
-        key = ((i1, j1), (i2, j2))
-        ek = keys.get(key, 0)
-        keys[key] = ek + 1
-        link = LinkSpec((i1, j1), (i2, j2), (i1, j1), (i2, j2), edge_key=ek)
-        if i1 == i2:
-            row_links.append(link)
-        elif j1 == j2:
-            col_links.append(link)
-        else:
-            extra_links.append(link)
-    return LayoutSpec(
-        rows=rows,
-        cols=cols,
-        cells=cells,
-        row_links=row_links,
-        col_links=col_links,
-        extra_links=extra_links,
-        layers=layers,
-        name="random",
-    )
 
 
 class TestRandomSpecs:
@@ -88,43 +40,6 @@ class TestRandomSpecs:
     def test_parity_convention(self, spec):
         lay = build_orthogonal_layout(spec)
         validate_layout(lay, check_parity=True)
-
-
-@st.composite
-def block_specs(draw):
-    """1 x C rows of blocks with random small clusters and links."""
-    cols = draw(st.integers(2, 4))
-    layers = draw(st.sampled_from([2, 4, 6]))
-    side = 6
-    cells = {}
-    members: dict[int, list] = {}
-    for j in range(cols):
-        m = draw(st.integers(1, 4))
-        nodes = [f"b{j}m{i}" for i in range(m)]
-        members[j] = nodes
-        edges = [
-            (nodes[i], nodes[i + 1])
-            for i in range(m - 1)
-            if draw(st.booleans())
-        ]
-        cells[(0, j)] = BlockCell(j, nodes, edges, node_side=side)
-    links = []
-    keys: dict[tuple, int] = {}
-    for _ in range(draw(st.integers(0, 6))):
-        j1 = draw(st.integers(0, cols - 1))
-        j2 = draw(st.integers(0, cols - 1))
-        if j1 == j2:
-            continue
-        u = draw(st.sampled_from(members[j1]))
-        v = draw(st.sampled_from(members[j2]))
-        key = (j1, j2, u, v)
-        ek = keys.get(key, 0)
-        keys[key] = ek + 1
-        links.append(LinkSpec((0, j1), (0, j2), u, v, edge_key=ek))
-    return LayoutSpec(
-        rows=1, cols=cols, cells=cells, row_links=links, layers=layers,
-        name="random-blocks",
-    )
 
 
 class TestRandomBlockSpecs:

@@ -11,36 +11,18 @@ import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import foldable_specs, random_networks
 
 from repro.collinear.cutwidth import exact_cutwidth, optimal_order
 from repro.collinear.engine import collinear_layout
 from repro.core.builder import build_orthogonal_layout
 from repro.core.folding import fold_layout
 from repro.core.schemes import layout_cluster_network, layout_generic_grid
-from repro.core.spec import LayoutSpec, LinkSpec, NodeCell
 from repro.grid.io import layout_from_json, layout_to_json
 from repro.grid.oracle import oracle_validate
 from repro.grid.validate import check_topology, validate_layout
 from repro.routing import simulate
 from repro.topology import Partition
-from repro.topology.base import build_network
-
-
-@st.composite
-def random_networks(draw):
-    n = draw(st.integers(2, 12))
-    density = draw(st.floats(0.1, 0.9))
-    rng = random.Random(draw(st.integers(0, 10_000)))
-    nodes = list(range(n))
-    edge_set = set()
-    for i in range(n):
-        for j in range(i + 1, n):
-            if rng.random() < density:
-                edge_set.add((i, j))
-    # Guarantee connectivity with a random spanning tree.
-    for i in range(1, n):
-        edge_set.add((rng.randrange(i), i))
-    return build_network(nodes, sorted(edge_set), f"rand{n}")
 
 
 class TestRandomPartitions:
@@ -78,43 +60,6 @@ class TestSerializationProperty:
         assert back.edge_multiset() == lay.edge_multiset()
         assert back.wire_lengths_by_edge() == lay.wire_lengths_by_edge()
         validate_layout(back)
-
-
-@st.composite
-def foldable_specs(draw):
-    """Uniform-pitch specs whose column count divides by 2 and 4."""
-    rows = draw(st.integers(1, 3))
-    cols = draw(st.sampled_from([4, 8]))
-    side = draw(st.integers(4, 6))
-    cells = {
-        (i, j): NodeCell((i, j), side)
-        for i in range(rows)
-        for j in range(cols)
-    }
-    row_links, col_links = [], []
-    keys = {}
-    demand = {}
-    for _ in range(draw(st.integers(0, 10))):
-        i1 = draw(st.integers(0, rows - 1))
-        j1 = draw(st.integers(0, cols - 1))
-        i2 = draw(st.integers(0, rows - 1))
-        j2 = draw(st.integers(0, cols - 1))
-        if (i1, j1) == (i2, j2) or (i1 != i2 and j1 != j2):
-            continue
-        if demand.get((i1, j1), 0) >= side or demand.get((i2, j2), 0) >= side:
-            continue
-        demand[(i1, j1)] = demand.get((i1, j1), 0) + 1
-        demand[(i2, j2)] = demand.get((i2, j2), 0) + 1
-        key = ((i1, j1), (i2, j2))
-        ek = keys.get(key, 0)
-        keys[key] = ek + 1
-        link = LinkSpec((i1, j1), (i2, j2), (i1, j1), (i2, j2), edge_key=ek)
-        (row_links if i1 == i2 else col_links).append(link)
-    return LayoutSpec(
-        rows=rows, cols=cols, cells=cells,
-        row_links=row_links, col_links=col_links,
-        layers=2, name="foldable",
-    )
 
 
 class TestFoldingProperty:

@@ -17,74 +17,13 @@ the same model, so verdicts still agree.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import clone_layout, mutate, verdicts_agree
 
 from repro.core import layout_kary
 from repro.core.schemes import layout_generic_grid
-from repro.grid.geometry import Segment
-from repro.grid.layout import GridLayout
-from repro.grid.oracle import OracleViolation, oracle_validate
-from repro.grid.validate import LayoutError, validate_layout
-from repro.grid.wire import Wire, WirePathError
-from repro.topology import Hypercube, KAryNCube
-
-
-def clone_layout(lay: GridLayout) -> GridLayout:
-    from repro.grid.io import layout_from_json, layout_to_json
-
-    return layout_from_json(layout_to_json(lay))
-
-
-def mutate(lay: GridLayout, rng: random.Random) -> bool:
-    """Apply one random mutation in place; returns False if the
-    mutation could not be applied (e.g. it broke path connectivity and
-    was rolled back)."""
-    if not lay.wires:
-        return False
-    wi = rng.randrange(len(lay.wires))
-    w = lay.wires[wi]
-    si = rng.randrange(len(w.segments))
-    s = w.segments[si]
-    kind = rng.choice(["layer", "shift", "stretch"])
-    try:
-        if kind == "layer":
-            new_layer = rng.randint(1, lay.layers)
-            segs = list(w.segments)
-            segs[si] = Segment(s.x1, s.y1, s.x2, s.y2, new_layer)
-        elif kind == "shift":
-            dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
-            segs = list(w.segments)
-            segs[si] = Segment.make(
-                s.x1 + dx, s.y1 + dy, s.x2 + dx, s.y2 + dy, s.layer
-            )
-        else:  # stretch one endpoint along the segment axis
-            delta = rng.choice([-1, 1])
-            if s.horizontal:
-                segs = list(w.segments)
-                segs[si] = Segment.make(s.x1, s.y1, s.x2 + delta, s.y2, s.layer)
-            else:
-                segs = list(w.segments)
-                segs[si] = Segment.make(s.x1, s.y1, s.x2, s.y2 + delta, s.layer)
-        lay.wires[wi] = Wire(w.u, w.v, segs, edge_key=w.edge_key)
-        return True
-    except (WirePathError, ValueError):
-        return False  # mutation produced a non-path; skip
-
-
-def verdicts_agree(lay: GridLayout) -> tuple[bool, bool]:
-    try:
-        validate_layout(lay, check_pins=False, check_node_interference=True)
-        fast_ok = True
-    except LayoutError:
-        fast_ok = False
-    try:
-        oracle_validate(lay)
-        oracle_ok = True
-    except OracleViolation:
-        oracle_ok = False
-    return fast_ok, oracle_ok
+from repro.topology import Hypercube
 
 
 class TestMutationAgreement:
