@@ -1,0 +1,259 @@
+"""Content-addressed on-disk cache for built layouts.
+
+Every cacheable unit of work is *pure*: a canonical network structure
+plus a scheme name, a layer budget, and scheme parameters fully
+determine the layout the pipeline builds (all builders are
+deterministic).  The cache therefore addresses entries by the SHA-256
+of a canonical **key document**::
+
+    {"schema": CACHE_SCHEMA_VERSION,      # cache entry format
+     "format": grid.io.FORMAT_VERSION,    # layout serialization format
+     "network": {"nodes": [...], "edges": [...]},   # structural, not
+     "scheme": "auto",                    #   family-name based
+     "layers": 4,
+     "params": {...}}
+
+so the same graph reached through different front doors (a family
+sweep, the fuzzer's zoo draw, a CLI invocation) hits the same entry,
+and bumping either version constant invalidates every stale entry at
+once.
+
+Entries are JSON files ``<root>/<k[:2]>/<k>.json`` holding the key
+document (checked back on read -- a hash collision or a swapped file
+is treated as a miss), the layout JSON payload with its own SHA-256
+(bit corruption is detected, never trusted), and the layout's measured
+metrics (so cache hits skip not only the build but also validation and
+measurement).  Writes go through a temp file + ``os.replace`` so
+concurrent sweep workers sharing one cache directory never observe a
+torn entry; readers in ``readonly`` mode (the fuzz workers) never
+write or delete anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.grid.io import (
+    FORMAT_VERSION,
+    canonical_json,
+    encode_label,
+    layout_from_json,
+)
+from repro.grid.layout import GridLayout
+from repro.topology.base import Network
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
+    "CacheStats",
+    "LayoutCache",
+    "cache_key",
+    "network_fingerprint",
+]
+
+#: Bump to invalidate every existing cache entry (e.g. when a builder
+#: change makes previously cached layouts non-reproducible).
+CACHE_SCHEMA_VERSION = 1
+
+
+def network_fingerprint(net: Network) -> dict:
+    """A canonical document identifying ``net`` *as layout input*.
+
+    Every builder is a deterministic function of the network's name
+    (embedded in layout metadata), its node list, and its edge list --
+    **in order** -- so the fingerprint preserves exactly that: node
+    labels through the :mod:`repro.grid.io` codec, edges as emitted
+    (parallel edges and endpoint order included).  Two constructions of
+    the same labelled graph share an entry precisely when they would
+    build byte-identical layouts.
+    """
+    return {
+        "name": net.name,
+        "nodes": [encode_label(v) for v in net.nodes],
+        "edges": [
+            [encode_label(u), encode_label(v)] for u, v in net.edges
+        ],
+    }
+
+
+def cache_key(doc: dict) -> str:
+    """SHA-256 of the canonical JSON form of a key document."""
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+        }
+
+    def merge(self, other: "CacheStats | dict") -> None:
+        d = other.as_dict() if isinstance(other, CacheStats) else other
+        self.hits += d.get("hits", 0)
+        self.misses += d.get("misses", 0)
+        self.corrupt += d.get("corrupt", 0)
+        self.writes += d.get("writes", 0)
+
+
+@dataclass
+class CacheEntry:
+    """One retrieved entry: the layout JSON payload plus its metrics."""
+
+    key: str
+    layout_json: str
+    metrics: dict | None = None
+
+    def layout(self) -> GridLayout:
+        """Deserialize the stored layout (hits that only need metrics
+        never pay this)."""
+        return layout_from_json(self.layout_json)
+
+
+class LayoutCache:
+    """Content-addressed layout store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.
+    readonly:
+        Never write, and never delete corrupt entries -- the mode fuzz
+        workers share a sweep-populated cache in.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, readonly: bool = False):
+        self.root = Path(root)
+        self.readonly = readonly
+        self.stats = CacheStats()
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(
+        self,
+        network: Network,
+        *,
+        scheme: str,
+        layers: int,
+        params: dict | None = None,
+    ) -> tuple[str, dict]:
+        """``(hex key, key document)`` for one unit of layout work."""
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "format": FORMAT_VERSION,
+            "network": network_fingerprint(network),
+            "scheme": scheme,
+            "layers": layers,
+            "params": dict(params or {}),
+        }
+        return cache_key(doc), doc
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read -----------------------------------------------------------
+
+    def get(self, key: str, key_doc: dict | None = None) -> CacheEntry | None:
+        """The entry under ``key``, or None on miss *or* corruption.
+
+        A corrupt entry (unparseable JSON, payload hash mismatch, or --
+        when ``key_doc`` is given -- a key document that does not match)
+        is deleted (unless readonly) and reported as a miss, so the
+        caller rebuilds instead of trusting it.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            obs.count("cache.misses")
+            return None
+        entry = self._decode(raw, key, key_doc)
+        if entry is None:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            obs.count("cache.corrupt")
+            obs.count("cache.misses")
+            if not self.readonly:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+            return None
+        self.stats.hits += 1
+        obs.count("cache.hits")
+        return entry
+
+    @staticmethod
+    def _decode(raw: str, key: str, key_doc: dict | None) -> CacheEntry | None:
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(doc, dict):
+            return None
+        layout_json = doc.get("layout")
+        digest = doc.get("layout_sha256")
+        if not isinstance(layout_json, str) or not isinstance(digest, str):
+            return None
+        if hashlib.sha256(layout_json.encode()).hexdigest() != digest:
+            return None
+        if key_doc is not None and doc.get("key") != key_doc:
+            return None
+        metrics = doc.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            return None
+        return CacheEntry(key=key, layout_json=layout_json, metrics=metrics)
+
+    # -- write ----------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        key_doc: dict,
+        layout_json: str,
+        metrics: dict | None = None,
+    ) -> bool:
+        """Store an entry atomically; no-op (False) in readonly mode."""
+        if self.readonly:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "key": key_doc,
+            "layout": layout_json,
+            "layout_sha256": hashlib.sha256(layout_json.encode()).hexdigest(),
+            "metrics": metrics,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        obs.count("cache.writes")
+        return True

@@ -1,0 +1,279 @@
+"""The parallel sweep engine: expand, fan out, merge deterministically.
+
+:class:`SweepRunner` executes a :class:`~repro.batch.spec.SweepSpec`:
+
+* every job is **pure** (network spec + scheme + layers -> layout +
+  metrics), so jobs run in any order on any worker and the merged
+  result -- jobs reassembled in spec order, with deterministic fields
+  only -- is byte-for-byte independent of the worker count;
+* every job is backed by the content-addressed
+  :class:`~repro.batch.cache.LayoutCache` (when a cache directory is
+  given): a hit skips build, validation *and* measurement, returning
+  the stored metrics;
+* with ``workers > 1`` jobs fan out over a ``ProcessPoolExecutor``
+  (``fork`` start method where the platform offers it -- workers then
+  inherit the warm interpreter; ``spawn`` elsewhere); workers run with
+  metrics collection on and the parent folds their counter snapshots
+  into its own :mod:`repro.obs` registry, so ``--report`` sees cache
+  hits that happened in children.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.batch.cache import CacheStats, LayoutCache
+from repro.batch.spec import SweepJob, SweepSpec, dispatch_scheme
+from repro.core.metrics import measure
+from repro.grid.io import layout_to_json
+from repro.grid.validate import validate_layout
+
+__all__ = ["JobResult", "SweepResult", "SweepRunner", "run_sweep_job"]
+
+
+@dataclass
+class JobResult:
+    """One job's outcome.
+
+    ``row()`` is the deterministic projection (identical across worker
+    counts and cache states); ``elapsed_s`` and ``source`` are
+    run-dependent diagnostics.
+    """
+
+    job_id: str
+    network: str
+    scheme: str
+    layers: int
+    num_nodes: int
+    num_edges: int
+    metrics: dict
+    source: str  # "built" | "cache"
+    elapsed_s: float
+
+    def row(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "network": self.network,
+            "scheme": self.scheme,
+            "layers": self.layers,
+            "N": self.num_nodes,
+            "E": self.num_edges,
+            "metrics": dict(self.metrics),
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            **self.row(),
+            "source": self.source,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """A merged sweep outcome, job results in spec order."""
+
+    spec: SweepSpec
+    results: list[JobResult] = field(default_factory=list)
+    workers: int = 1
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    elapsed_s: float = 0.0
+
+    @property
+    def jobs(self) -> int:
+        return len(self.results)
+
+    def rows(self) -> list[dict]:
+        """The deterministic merged output."""
+        return [r.row() for r in self.results]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "repro.sweep-result/v1",
+            "spec": self.spec.to_dict(),
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "cache": self.cache_stats.as_dict(),
+            "elapsed_s": self.elapsed_s,
+            "results": [r.as_dict() for r in self.results],
+        }
+
+
+def run_sweep_job(
+    job: SweepJob,
+    cache: LayoutCache | None = None,
+    *,
+    validate: bool = True,
+) -> JobResult:
+    """Execute one job: cache lookup, else build + validate + measure."""
+    t0 = time.perf_counter()
+    net = job.build_network()
+    key = key_doc = None
+    if cache is not None:
+        key, key_doc = cache.key_for(
+            net, scheme=job.scheme, layers=job.layers,
+        )
+        entry = cache.get(key, key_doc)
+        if entry is not None and entry.metrics is not None:
+            return JobResult(
+                job_id=job.job_id,
+                network=job.network,
+                scheme=job.scheme,
+                layers=job.layers,
+                num_nodes=net.num_nodes,
+                num_edges=net.num_edges,
+                metrics=entry.metrics,
+                source="cache",
+                elapsed_s=time.perf_counter() - t0,
+            )
+    with obs.span("sweep.job", job=job.job_id):
+        layout = dispatch_scheme(net, layers=job.layers, scheme=job.scheme)
+        if validate:
+            validate_layout(layout)
+        metrics = measure(layout).as_dict()
+    if cache is not None:
+        cache.put(key, key_doc, layout_to_json(layout), metrics)
+    obs.count("sweep.jobs_built")
+    return JobResult(
+        job_id=job.job_id,
+        network=job.network,
+        scheme=job.scheme,
+        layers=job.layers,
+        num_nodes=net.num_nodes,
+        num_edges=net.num_edges,
+        metrics=metrics,
+        source="built",
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def _worker_run(payload: tuple) -> tuple[list[dict], dict, dict]:
+    """Process-pool entry: run a slice of jobs, return plain dicts.
+
+    Returns ``(results, cache_stats, counters)`` -- everything the
+    parent needs to merge deterministically and to fold the worker's
+    metrics into its own registry.
+    """
+    jobs, cache_dir, readonly, validate, observe = payload
+    cache = (
+        LayoutCache(cache_dir, readonly=readonly)
+        if cache_dir is not None
+        else None
+    )
+    if observe:
+        # A fresh registry per worker: fork inherits the parent's
+        # counts, which must not be double-reported.
+        obs.reset()
+        obs.enable()
+    out = []
+    for job in jobs:
+        res = run_sweep_job(job, cache, validate=validate)
+        out.append({"index": job.index, **res.as_dict()})
+    counters = obs.registry().snapshot()["counters"] if observe else {}
+    stats = cache.stats.as_dict() if cache is not None else {}
+    return out, stats, counters
+
+
+class SweepRunner:
+    """Executes sweep specs with worker fan-out and a shared cache."""
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        cache_readonly: bool = False,
+        workers: int = 1,
+        validate: bool = True,
+    ):
+        self.cache_dir = cache_dir
+        self.cache_readonly = cache_readonly
+        self.workers = max(1, int(workers))
+        self.validate = validate
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        jobs = spec.expand()
+        t0 = time.perf_counter()
+        with obs.span(
+            "sweep.run", spec=spec.name, jobs=len(jobs),
+            workers=self.workers,
+        ):
+            if self.workers == 1 or len(jobs) <= 1:
+                result = self._run_serial(spec, jobs)
+            else:
+                result = self._run_parallel(spec, jobs)
+        result.elapsed_s = time.perf_counter() - t0
+        obs.count("sweep.runs")
+        obs.count("sweep.jobs", len(jobs))
+        return result
+
+    def _open_cache(self) -> LayoutCache | None:
+        if self.cache_dir is None:
+            return None
+        return LayoutCache(self.cache_dir, readonly=self.cache_readonly)
+
+    def _run_serial(
+        self, spec: SweepSpec, jobs: list[SweepJob]
+    ) -> SweepResult:
+        cache = self._open_cache()
+        results = [
+            run_sweep_job(job, cache, validate=self.validate)
+            for job in jobs
+        ]
+        out = SweepResult(spec=spec, results=results, workers=1)
+        if cache is not None:
+            out.cache_stats.merge(cache.stats)
+        return out
+
+    def _run_parallel(
+        self, spec: SweepSpec, jobs: list[SweepJob]
+    ) -> SweepResult:
+        # Round-robin slices: contiguous runs of one family often share
+        # cost structure, so interleaving balances the workers.
+        slices = [jobs[w::self.workers] for w in range(self.workers)]
+        payloads = [
+            (
+                s,
+                None if self.cache_dir is None else os.fspath(self.cache_dir),
+                self.cache_readonly,
+                self.validate,
+                obs.enabled(),
+            )
+            for s in slices
+            if s
+        ]
+        out = SweepResult(spec=spec, workers=self.workers)
+        merged: dict[int, JobResult] = {}
+        with ProcessPoolExecutor(
+            max_workers=len(payloads), mp_context=_mp_context()
+        ) as pool:
+            for results, stats, counters in pool.map(_worker_run, payloads):
+                for doc in results:
+                    merged[doc.pop("index")] = JobResult(
+                        job_id=doc["job_id"],
+                        network=doc["network"],
+                        scheme=doc["scheme"],
+                        layers=doc["layers"],
+                        num_nodes=doc["N"],
+                        num_edges=doc["E"],
+                        metrics=doc["metrics"],
+                        source=doc["source"],
+                        elapsed_s=doc["elapsed_s"],
+                    )
+                out.cache_stats.merge(stats)
+                if counters and obs.enabled():
+                    obs.registry().merge({"counters": counters})
+        out.results = [merged[i] for i in sorted(merged)]
+        return out
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")

@@ -47,10 +47,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.batch.cache import LayoutCache
+from repro.batch.spec import dispatch_scheme
 from repro.check.generate import (
     CheckCase,
     generate_cases,
     mutate_layout,
+    network_from_doc,
+    network_to_doc,
 )
 from repro.collinear.cutwidth import cutwidth_certificate
 from repro.collinear.engine import collinear_layout
@@ -62,12 +66,7 @@ from repro.core.bounds import (
 )
 from repro.core.folding import fold_layout
 from repro.core.metrics import measure
-from repro.core.schemes import (
-    layout_cayley,
-    layout_generic_grid,
-    layout_network,
-)
-from repro.grid.io import clone_layout
+from repro.grid.io import clone_layout, layout_to_json
 from repro.grid.layout import GridLayout
 from repro.grid.oracle import OracleViolation, oracle_validate
 from repro.grid.validate import LayoutError, check_topology, validate_layout
@@ -81,6 +80,7 @@ __all__ = [
     "check_case",
     "run_fuzz",
     "build_scheme_layout",
+    "case_scheme",
 ]
 
 STAGES = (
@@ -147,8 +147,8 @@ class FuzzReport:
 # Scheme dispatch
 
 
-def build_scheme_layout(case: CheckCase, layers: int) -> GridLayout:
-    """The layout scheme the paper (or the generic fallback) assigns.
+def case_scheme(case: CheckCase) -> str:
+    """The :data:`repro.batch.spec.SCHEMES` label the case routes to.
 
     Zoo instances go through their family constructors; generated and
     shrunk graphs take the universal near-square grid, which is the
@@ -157,11 +157,35 @@ def build_scheme_layout(case: CheckCase, layers: int) -> GridLayout:
     net = case.network
     if case.kind == "zoo":
         if isinstance(net, (ShuffleExchange, DeBruijn)):
-            return layout_generic_grid(net, layers=layers)
+            return "generic"
         if isinstance(net, StarGraph):
-            return layout_cayley(net, layers=layers)
-        return layout_network(net, layers=layers)
-    return layout_generic_grid(net, layers=layers)
+            return "cayley"
+        return "auto"
+    return "generic"
+
+
+def build_scheme_layout(
+    case: CheckCase, layers: int, cache: LayoutCache | None = None
+) -> GridLayout:
+    """Build (or fetch from ``cache``) the case's layout.
+
+    The cache is addressed by network structure + scheme + layers --
+    the same keys the sweep runner writes -- so a fuzz run pointed at
+    a sweep-populated cache directory skips rebuilding layouts the
+    sweep already produced.  Fuzz workers open the cache read-only.
+    """
+    scheme = case_scheme(case)
+    if cache is None:
+        return dispatch_scheme(case.network, layers=layers, scheme=scheme)
+    key, key_doc = cache.key_for(
+        case.network, scheme=scheme, layers=layers
+    )
+    entry = cache.get(key, key_doc)
+    if entry is not None:
+        return entry.layout()
+    lay = dispatch_scheme(case.network, layers=layers, scheme=scheme)
+    cache.put(key, key_doc, layout_to_json(lay))
+    return lay
 
 
 # ---------------------------------------------------------------------------
@@ -239,7 +263,7 @@ def _stage_orthogonal(case: CheckCase, res: CheckResult, opts: dict) -> None:
     if net.num_nodes <= opts["bisect_limit"]:
         bis = exact_bisection(net)
     for L in sorted(case.layers):
-        lay = build_scheme_layout(case, L)
+        lay = build_scheme_layout(case, L, opts.get("cache"))
         label = f"L={L}"
         if not _validate_both(lay, res, "orthogonal", label):
             continue
@@ -285,7 +309,7 @@ def _stage_orthogonal(case: CheckCase, res: CheckResult, opts: dict) -> None:
 def _stage_agreement(case: CheckCase, res: CheckResult, opts: dict) -> None:
     base = opts.get("_layouts", {}).get(max(case.layers))
     if base is None:
-        base = build_scheme_layout(case, max(case.layers))
+        base = build_scheme_layout(case, max(case.layers), opts.get("cache"))
     rng = random.Random(case.seed * 7919 + 17)
     for _ in range(opts["mutation_rounds"]):
         lay = clone_layout(base)
@@ -324,7 +348,7 @@ def _stage_folding(case: CheckCase, res: CheckResult, opts: dict) -> None:
         return
     base = opts.get("_layouts", {}).get(2)
     if base is None:
-        base = build_scheme_layout(case, 2)
+        base = build_scheme_layout(case, 2, opts.get("cache"))
     widths = base.meta.get("col_widths")
     extents = base.meta.get("col_channel_extents")
     L = max(case.layers)
@@ -392,18 +416,22 @@ def check_case(
     exact_limit: int = 12,
     bisect_limit: int = 12,
     mutation_rounds: int = 2,
+    cache: LayoutCache | None = None,
 ) -> CheckResult:
     """Run ``case`` through every selected stage; collect violations.
 
     An unexpected exception inside a stage is itself recorded as a
     ``pipeline-crash`` violation -- the fuzzer keeps running and the
     crash becomes a shrinkable counterexample like any other.
+    ``cache`` (usually read-only) lets stages fetch scheme layouts a
+    sweep already built instead of rebuilding them.
     """
     res = CheckResult(case=case)
     opts = {
         "exact_limit": exact_limit,
         "bisect_limit": bisect_limit,
         "mutation_rounds": mutation_rounds,
+        "cache": cache,
     }
     selected = stages if stages is not None else STAGES
     with obs.span(
@@ -432,6 +460,136 @@ def check_case(
     return res
 
 
+def _tally(report: FuzzReport, case: CheckCase, result: CheckResult) -> None:
+    report.cases_run += 1
+    report.kind_counts[case.kind] = report.kind_counts.get(case.kind, 0) + 1
+    for st in result.stages_run:
+        if st not in result.skipped:
+            report.stage_counts[st] = report.stage_counts.get(st, 0) + 1
+
+
+def _fuzz_worker(payload: tuple) -> dict:
+    """Process-pool entry: check the cases assigned to one worker.
+
+    Workers regenerate the seeded case stream themselves (networks
+    need not cross the process boundary) and keep every case with
+    ``index % nworkers == wid``; failing cases come back as plain
+    documents the parent rebuilds, keyed by case index so the merge
+    is invariant under worker count.
+    """
+    (wid, nworkers, seed, budget, layers, max_nodes, stages, kinds,
+     exact_limit, bisect_limit, mutation_rounds, max_failures,
+     cache_dir, observe) = payload
+    cache = (
+        LayoutCache(cache_dir, readonly=True) if cache_dir else None
+    )
+    if observe:
+        # Fork inherits the parent's registry; reset so the counter
+        # snapshot returned below holds only this worker's activity.
+        obs.reset()
+        obs.enable()
+    out: dict = {
+        "cases_run": 0,
+        "kind_counts": {},
+        "stage_counts": {},
+        "failures": [],
+    }
+    for i, case in enumerate(generate_cases(
+        seed, budget, layers=layers, max_nodes=max_nodes, kinds=kinds,
+    )):
+        if i % nworkers != wid:
+            continue
+        result = check_case(
+            case,
+            stages=stages,
+            exact_limit=exact_limit,
+            bisect_limit=bisect_limit,
+            mutation_rounds=mutation_rounds,
+            cache=cache,
+        )
+        out["cases_run"] += 1
+        out["kind_counts"][case.kind] = (
+            out["kind_counts"].get(case.kind, 0) + 1
+        )
+        for st in result.stages_run:
+            if st not in result.skipped:
+                out["stage_counts"][st] = (
+                    out["stage_counts"].get(st, 0) + 1
+                )
+        if not result.ok:
+            out["failures"].append({
+                "index": i,
+                "case_id": case.case_id,
+                "seed": case.seed,
+                "kind": case.kind,
+                "layers": list(case.layers),
+                "network": network_to_doc(case.network),
+                "violations": [
+                    [v.invariant, v.stage, v.detail]
+                    for v in result.violations
+                ],
+                "stages_run": list(result.stages_run),
+                "skipped": list(result.skipped),
+            })
+            if (
+                max_failures is not None
+                and len(out["failures"]) >= max_failures
+            ):
+                break
+    out["counters"] = (
+        obs.registry().snapshot()["counters"] if observe else {}
+    )
+    return out
+
+
+def _run_fuzz_parallel(
+    report: FuzzReport,
+    workers: int,
+    payload_base: tuple,
+    max_failures: int | None,
+) -> None:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.batch.runner import _mp_context
+
+    payloads = [
+        (wid, workers) + payload_base for wid in range(workers)
+    ]
+    failures: list[tuple[int, CheckResult]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_mp_context()
+    ) as pool:
+        for out in pool.map(_fuzz_worker, payloads):
+            report.cases_run += out["cases_run"]
+            for k, v in out["kind_counts"].items():
+                report.kind_counts[k] = report.kind_counts.get(k, 0) + v
+            for k, v in out["stage_counts"].items():
+                report.stage_counts[k] = report.stage_counts.get(k, 0) + v
+            for doc in out["failures"]:
+                case = CheckCase(
+                    case_id=doc["case_id"],
+                    seed=doc["seed"],
+                    kind=doc["kind"],
+                    network=network_from_doc(doc["network"]),
+                    layers=tuple(doc["layers"]),
+                )
+                res = CheckResult(
+                    case=case,
+                    violations=[
+                        Violation(*v) for v in doc["violations"]
+                    ],
+                    stages_run=list(doc["stages_run"]),
+                    skipped=list(doc["skipped"]),
+                )
+                failures.append((doc["index"], res))
+            if out["counters"] and obs.enabled():
+                obs.registry().merge({"counters": out["counters"]})
+    failures.sort(key=lambda pair: pair[0])
+    report.failures = [res for _, res in failures]
+    if max_failures is not None:
+        report.failures = report.failures[:max_failures]
+
+
 def run_fuzz(
     seed: int = 0,
     budget: int = 100,
@@ -444,46 +602,70 @@ def run_fuzz(
     bisect_limit: int = 12,
     mutation_rounds: int = 2,
     max_failures: int | None = None,
+    workers: int = 1,
+    cache_dir=None,
 ) -> FuzzReport:
     """Generate ``budget`` cases and differential-check each one.
 
     ``max_failures`` stops the sweep early once that many failing
     cases have accumulated (the shrinker wants only a handful).
+
+    ``workers > 1`` fans the case stream across processes (case ``i``
+    goes to worker ``i % workers``) and merges failures by case index,
+    so with ``max_failures=None`` the report's cases, counts, and
+    failures are identical for every worker count.  With a failure cap
+    the parallel path caps per worker and truncates after the merge --
+    deterministic per worker count, but it may check more cases than a
+    serial early-stopped run.  ``cache_dir`` points every worker at a
+    shared layout cache, opened read-only in workers (a serial run
+    opens it read-write and populates it).
     """
     from repro.check.generate import KINDS
 
     report = FuzzReport(seed=seed, budget=budget)
     start = time.perf_counter()
-    with obs.span("fuzz.run", seed=seed, budget=budget):
-        for case in generate_cases(
-            seed,
-            budget,
-            layers=layers,
-            max_nodes=max_nodes,
-            kinds=kinds or KINDS,
-        ):
-            result = check_case(
-                case,
-                stages=stages,
-                exact_limit=exact_limit,
-                bisect_limit=bisect_limit,
-                mutation_rounds=mutation_rounds,
+    with obs.span(
+        "fuzz.run", seed=seed, budget=budget, workers=workers
+    ):
+        if workers > 1:
+            _run_fuzz_parallel(
+                report,
+                workers,
+                (
+                    seed, budget, layers, max_nodes, stages,
+                    kinds or KINDS, exact_limit, bisect_limit,
+                    mutation_rounds, max_failures,
+                    None if cache_dir is None else str(cache_dir),
+                    obs.enabled(),
+                ),
+                max_failures,
             )
-            report.cases_run += 1
-            report.kind_counts[case.kind] = (
-                report.kind_counts.get(case.kind, 0) + 1
+        else:
+            cache = (
+                LayoutCache(cache_dir) if cache_dir is not None else None
             )
-            for st in result.stages_run:
-                if st not in result.skipped:
-                    report.stage_counts[st] = (
-                        report.stage_counts.get(st, 0) + 1
-                    )
-            if not result.ok:
-                report.failures.append(result)
-                if (
-                    max_failures is not None
-                    and len(report.failures) >= max_failures
-                ):
-                    break
+            for case in generate_cases(
+                seed,
+                budget,
+                layers=layers,
+                max_nodes=max_nodes,
+                kinds=kinds or KINDS,
+            ):
+                result = check_case(
+                    case,
+                    stages=stages,
+                    exact_limit=exact_limit,
+                    bisect_limit=bisect_limit,
+                    mutation_rounds=mutation_rounds,
+                    cache=cache,
+                )
+                _tally(report, case, result)
+                if not result.ok:
+                    report.failures.append(result)
+                    if (
+                        max_failures is not None
+                        and len(report.failures) >= max_failures
+                    ):
+                        break
     report.elapsed_s = time.perf_counter() - start
     return report

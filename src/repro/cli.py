@@ -4,6 +4,9 @@ Commands
 --------
 layout   build a layout for a named network, print metrics, optionally
          validate and write SVG/JSON
+sweep    expand a declarative sweep (families x sizes x L x scheme)
+         into jobs, run them across worker processes backed by a
+         content-addressed layout cache, tabulate the merged result
 zoo      lay out the whole network zoo at a given L and tabulate
 figures  regenerate the paper's collinear figures as ASCII
 predict  print the paper's closed-form predictions for a family
@@ -33,6 +36,8 @@ import argparse
 import sys
 
 from repro import obs
+from repro.batch.spec import FAMILIES as _FAMILIES
+from repro.batch.spec import SCHEMES, dispatch_scheme, parse_network
 from repro.bench.harness import print_table
 from repro.core import layout_network, measure, paper_prediction
 from repro.core.schemes import layout_cayley
@@ -44,14 +49,11 @@ from repro.topology import (
     CompleteGraph,
     CubeConnectedCycles,
     DeBruijn,
-    EnhancedCube,
     FoldedHypercube,
     GeneralizedHypercube,
     Hypercube,
     IndirectSwapNetwork,
     KAryNCube,
-    KAryNCubeCluster,
-    Mesh,
     ReducedHypercube,
     Ring,
     ShuffleExchange,
@@ -62,45 +64,6 @@ from repro.topology import (
 from repro.viz import ascii_collinear, svg_layout
 
 __all__ = ["main", "parse_network"]
-
-_FAMILIES = {
-    "ring": lambda k: Ring(k),
-    "mesh": lambda k, n: Mesh(k, n),
-    "kary": lambda k, n: KAryNCube(k, n),
-    "hypercube": lambda n: Hypercube(n),
-    "folded-hypercube": lambda n: FoldedHypercube(n),
-    "enhanced-cube": lambda n: EnhancedCube(n),
-    "complete": lambda n: CompleteGraph(n),
-    "ghc": lambda *rs: GeneralizedHypercube(rs),
-    "butterfly": lambda m: Butterfly(m),
-    "isn": lambda m: IndirectSwapNetwork(m),
-    "ccc": lambda n: CubeConnectedCycles(n),
-    "reduced-hypercube": lambda n: ReducedHypercube(n),
-    "hsn": lambda r, l: HSN(CompleteGraph(r), l),
-    "hhn": lambda d, l: HSN(Hypercube(d), l),
-    "kary-cluster": lambda k, n, c: KAryNCubeCluster(k, n, c),
-    "star": lambda n: StarGraph(n),
-    "wrapped-butterfly": lambda m: WrappedButterfly(m),
-    "shuffle-exchange": lambda n: ShuffleExchange(n),
-    "de-bruijn": lambda n: DeBruijn(n),
-    "scc": lambda n: StarConnectedCycles(n),
-}
-
-
-def parse_network(spec: str):
-    """Parse ``family:arg,arg`` into a Network instance."""
-    family, _, argstr = spec.partition(":")
-    family = family.strip().lower()
-    if family not in _FAMILIES:
-        raise SystemExit(
-            f"unknown network family {family!r}; known: "
-            f"{', '.join(sorted(_FAMILIES))}"
-        )
-    try:
-        args = [int(a) for a in argstr.split(",") if a.strip() != ""]
-        return _FAMILIES[family](*args)
-    except (TypeError, ValueError) as exc:
-        raise SystemExit(f"bad arguments for {family!r}: {exc}") from exc
 
 
 def _cmd_layout(args) -> int:
@@ -142,13 +105,7 @@ def _zoo_networks() -> list:
 
 
 def _zoo_dispatch(net, layers: int):
-    from repro.core.schemes import layout_generic_grid
-
-    if isinstance(net, (ShuffleExchange, DeBruijn)):
-        return layout_generic_grid(net, layers=layers, optimize=True)
-    if isinstance(net, StarGraph):
-        return layout_cayley(net, layers=layers)
-    return layout_network(net, layers=layers)
+    return dispatch_scheme(net, layers=layers, scheme="auto")
 
 
 def _cmd_zoo(args) -> int:
@@ -163,6 +120,57 @@ def _cmd_zoo(args) -> int:
         ["network", "N", "area", "volume", "max wire"],
         rows,
     )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import json as _json
+
+    from repro.batch import SweepRunner, SweepSpec, standard_family_sweep
+
+    if args.spec_file:
+        spec = SweepSpec.from_file(args.spec_file)
+    elif args.networks:
+        spec = SweepSpec(
+            networks=list(args.networks),
+            layers=list(args.layers),
+            scheme=args.scheme,
+        )
+    else:
+        spec = standard_family_sweep(tuple(args.layers))
+        spec.scheme = args.scheme
+    runner = SweepRunner(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        validate=args.validate,
+    )
+    res = runner.run(spec)
+    rows = [
+        [
+            r.network, r.scheme, r.layers, r.num_nodes, r.num_edges,
+            r.metrics.get("area"), r.metrics.get("volume"),
+            r.metrics.get("max_wire"), r.source,
+            f"{r.elapsed_s * 1e3:.1f}",
+        ]
+        for r in res.results
+    ]
+    print_table(
+        f"sweep {spec.name!r}: {res.jobs} job(s), "
+        f"{res.workers} worker(s), {res.elapsed_s:.2f}s",
+        ["network", "scheme", "L", "N", "links", "area", "volume",
+         "max wire", "source", "ms"],
+        rows,
+    )
+    if args.cache_dir:
+        st = res.cache_stats
+        print(
+            f"cache: {st.hits} hit(s), {st.misses} miss(es), "
+            f"{st.writes} write(s), {st.corrupt} corrupt"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(res.as_dict(), fh, indent=2)
+        print(f"sweep result written to {args.json}")
     return 0
 
 
@@ -351,6 +359,8 @@ def _cmd_fuzz(args) -> int:
         stages=stages,
         kinds=kinds,
         max_failures=args.max_failures,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     stage_cols = list(stages or STAGES)
     print_table(
@@ -417,6 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", "-L", type=int, default=4)
     p.set_defaults(fn=_cmd_zoo)
 
+    p = add_parser(
+        "sweep",
+        help="run a declarative sweep with workers and a layout cache",
+    )
+    p.add_argument(
+        "--networks", nargs="*", metavar="SPEC",
+        help="family:args specs to sweep (default: the standard "
+        "family sweep)",
+    )
+    p.add_argument(
+        "--spec-file", metavar="FILE",
+        help="load the sweep spec from a JSON file instead",
+    )
+    p.add_argument("--layers", "-L", type=int, nargs="*", default=[2, 4],
+                   help="layer budgets to sweep (default: 2 4)")
+    p.add_argument("--scheme", default="auto", choices=list(SCHEMES),
+                   help="layout scheme for every job (default: auto)")
+    p.add_argument("--workers", "-j", type=int, default=1,
+                   help="worker processes (default: 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed layout cache directory")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the full sweep result as JSON to FILE")
+    p.add_argument("--no-validate", dest="validate", action="store_false",
+                   help="skip layout validation on cache misses")
+    p.set_defaults(fn=_cmd_sweep)
+
     p = add_parser("figures", help="print the paper's figures (ASCII)")
     p.set_defaults(fn=_cmd_figures)
 
@@ -476,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict to these case generators")
     p.add_argument("--max-failures", type=int, default=None,
                    help="stop after this many failing cases")
+    p.add_argument("--workers", "-j", type=int, default=1,
+                   help="fan cases across worker processes (default: 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="shared layout cache (read-only in workers)")
     p.add_argument("--corpus-dir", metavar="DIR",
                    help="save shrunk counterexamples into DIR")
     p.add_argument("--no-shrink", dest="shrink", action="store_false",
@@ -499,6 +540,7 @@ def main(argv: list[str] | None = None) -> int:
             print("\n== span tree ==")
             print(obs.format_span_tree())
         if report_path:
+            layers = getattr(args, "layers", None)
             rep = obs.collect_report(
                 args.command,
                 spec={
@@ -507,7 +549,9 @@ def main(argv: list[str] | None = None) -> int:
                     if k not in ("fn", "trace", "report")
                     and isinstance(v, (str, int, float, bool, type(None)))
                 },
-                layers=getattr(args, "layers", None),
+                # sweep takes a *list* of layer budgets; the report
+                # schema wants one int (or null).
+                layers=layers if isinstance(layers, int) else None,
                 command=list(argv) if argv is not None else sys.argv[1:],
             )
             rep.write(report_path)

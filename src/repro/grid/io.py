@@ -16,14 +16,27 @@ from repro.grid.layout import GridLayout
 from repro.grid.wire import Wire
 
 __all__ = [
+    "FORMAT_VERSION",
     "layout_to_json",
     "layout_from_json",
     "dump_layout",
     "load_layout",
     "clone_layout",
+    "encode_label",
+    "decode_label",
+    "canonical_json",
 ]
 
 FORMAT_VERSION = 1
+
+
+def canonical_json(doc) -> str:
+    """The canonical JSON form of ``doc``: sorted keys, no whitespace.
+
+    The one serialization the content-addressed cache hashes, so two
+    structurally equal documents always produce the same key.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
 def _encode_label(label: Hashable):
@@ -55,6 +68,14 @@ def _decode_edge_key(obj):
     if isinstance(obj, dict) and set(obj) == {"r"}:
         return obj["r"]
     return _decode_label(obj)
+
+
+# Public names for the label codec: the content-addressed cache and
+# the fuzzer's counterexample corpus both fingerprint networks with
+# exactly the encoding layouts serialize labels with, so key documents
+# stay comparable to stored layouts across format versions.
+encode_label = _encode_label
+decode_label = _decode_label
 
 
 def layout_to_json(layout: GridLayout) -> str:

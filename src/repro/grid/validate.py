@@ -219,44 +219,67 @@ def _check_via_occupancy(layout: GridLayout) -> None:
     """
     import bisect
 
-    # Index spans per (orientation, layer, line-coordinate).
+    # Collect the z-runs first: most layouts have few (or no) vias
+    # spanning interior layers, and the line index below only needs
+    # the layers those interiors touch.
+    runs: list[tuple[int, Wire, tuple[int, int], int, int]] = []
+    interior_layers: set[int] = set()
+    for wi, w in enumerate(layout.wires):
+        for pt, zlo, zhi in w.z_occupancy():
+            if zhi - zlo >= 2:
+                runs.append((wi, w, pt, zlo, zhi))
+                interior_layers.update(range(zlo + 1, zhi))
+    if not runs:
+        return
+
+    # Index spans per (orientation, layer, line-coordinate), restricted
+    # to the layers some via interior crosses.
     lines: dict[tuple, list[tuple[int, int, int]]] = defaultdict(list)
     for wi, w in enumerate(layout.wires):
         for s in w.segments:
-            lo, hi = s.span
-            lines[s.line].append((lo, hi, wi))
-    for spans in lines.values():
+            if s.layer in interior_layers:
+                lo, hi = s.span
+                lines[s.line].append((lo, hi, wi))
+    index: dict[tuple, tuple[list[int], list[int]]] = {}
+    for key, spans in lines.items():
         spans.sort()
-    starts: dict[tuple, list[int]] = {
-        key: [lo for lo, _, _ in spans] for key, spans in lines.items()
-    }
+        prefix_max_hi: list[int] = []
+        top = spans[0][1]
+        for _, hi, _ in spans:
+            if hi > top:
+                top = hi
+            prefix_max_hi.append(top)
+        index[key] = ([lo for lo, _, _ in spans], prefix_max_hi)
 
     def segment_covers(key: tuple, coord: int, self_wire: int) -> int | None:
         spans = lines.get(key)
         if not spans:
             return None
-        i = bisect.bisect_right(starts[key], coord)
-        for lo, hi, wi in spans[max(0, i - 3): i]:
-            if lo <= coord <= hi and wi != self_wire:
-                # Exclude pure endpoint touching: that is a crossing.
-                if lo < coord < hi:
-                    return wi
+        starts, prefix_max_hi = index[key]
+        # Walk candidates with lo <= coord from the right; once the
+        # prefix's max hi drops to coord, nothing earlier can reach it.
+        i = bisect.bisect_right(starts, coord) - 1
+        while i >= 0 and prefix_max_hi[i] > coord:
+            lo, hi, wi = spans[i]
+            # Exclude pure endpoint touching: that is a crossing.
+            if lo < coord < hi and wi != self_wire:
+                return wi
+            i -= 1
         return None
 
-    for wi, w in enumerate(layout.wires):
-        for pt, zlo, zhi in w.z_occupancy():
-            for layer in range(zlo + 1, zhi):
-                x, y = pt
-                hit = segment_covers(("h", layer, y), x, wi)
-                if hit is None:
-                    hit = segment_covers(("v", layer, x), y, wi)
-                if hit is not None:
-                    other = layout.wires[hit]
-                    raise LayoutError(
-                        f"via of wire {w.u}-{w.v} at {pt} (layers "
-                        f"{zlo}-{zhi}) is pierced on layer {layer} by "
-                        f"wire {other.u}-{other.v}"
-                    )
+    for wi, w, pt, zlo, zhi in runs:
+        for layer in range(zlo + 1, zhi):
+            x, y = pt
+            hit = segment_covers(("h", layer, y), x, wi)
+            if hit is None:
+                hit = segment_covers(("v", layer, x), y, wi)
+            if hit is not None:
+                other = layout.wires[hit]
+                raise LayoutError(
+                    f"via of wire {w.u}-{w.v} at {pt} (layers "
+                    f"{zlo}-{zhi}) is pierced on layer {layer} by "
+                    f"wire {other.u}-{other.v}"
+                )
 
 
 def _check_node_interference(layout: GridLayout) -> None:
@@ -289,26 +312,49 @@ def _check_node_interference(layout: GridLayout) -> None:
             active.append(p)
 
     # Wire segments may not pass through the open interior of a node
-    # on the segment's own layer.
-    for layer, placements in by_layer.items():
-        rects = [(p.rect, p.node) for p in placements]
-        rects.sort(key=lambda rn: rn[0].x0)
-        xs = [r.x0 for r, _ in rects]
-        for w in layout.wires:
-            for s in w.segments:
-                if s.layer != layer:
-                    continue
-                lo_x = s.x1
-                hi_x = s.x2
-                i = bisect.bisect_right(xs, hi_x)
-                for r, node in rects[:i]:
-                    if r.x1 < lo_x:
-                        continue
+    # on the segment's own layer.  This is the validator's hottest
+    # sweep, so it prunes hard: segments are bucketed by layer once
+    # (not rescanned per layer), and each layer's node rects are
+    # grouped into y-bands -- same (y0, y1) extent -- inside which
+    # interior-disjointness makes the x-intervals non-overlapping and
+    # sorted, so a bisect plus a bounded backward walk visits only
+    # rects whose x- and y-ranges genuinely overlap the segment's.
+    segments_by_layer: dict[int, list[tuple]] = defaultdict(list)
+    for w in layout.wires:
+        for s in w.segments:
+            if s.layer in by_layer:
+                segments_by_layer[s.layer].append((s, w))
+
+    for layer, segs in segments_by_layer.items():
+        banded: dict[tuple[int, int], list] = defaultdict(list)
+        for p in by_layer[layer]:
+            # Zero-extent rects have no interior to cross, and (being
+            # exempt from disjointness) would break the sorted-x1
+            # invariant the backward walk relies on.
+            if p.rect.w and p.rect.h:
+                banded[(p.rect.y0, p.rect.y1)].append(p)
+        bands = []
+        for (y0, y1), ps in banded.items():
+            ps.sort(key=lambda p: p.rect.x0)
+            bands.append((y0, y1, [p.rect.x0 for p in ps], ps))
+        for s, w in segs:
+            sx_lo, sx_hi = (s.x1, s.x2) if s.x1 <= s.x2 else (s.x2, s.x1)
+            sy_lo, sy_hi = (s.y1, s.y2) if s.y1 <= s.y2 else (s.y2, s.y1)
+            for y0, y1, xs, ps in bands:
+                if sy_hi <= y0 or sy_lo >= y1:
+                    continue  # no strictly interior y in this band
+                i = bisect.bisect_left(xs, sx_hi) - 1
+                while i >= 0:
+                    p = ps[i]
+                    r = p.rect
+                    if r.x1 <= sx_lo:
+                        break  # x1 sorted within the band: done
                     if r.segment_crosses_interior(s):
                         raise LayoutError(
                             f"wire {w.u}-{w.v} crosses interior of node "
-                            f"{node!r} at {r}: segment {s}"
+                            f"{p.node!r} at {r}: segment {s}"
                         )
+                    i -= 1
 
 
 def _check_pins(layout: GridLayout) -> None:

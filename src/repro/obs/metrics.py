@@ -148,6 +148,19 @@ class MetricsRegistry:
                 },
             }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the incoming value (last-write-wins,
+        matching :meth:`Gauge.set`).  Histogram summaries are not
+        refoldable from their dict form and are ignored; the sweep
+        workers that use this only emit counters.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()

@@ -1,0 +1,168 @@
+"""Content-addressed layout cache: keys, round-trips, corruption."""
+
+import json
+
+import pytest
+
+from repro.batch.cache import (
+    CACHE_SCHEMA_VERSION,
+    LayoutCache,
+    cache_key,
+    network_fingerprint,
+)
+from repro.core.metrics import measure
+from repro.core.schemes import layout_network
+from repro.grid.io import layout_to_json
+from repro.topology import Hypercube, Ring
+from repro.topology.base import build_network
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return LayoutCache(tmp_path / "cache")
+
+
+def _store(cache, net, *, scheme="auto", layers=2, params=None):
+    lay = layout_network(net, layers=layers)
+    payload = layout_to_json(lay)
+    metrics = measure(lay).as_dict()
+    key, doc = cache.key_for(net, scheme=scheme, layers=layers, params=params)
+    cache.put(key, doc, payload, metrics)
+    return key, doc, payload, metrics
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, cache):
+        net = Ring(6)
+        k1, d1 = cache.key_for(net, scheme="auto", layers=2)
+        k2, d2 = cache.key_for(Ring(6), scheme="auto", layers=2)
+        assert k1 == k2 and d1 == d2
+
+    def test_key_changes_with_every_input(self, cache):
+        net = Ring(6)
+        base, _ = cache.key_for(net, scheme="auto", layers=2)
+        variants = [
+            cache.key_for(net, scheme="generic", layers=2)[0],
+            cache.key_for(net, scheme="auto", layers=4)[0],
+            cache.key_for(net, scheme="auto", layers=2,
+                          params={"x": 1})[0],
+            cache.key_for(Ring(7), scheme="auto", layers=2)[0],
+        ]
+        assert len({base, *variants}) == 5
+
+    def test_key_changes_when_format_version_bumps(self, cache, monkeypatch):
+        from repro.batch import cache as mod
+
+        net = Ring(6)
+        before, _ = cache.key_for(net, scheme="auto", layers=2)
+        monkeypatch.setattr(mod, "FORMAT_VERSION", mod.FORMAT_VERSION + 1)
+        bumped_fmt, _ = cache.key_for(net, scheme="auto", layers=2)
+        monkeypatch.setattr(mod, "FORMAT_VERSION", mod.FORMAT_VERSION - 1)
+        monkeypatch.setattr(
+            mod, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        bumped_schema, _ = cache.key_for(net, scheme="auto", layers=2)
+        assert len({before, bumped_fmt, bumped_schema}) == 3
+
+    def test_fingerprint_preserves_structure_order_and_name(self):
+        a = build_network([0, 1, 2], [(0, 1), (1, 2)], "a")
+        b = build_network([0, 1, 2], [(1, 2), (0, 1)], "a")  # edge order
+        c = build_network([0, 1, 2], [(0, 1), (1, 2)], "c")  # name
+        fps = [network_fingerprint(n) for n in (a, b, c)]
+        assert len({cache_key(fp) for fp in fps}) == 3
+
+    def test_same_structure_same_fingerprint_across_doors(self):
+        """A graph rebuilt from the same node/edge stream fingerprints
+        identically, whatever code path constructed it."""
+        net = Hypercube(3)
+        clone = build_network(net.nodes, net.edges, net.name)
+        assert network_fingerprint(net) == network_fingerprint(clone)
+
+
+class TestRoundTrip:
+    def test_cold_build_vs_cache_hit_byte_identical(self, cache):
+        net = Hypercube(3)
+        key, doc, payload, metrics = _store(cache, net)
+        entry = cache.get(key, doc)
+        assert entry is not None
+        assert entry.layout_json == payload  # byte-identical payload
+        assert entry.metrics == metrics
+        assert layout_to_json(entry.layout()) == payload
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_miss_on_absent_key(self, cache):
+        key, doc = cache.key_for(Ring(5), scheme="auto", layers=2)
+        assert cache.get(key, doc) is None
+        assert cache.stats.misses == 1
+
+    def test_metrics_optional(self, cache):
+        net = Ring(5)
+        lay = layout_network(net, layers=2)
+        key, doc = cache.key_for(net, scheme="auto", layers=2)
+        cache.put(key, doc, layout_to_json(lay))
+        entry = cache.get(key, doc)
+        assert entry is not None and entry.metrics is None
+
+
+class TestCorruption:
+    def _entry_path(self, cache, key):
+        return cache.root / key[:2] / f"{key}.json"
+
+    def test_truncated_entry_detected_and_rebuilt(self, cache):
+        net = Ring(6)
+        key, doc, payload, _ = _store(cache, net)
+        path = self._entry_path(cache, key)
+        path.write_text(path.read_text()[: len(payload) // 2])
+        assert cache.get(key, doc) is None  # miss, not garbage
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # quarantined
+        _store(cache, net)  # rebuild repopulates
+        assert cache.get(key, doc).layout_json == payload
+
+    def test_bitflip_in_payload_detected(self, cache):
+        net = Ring(6)
+        key, doc, payload, _ = _store(cache, net)
+        path = self._entry_path(cache, key)
+        stored = json.loads(path.read_text())
+        stored["layout"] = stored["layout"].replace('"layers": 2', '"layers": 3')
+        path.write_text(json.dumps(stored))  # digest now stale
+        assert cache.get(key, doc) is None
+        assert cache.stats.corrupt == 1
+
+    def test_key_document_mismatch_is_a_miss(self, cache):
+        """A swapped file (right digest, wrong key doc) is not trusted."""
+        net = Ring(6)
+        key, doc, _, _ = _store(cache, net)
+        other_key, other_doc = cache.key_for(
+            Ring(7), scheme="auto", layers=2
+        )
+        path = self._entry_path(cache, key)
+        swapped = self._entry_path(cache, other_key)
+        swapped.parent.mkdir(parents=True, exist_ok=True)
+        swapped.write_text(path.read_text())
+        assert cache.get(other_key, other_doc) is None
+        assert cache.stats.corrupt == 1
+
+    def test_non_dict_entry_is_corrupt(self, cache):
+        key, doc = cache.key_for(Ring(5), scheme="auto", layers=2)
+        path = self._entry_path(cache, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        assert cache.get(key, doc) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestReadonly:
+    def test_readonly_never_writes_or_deletes(self, tmp_path):
+        rw = LayoutCache(tmp_path / "c")
+        net = Ring(6)
+        key, doc, payload, metrics = _store(rw, net)
+        ro = LayoutCache(tmp_path / "c", readonly=True)
+        assert ro.get(key, doc).layout_json == payload
+        assert ro.put(key, doc, payload, metrics) is False
+        # Corrupt the entry: readonly detects but must not unlink.
+        path = rw.root / key[:2] / f"{key}.json"
+        path.write_text("not json")
+        assert ro.get(key, doc) is None
+        assert path.exists()
+        assert ro.stats.writes == 0

@@ -1,0 +1,185 @@
+"""Sweep engine: expansion, determinism, worker fan-out, CLI, fuzz."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    LayoutCache,
+    SweepRunner,
+    SweepSpec,
+    dispatch_scheme,
+    standard_family_sweep,
+)
+from repro.batch.spec import parse_network
+from repro.cli import main
+
+SPEC = SweepSpec(
+    networks=["ring:8", "hypercube:3", "star:3", "complete:5"],
+    layers=[2, 4],
+    name="test",
+)
+
+
+class TestSpec:
+    def test_expand_is_deterministic_and_ordered(self):
+        jobs = SPEC.expand()
+        assert [j.index for j in jobs] == list(range(8))
+        assert jobs == SPEC.expand()
+        assert [j.job_id for j in jobs[:3]] == [
+            "ring:8@L2/auto", "ring:8@L4/auto", "hypercube:3@L2/auto",
+        ]
+
+    def test_roundtrip_through_dict(self):
+        assert SweepSpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            SweepSpec(networks=["ring:4"], scheme="nope")
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            SweepSpec.from_dict({"networks": [], "extra": 1})
+
+    def test_standard_sweep_is_nontrivial(self):
+        jobs = standard_family_sweep().expand()
+        assert len(jobs) >= 8  # the multi-worker benchmark's floor
+        for job in jobs:
+            job.build_network()  # every spec parses
+
+    def test_parse_network_errors(self):
+        with pytest.raises(SystemExit, match="unknown network family"):
+            parse_network("klein-bottle:4")
+        with pytest.raises(SystemExit, match="bad arguments"):
+            parse_network("hypercube:2,2,2")
+
+    def test_dispatch_scheme_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            dispatch_scheme(parse_network("ring:4"), layers=2, scheme="x")
+
+
+class TestRunner:
+    def test_serial_vs_parallel_identical_merge(self, tmp_path):
+        serial = SweepRunner(workers=1).run(SPEC)
+        for w in (2, 4):
+            par = SweepRunner(workers=w).run(SPEC)
+            assert par.rows() == serial.rows()
+            assert par.workers == w
+
+    def test_second_run_hits_everything(self, tmp_path):
+        cdir = tmp_path / "cache"
+        cold = SweepRunner(cache_dir=cdir).run(SPEC)
+        warm = SweepRunner(cache_dir=cdir).run(SPEC)
+        assert cold.rows() == warm.rows()
+        assert all(r.source == "built" for r in cold.results)
+        assert all(r.source == "cache" for r in warm.results)
+        assert warm.cache_stats.hits == len(SPEC.expand())
+        assert warm.cache_stats.misses == warm.cache_stats.writes == 0
+
+    def test_parallel_cold_then_parallel_warm(self, tmp_path):
+        cdir = tmp_path / "cache"
+        cold = SweepRunner(cache_dir=cdir, workers=3).run(SPEC)
+        warm = SweepRunner(cache_dir=cdir, workers=3).run(SPEC)
+        assert cold.rows() == warm.rows()
+        assert warm.cache_stats.hits == len(SPEC.expand())
+        assert all(r.source == "cache" for r in warm.results)
+
+    def test_readonly_runner_builds_but_never_writes(self, tmp_path):
+        cdir = tmp_path / "cache"
+        res = SweepRunner(cache_dir=cdir, cache_readonly=True).run(SPEC)
+        assert all(r.source == "built" for r in res.results)
+        assert res.cache_stats.writes == 0
+        assert not list(cdir.rglob("*.json")) if cdir.exists() else True
+
+    def test_cache_shared_across_worker_counts(self, tmp_path):
+        cdir = tmp_path / "cache"
+        SweepRunner(cache_dir=cdir, workers=2).run(SPEC)
+        warm = SweepRunner(cache_dir=cdir, workers=1).run(SPEC)
+        assert all(r.source == "cache" for r in warm.results)
+
+    def test_result_as_dict_is_json_ready(self):
+        res = SweepRunner().run(SweepSpec(networks=["ring:6"], layers=[2]))
+        doc = json.loads(json.dumps(res.as_dict()))
+        assert doc["jobs"] == 1
+        assert doc["results"][0]["metrics"]["N"] == 6
+
+
+class TestCLI:
+    def test_sweep_command_smoke(self, tmp_path, capsys):
+        cdir = tmp_path / "cache"
+        out_json = tmp_path / "sweep.json"
+        argv = [
+            "sweep", "--networks", "ring:8", "hypercube:3",
+            "--layers", "2", "--cache-dir", str(cdir),
+            "--json", str(out_json),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "built" in first and "2 miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache" in second and "2 hit(s)" in second
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro.sweep-result/v1"
+        assert doc["cache"]["hits"] == 2
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(
+            {"name": "fromfile", "networks": ["ring:6"], "layers": [2]}
+        ))
+        assert main(["sweep", "--spec-file", str(spec_file)]) == 0
+        assert "fromfile" in capsys.readouterr().out
+
+    def test_sweep_report_validates(self, tmp_path, capsys):
+        """Regression: sweep's list-valued --layers must not leak into
+        the run report's integer `layers` field."""
+        from repro.obs import validate_report
+
+        rpt = tmp_path / "run.json"
+        assert main([
+            "sweep", "--networks", "ring:6", "--layers", "2", "4",
+            "--report", str(rpt),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(rpt.read_text())
+        validate_report(doc)
+        assert doc["layers"] is None
+        assert doc["metrics"]["counters"]["sweep.jobs"] == 2
+
+    def test_fuzz_workers_flag(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--budget", "6", "--seed", "5", "--workers", "2",
+            "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        assert "fuzz: OK" in capsys.readouterr().out
+
+
+class TestFuzzParallel:
+    def test_worker_count_does_not_change_report(self):
+        from repro.check import run_fuzz
+
+        serial = run_fuzz(seed=11, budget=9, workers=1)
+        par = run_fuzz(seed=11, budget=9, workers=3)
+        assert par.cases_run == serial.cases_run
+        assert par.kind_counts == serial.kind_counts
+        assert par.stage_counts == serial.stage_counts
+        assert (
+            [(f.case.case_id, [str(v) for v in f.violations])
+             for f in par.failures]
+            == [(f.case.case_id, [str(v) for v in f.violations])
+                for f in serial.failures]
+        )
+
+    def test_workers_share_cache_readonly(self, tmp_path):
+        from repro.check import run_fuzz
+
+        cdir = tmp_path / "cache"
+        # Serial run populates; parallel workers may only read.
+        seeded = run_fuzz(seed=2, budget=6, workers=1, cache_dir=cdir)
+        entries = sorted(p.name for p in cdir.rglob("*.json"))
+        assert entries  # the serial run wrote layouts
+        par = run_fuzz(seed=2, budget=6, workers=2, cache_dir=cdir)
+        assert sorted(p.name for p in cdir.rglob("*.json")) == entries
+        assert par.cases_run == seeded.cases_run
+        assert par.violations == seeded.violations

@@ -8,7 +8,12 @@ from repro.collinear import (
     hypercube_tracks,
     kary_tracks,
 )
-from repro.collinear.cutwidth import exact_cutwidth, optimal_order
+from repro.collinear.cutwidth import (
+    DP_NODE_LIMIT,
+    cutwidth_certificate,
+    exact_cutwidth,
+    optimal_order,
+)
 from repro.topology import (
     CompleteGraph,
     GeneralizedHypercube,
@@ -69,6 +74,83 @@ class TestExactCutwidth:
 
     def test_tiny(self):
         assert exact_cutwidth(build_network([0], [], "dot")) == 0
+
+
+class TestCertificate:
+    def test_dense_graph_certificate_matches_dp(self):
+        """Regression: on K12 the certificate's profile recomputation
+        (diff array + prefix sum) must reproduce the DP value exactly.
+        The old per-edge gap walk is O(E * span) on dense graphs --
+        and any profile bug shows up here as a value mismatch."""
+        net = CompleteGraph(12)
+        cw, order = cutwidth_certificate(net)
+        assert cw == exact_cutwidth(net) == complete_graph_tracks(12)
+        assert sorted(map(repr, order)) == sorted(map(repr, net.nodes))
+        lay = collinear_layout(net.nodes, net.edges, order)
+        assert lay.num_tracks == cw
+
+    def test_certificate_on_multigraph(self):
+        net = build_network([0, 1, 2], [(0, 1), (0, 1), (1, 2)], "multi")
+        cw, order = cutwidth_certificate(net)
+        assert cw == exact_cutwidth(net) == 2
+
+    def test_certificate_empty(self):
+        assert cutwidth_certificate(build_network([], [], "void")) == (0, [])
+
+
+class TestNodeLimit:
+    """All exact-DP entry points share one documented cap."""
+
+    def test_default_limits_agree(self):
+        import inspect
+
+        from repro.collinear import cutwidth as mod
+
+        for fn in (exact_cutwidth, optimal_order, cutwidth_certificate):
+            sig = inspect.signature(fn)
+            assert sig.parameters["limit"].default == mod.DP_NODE_LIMIT
+
+    @pytest.mark.parametrize(
+        "fn,name",
+        [
+            (exact_cutwidth, "exact_cutwidth"),
+            (optimal_order, "optimal_order"),
+            (cutwidth_certificate, "cutwidth_certificate"),
+        ],
+    )
+    def test_over_limit_error_names_function_and_cap(self, fn, name):
+        net = Hypercube(5)  # 32 nodes > any sane limit
+        with pytest.raises(ValueError) as exc:
+            fn(net, limit=DP_NODE_LIMIT)
+        msg = str(exc.value)
+        assert name in msg
+        assert str(DP_NODE_LIMIT) in msg
+        assert "32" in msg
+
+    def test_at_limit_is_accepted(self):
+        net = build_network(range(4), [(i, i + 1) for i in range(3)], "p4")
+        assert exact_cutwidth(net, limit=4) == 1
+
+
+class TestFallbackAgreement:
+    """The pure-Python DP and the vectorized DP are interchangeable."""
+
+    @pytest.mark.parametrize(
+        "net",
+        [Ring(7), Hypercube(3), CompleteGraph(6), KAryNCube(3, 2),
+         build_network([0, 1, 2], [(0, 1), (0, 1), (1, 2)], "multi")],
+        ids=lambda n: n.name,
+    )
+    def test_python_fallback_matches(self, net, monkeypatch):
+        from repro.collinear import cutwidth as mod
+
+        reference = exact_cutwidth(net)
+        monkeypatch.setattr(mod, "_np", None)
+        assert exact_cutwidth(net) == reference
+        cw, order = cutwidth_certificate(net)
+        assert cw == reference
+        lay = collinear_layout(net.nodes, net.edges, order)
+        assert lay.num_tracks == reference
 
 
 class TestOptimalOrder:
