@@ -8,9 +8,40 @@ verbatim.
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import Callable, Sequence
 
-__all__ = ["print_table", "comparison_row", "format_table", "json_cell"]
+__all__ = [
+    "print_table",
+    "comparison_row",
+    "format_table",
+    "json_cell",
+    "timed_median",
+]
+
+
+def timed_median(
+    fn: Callable[[], object], *, repeats: int = 3, warmup: int = 1
+) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    ``warmup`` untimed calls run first, so caches (imports, lazy
+    geometry tables, JIT'd numpy ufunc dispatch) are hot and one
+    outlier interpreter pause cannot decide a timing gate.  Use for
+    steady-state cells; cold-cache cells must keep their own
+    single-sample timing, since a warmup call would defeat them.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:

@@ -176,6 +176,8 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_stats(args) -> int:
     """Run the zoo with tracing on; print the phase timing breakdown."""
+    if getattr(args, "mem", False):
+        return _cmd_stats_mem(args)
     obs.enable()
     nets = _zoo_networks()
     for net in nets:
@@ -201,6 +203,43 @@ def _cmd_stats(args) -> int:
         f"pipeline phase timings, zoo ({len(nets)} networks) "
         f"at L={args.layers}",
         ["phase", "calls", "total ms", "self ms", "self share"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_stats_mem(args) -> int:
+    """Layout-representation memory accounting over the zoo.
+
+    For each network: bytes held by the wire/placement object graph
+    versus the flat :class:`~repro.grid.table.WireTable`, and the
+    reduction ratio.  The E7h performance gate asserts the ratio on
+    the paper-scale 10-cube; this command is the interactive view.
+    """
+    from repro.grid.table import HAVE_NUMPY, object_graph_bytes
+
+    rows = []
+    tot_obj = tot_tab = 0
+    for net in _zoo_networks():
+        lay = _zoo_dispatch(net, args.layers)
+        table = lay.wire_table()
+        obj = object_graph_bytes(lay)
+        tab = table.nbytes()
+        tot_obj += obj
+        tot_tab += tab
+        rows.append([
+            net.name, net.num_nodes, len(lay.wires), table.num_segments,
+            f"{obj:,}", f"{tab:,}", f"{obj / tab:.1f}x",
+        ])
+    rows.append([
+        "TOTAL", None, None, None,
+        f"{tot_obj:,}", f"{tot_tab:,}", f"{tot_obj / tot_tab:.1f}x",
+    ])
+    print_table(
+        f"layout representation memory, zoo at L={args.layers} "
+        f"(WireTable backend: {'numpy' if HAVE_NUMPY else 'fallback'})",
+        ["network", "N", "wires", "segments", "object graph B",
+         "wire table B", "reduction"],
         rows,
     )
     return 0
@@ -409,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="FILE",
         help="write a machine-readable JSON run report to FILE",
     )
+    common.add_argument(
+        "--profile", metavar="FILE",
+        help="run the command under cProfile and dump pstats to FILE",
+    )
 
     def add_parser(name, **kw):
         return sub.add_parser(name, parents=[common], **kw)
@@ -495,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the zoo pipeline and print phase timings",
     )
     p.add_argument("--layers", "-L", type=int, default=4)
+    p.add_argument(
+        "--mem", action="store_true",
+        help="report layout memory instead: object graph vs geometry "
+        "table bytes for every zoo network",
+    )
     p.set_defaults(fn=_cmd_stats)
 
     from repro.check.differential import STAGES as _STAGES
@@ -530,12 +578,24 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     trace = getattr(args, "trace", False)
     report_path = getattr(args, "report", None)
+    profile_path = getattr(args, "profile", None)
     observing = trace or report_path or args.command == "stats"
     if observing:
         obs.reset()
         obs.enable()
+    profiler = None
+    if profile_path:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         rc = args.fn(args)
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+            profiler = None
+            print(f"profile written to {profile_path}")
         if trace:
             print("\n== span tree ==")
             print(obs.format_span_tree())
@@ -546,7 +606,7 @@ def main(argv: list[str] | None = None) -> int:
                 spec={
                     k: v
                     for k, v in vars(args).items()
-                    if k not in ("fn", "trace", "report")
+                    if k not in ("fn", "trace", "report", "profile")
                     and isinstance(v, (str, int, float, bool, type(None)))
                 },
                 # sweep takes a *list* of layer budgets; the report
@@ -557,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
             rep.write(report_path)
             print(f"run report written to {report_path}")
     finally:
+        if profiler is not None:
+            profiler.disable()
         if observing:
             obs.disable()
     return rc

@@ -58,13 +58,14 @@ def wire_length_weights(layout: GridLayout) -> dict[Hashable, list[tuple[Hashabl
     Parallel wires keep the shortest routed length per node pair.
     """
     adj: dict[Hashable, dict[Hashable, int]] = {}
-    for w in layout.wires:
+    lengths = layout.wire_table().wire_lengths()
+    for w, wlen in zip(layout.wires, lengths):
         best = adj.setdefault(w.u, {})
-        if w.v not in best or w.length < best[w.v]:
-            best[w.v] = w.length
+        if w.v not in best or wlen < best[w.v]:
+            best[w.v] = wlen
         best2 = adj.setdefault(w.v, {})
-        if w.u not in best2 or w.length < best2[w.u]:
-            best2[w.u] = w.length
+        if w.u not in best2 or wlen < best2[w.u]:
+            best2[w.u] = wlen
     return {u: list(nbrs.items()) for u, nbrs in adj.items()}
 
 

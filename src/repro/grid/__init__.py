@@ -23,6 +23,7 @@ Public surface:
 
 from repro.grid.geometry import Point, Rect, Segment
 from repro.grid.layout import GridLayout, Placement
+from repro.grid.table import WireTable
 from repro.grid.tracks import Interval, max_overlap, pack_intervals
 from repro.grid.validate import LayoutError, validate_layout
 from repro.grid.wire import Wire
@@ -36,6 +37,7 @@ __all__ = [
     "GridLayout",
     "LayoutError",
     "validate_layout",
+    "WireTable",
     "Interval",
     "pack_intervals",
     "max_overlap",

@@ -79,7 +79,16 @@ decode_label = _decode_label
 
 
 def layout_to_json(layout: GridLayout) -> str:
-    """Serialize a layout to a JSON string."""
+    """Serialize a layout to a JSON string.
+
+    Segment rows come from the layout's cached
+    :class:`~repro.grid.table.WireTable` -- the arrays store segments
+    in exactly the per-wire order the object path would serialize, so
+    the emitted JSON is byte-identical to walking ``w.segments``.
+    """
+    table = layout.wire_table()
+    seg_rows = table.segment_rows()
+    starts = table.wire_seg_start
     doc = {
         "format": FORMAT_VERSION,
         "layers": layout.layers,
@@ -97,12 +106,10 @@ def layout_to_json(layout: GridLayout) -> str:
                 "u": _encode_label(w.u),
                 "v": _encode_label(w.v),
                 "edge_key": _encode_edge_key(w.edge_key),
-                "segments": [
-                    [s.x1, s.y1, s.x2, s.y2, s.layer] for s in w.segments
-                ],
+                "segments": seg_rows[int(starts[wi]):int(starts[wi + 1])],
                 **({"riser": list(w.riser)} if w.riser is not None else {}),
             }
-            for w in layout.wires
+            for wi, w in enumerate(layout.wires)
         ],
     }
     return json.dumps(doc)

@@ -4,6 +4,11 @@ A layout's *area* is the area of the smallest upright rectangle
 containing all nodes and wires (Section 2.2); its *volume* is
 ``layers * area``.  Both are exact integer quantities here, since the
 model is the paper's own grid model rather than a physical substrate.
+
+Measurement methods route through the layout's cached
+:class:`~repro.grid.table.WireTable` -- a structure-of-arrays flattening
+of the wire geometry built once per layout (see :meth:`GridLayout.wire_table`
+for the cache-invalidation rule).
 """
 
 from __future__ import annotations
@@ -51,6 +56,8 @@ class GridLayout:
     placements: dict[Hashable, Placement] = field(default_factory=dict)
     wires: list[Wire] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    _table: object = field(default=None, repr=False, compare=False)
+    _table_stamp: tuple = field(default=(), repr=False, compare=False)
 
     # -- construction ---------------------------------------------------
 
@@ -62,23 +69,40 @@ class GridLayout:
     def add_wire(self, wire: Wire) -> None:
         self.wires.append(wire)
 
+    # -- geometry kernel ------------------------------------------------
+
+    def wire_table(self):
+        """The layout's structure-of-arrays geometry kernel, cached.
+
+        The cache is validated against an identity stamp (placement
+        count + the ``id()`` of every wire), so appending a wire,
+        placing a node, or replacing a wire object rebuilds the table;
+        transforms that construct new layouts (``clone_layout``,
+        folding, 3-D stacking) get fresh tables for free.  Mutating a
+        ``Wire``'s own ``segments`` list in place is not detected --
+        wires are immutable by convention; replace them instead.
+        """
+        from repro.grid.table import WireTable
+
+        stamp = (len(self.placements), tuple(map(id, self.wires)))
+        if self._table is None or self._table_stamp != stamp:
+            self._table = WireTable.from_layout(self)
+            self._table_stamp = stamp
+        return self._table
+
+    def invalidate_table(self) -> None:
+        """Drop the cached :class:`WireTable` (rebuilt on next use)."""
+        self._table = None
+        self._table_stamp = ()
+
     # -- measurement ----------------------------------------------------
 
     def bounding_box(self) -> Rect:
         """Smallest upright rectangle containing all nodes and wires."""
-        xs: list[int] = []
-        ys: list[int] = []
-        for p in self.placements.values():
-            xs += [p.rect.x0, p.rect.x1]
-            ys += [p.rect.y0, p.rect.y1]
-        for w in self.wires:
-            for s in w.segments:
-                xs += [s.x1, s.x2]
-                ys += [s.y1, s.y2]
-        if not xs:
+        bounds = self.wire_table().bounds()
+        if bounds is None:
             return Rect(0, 0, 0, 0)
-        x0, x1 = min(xs), max(xs)
-        y0, y1 = min(ys), max(ys)
+        x0, y0, x1, y1 = bounds
         return Rect(x0, y0, x1 - x0, y1 - y0)
 
     @property
@@ -99,21 +123,16 @@ class GridLayout:
         return self.layers * self.area
 
     def max_wire_length(self) -> int:
-        if not self.wires:
-            return 0
-        return max(w.length for w in self.wires)
+        return self.wire_table().max_wire_length()
 
     def total_wire_length(self) -> int:
-        return sum(w.length for w in self.wires)
+        return self.wire_table().total_wire_length()
 
     def layers_used(self) -> set[int]:
-        used: set[int] = set()
-        for w in self.wires:
-            used |= w.layers_used()
-        return used
+        return self.wire_table().layers_used()
 
     def via_count(self) -> int:
-        return sum(len(w.vias()) for w in self.wires)
+        return self.wire_table().via_count()
 
     # -- structure ------------------------------------------------------
 
@@ -128,7 +147,8 @@ class GridLayout:
 
     def wire_lengths_by_edge(self) -> dict[tuple, int]:
         """Map (u, v, edge_key) -> routed length, endpoints sorted."""
-        return {w.key(): w.length for w in self.wires}
+        lengths = self.wire_table().wire_lengths()
+        return {w.key(): ln for w, ln in zip(self.wires, lengths)}
 
     def segments(self) -> Iterable[tuple[Wire, Segment]]:
         for w in self.wires:

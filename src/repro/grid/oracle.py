@@ -8,6 +8,13 @@ quadratically slower but so simple it can serve as an independent
 oracle: property tests run both over random layouts and require
 identical verdicts.
 
+The *rule logic* stays naive; only the geometry expansion (unit grid
+edges and covered points per wire) is read from the layout's
+:class:`~repro.grid.table.WireTable`, which enumerates in exactly the
+order the hand-rolled loops did.  The table is itself parity-tested
+against the object path, so the oracle's independence from the fast
+validator's sweep structures is preserved.
+
 Occupancy rules enumerated here (Section 2.2's node- and edge-disjoint
 embedding, with the Thompson crossing allowance):
 
@@ -34,18 +41,8 @@ class OracleViolation(AssertionError):
     """A rule violation found by the brute-force oracle."""
 
 
-def _wire_planar_edges(w):
-    for s in w.segments:
-        if s.horizontal:
-            for x in range(s.x1, s.x2):
-                yield ((x, s.y1, s.layer), (x + 1, s.y1, s.layer))
-        else:
-            for y in range(s.y1, s.y2):
-                yield ((s.x1, y, s.layer), (s.x1, y + 1, s.layer))
-
-
-def _wire_z_edges(w):
-    for (pt, zlo, zhi) in w.z_occupancy():
+def _wire_z_edges(table, wi):
+    for (pt, zlo, zhi) in table.wire_zruns(wi):
         x, y = pt
         for z in range(zlo, zhi):
             yield ((x, y, z), (x, y, z + 1))
@@ -68,6 +65,7 @@ def _wire_turn_points(w):
 
 def oracle_validate(layout: GridLayout) -> None:
     """Raise :class:`OracleViolation` on the first broken rule."""
+    table = layout.wire_table()
     # 1. Unit-edge exclusivity (planar and z).  Planar re-use is
     # illegal even within one wire (rule 6: a wire may not overlap
     # itself -- the fast validator's sweep rejects it owner-blind);
@@ -75,7 +73,7 @@ def oracle_validate(layout: GridLayout) -> None:
     # only compares distinct wires.
     edge_owner: dict[tuple, int] = {}
     for wi, w in enumerate(layout.wires):
-        for e in _wire_planar_edges(w):
+        for e in table.wire_unit_edges(wi):
             prev = edge_owner.get(e)
             if prev == wi:
                 raise OracleViolation(
@@ -87,7 +85,7 @@ def oracle_validate(layout: GridLayout) -> None:
                     f"grid edge {e} used by wires {a.u}-{a.v} and {b.u}-{b.v}"
                 )
             edge_owner[e] = wi
-        for e in _wire_z_edges(w):
+        for e in _wire_z_edges(table, wi):
             prev = edge_owner.get(e)
             if prev is not None and prev != wi:
                 a, b = layout.wires[prev], layout.wires[wi]
@@ -110,12 +108,11 @@ def oracle_validate(layout: GridLayout) -> None:
             point_claims[pt].append((layers, wi))
     # 2b. A via's interior layers also exclude straight traversals.
     point_on_layer: dict[tuple, set[int]] = defaultdict(set)
+    for wi in range(table.num_wires):
+        for key in table.wire_cover_points(wi):
+            point_on_layer[key].add(wi)
     for wi, w in enumerate(layout.wires):
-        for s in w.segments:
-            for (x, y) in s.planar_points():
-                point_on_layer[(x, y, s.layer)].add(wi)
-    for wi, w in enumerate(layout.wires):
-        for (pt, zlo, zhi) in w.z_occupancy():
+        for (pt, zlo, zhi) in table.wire_zruns(wi):
             for z in range(zlo + 1, zhi):
                 owners = point_on_layer.get((pt[0], pt[1], z), set()) - {wi}
                 if owners:
@@ -146,11 +143,10 @@ def oracle_validate(layout: GridLayout) -> None:
         for x in range(r.x0 + 1, r.x1):
             for y in range(r.y0 + 1, r.y1):
                 interiors.add((x, y, p.layer))
-    for w in layout.wires:
-        for s in w.segments:
-            for (x, y) in s.planar_points():
-                if (x, y, s.layer) in interiors:
-                    raise OracleViolation(
-                        f"wire {w.u}-{w.v} enters a node interior at "
-                        f"({x}, {y}, layer {s.layer})"
-                    )
+    for wi, w in enumerate(layout.wires):
+        for (x, y, layer) in table.wire_cover_points(wi):
+            if (x, y, layer) in interiors:
+                raise OracleViolation(
+                    f"wire {w.u}-{w.v} enters a node interior at "
+                    f"({x}, {y}, layer {layer})"
+                )

@@ -1,0 +1,472 @@
+"""Structure-of-arrays geometry kernel for routed layouts.
+
+A :class:`WireTable` flattens a :class:`~repro.grid.layout.GridLayout`'s
+wires into contiguous integer arrays -- segment endpoints and layers in
+wire-major path order, per-wire index ranges (CSR offsets), and the
+z-runs (vias and risers) -- so every downstream consumer of layout
+geometry (metrics, link delays, serialization, the brute-force oracle's
+occupancy expansion, the renderers) can read flat data instead of
+re-walking per-wire ``Wire``/``Segment`` object graphs.  Thompson-style
+grid layouts are natively flat integer data (paper Section 2.1), so the
+table is both the fast path and the compact representation: on the
+paper-scale cases it is several times smaller than the object graph
+(``python -m repro stats --mem`` prints the accounting).
+
+The table is **derived, immutable data**: it is built once per layout by
+:meth:`GridLayout.wire_table` and cached there.  The cache is
+revalidated against an identity stamp -- the number of placements plus
+the ``id()`` of every ``Wire`` in ``layout.wires`` -- so appending a
+wire, placing a node, or replacing a wire object (the mutation harness
+in :mod:`repro.check` does exactly that) all invalidate it.  Mutating a
+``Wire``'s *own* ``segments`` list in place is not detected and is
+unsupported everywhere in this codebase: wires are replaced, never
+edited.
+
+Like :mod:`repro.collinear.cutwidth`, the module has a vectorized numpy
+path and a pure-python fallback (``array``-module storage, loop
+reductions) selected at import; set ``REPRO_TABLE_FALLBACK=1`` to force
+the fallback even when numpy is importable (CI runs the parity suite
+both ways).  Both paths produce byte-identical consumer outputs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array as _stdarray
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (layout -> table)
+    from repro.grid.layout import GridLayout
+
+try:  # vectorized path; the pure-python fallback mirrors it exactly
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+if os.environ.get("REPRO_TABLE_FALLBACK") == "1":
+    _np = None
+
+__all__ = ["WireTable", "object_graph_bytes", "HAVE_NUMPY"]
+
+#: Whether the vectorized path is active (numpy importable and not
+#: disabled via ``REPRO_TABLE_FALLBACK=1``).
+HAVE_NUMPY = _np is not None
+
+
+def _freeze(values: list[int], use_numpy: bool):
+    """Materialize a built-up int list as the backing storage."""
+    if use_numpy:
+        return _np.asarray(values, dtype=_np.int64)
+    return _stdarray("q", values)
+
+
+class WireTable:
+    """Flat-array view of one layout's wires.
+
+    Array schema (all int64; ``W`` wires, ``S`` segments, ``Z`` z-runs):
+
+    ``seg_x1, seg_y1, seg_x2, seg_y2, seg_layer``
+        One entry per segment, in wire-major path order (exactly the
+        order ``layout.wires[i].segments`` stores them), endpoints
+        normalized as ``Segment`` stores them.
+    ``wire_seg_start``
+        CSR offsets, length ``W + 1``: wire ``i``'s segments occupy
+        rows ``wire_seg_start[i] : wire_seg_start[i + 1]``.
+    ``zrun_x, zrun_y, zrun_lo, zrun_hi`` / ``wire_zrun_start``
+        One entry per z-run -- a via between consecutive segments on
+        different layers, or a riser's vertical run -- mirroring
+        ``Wire.z_occupancy()`` exactly, with CSR offsets per wire.
+    ``wire_length``
+        ``Wire.length`` per wire (planar segment lengths; a riser's
+        z-extent).
+    ``wire_is_riser``
+        1 for riser wires, else 0.
+    ``node_x0, node_y0, node_x1, node_y1``
+        Placement rectangle corners, in ``layout.placements`` order
+        (bounding-box input; node identity stays on the layout).
+    """
+
+    __slots__ = (
+        "num_wires", "num_segments", "num_zruns", "uses_numpy",
+        "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer",
+        "wire_seg_start",
+        "zrun_x", "zrun_y", "zrun_lo", "zrun_hi", "wire_zrun_start",
+        "wire_length", "wire_is_riser",
+        "node_x0", "node_y0", "node_x1", "node_y1",
+        "_seg_rows", "_zrun_rows", "_lengths_list", "_units",
+    )
+
+    def __init__(self, layout: "GridLayout", *, use_numpy: bool | None = None):
+        if use_numpy is None:
+            use_numpy = HAVE_NUMPY
+        elif use_numpy and not HAVE_NUMPY:  # pragma: no cover - guard
+            raise ValueError("numpy is not available")
+        self.uses_numpy = use_numpy
+
+        from repro.grid.wire import walk_path
+
+        sx1: list[int] = []
+        sy1: list[int] = []
+        sx2: list[int] = []
+        sy2: list[int] = []
+        slay: list[int] = []
+        seg_start = [0]
+        zx: list[int] = []
+        zy: list[int] = []
+        zlo: list[int] = []
+        zhi: list[int] = []
+        zrun_start = [0]
+        wlen: list[int] = []
+        wriser: list[int] = []
+
+        for w in layout.wires:
+            if w.riser is not None:
+                x, y, lo, hi = w.riser
+                zx.append(x)
+                zy.append(y)
+                zlo.append(lo)
+                zhi.append(hi)
+                wlen.append(hi - lo)
+                wriser.append(1)
+            else:
+                segs = w.segments
+                length = 0
+                prev_layer = None
+                for s, (_, end) in zip(segs, walk_path(segs, w.u, w.v)):
+                    sx1.append(s.x1)
+                    sy1.append(s.y1)
+                    sx2.append(s.x2)
+                    sy2.append(s.y2)
+                    slay.append(s.layer)
+                    length += (s.x2 - s.x1) + (s.y2 - s.y1)
+                    if prev_layer is not None and prev_layer != s.layer:
+                        # The junction is the *start* of this segment
+                        # along the path == end of the previous one.
+                        zx.append(start_x)
+                        zy.append(start_y)
+                        zlo.append(min(prev_layer, s.layer))
+                        zhi.append(max(prev_layer, s.layer))
+                    prev_layer = s.layer
+                    start_x, start_y = end
+                wlen.append(length)
+                wriser.append(0)
+            seg_start.append(len(sx1))
+            zrun_start.append(len(zx))
+
+        nx0: list[int] = []
+        ny0: list[int] = []
+        nx1: list[int] = []
+        ny1: list[int] = []
+        for p in layout.placements.values():
+            nx0.append(p.rect.x0)
+            ny0.append(p.rect.y0)
+            nx1.append(p.rect.x1)
+            ny1.append(p.rect.y1)
+
+        self.num_wires = len(layout.wires)
+        self.num_segments = len(sx1)
+        self.num_zruns = len(zx)
+        self.seg_x1 = _freeze(sx1, use_numpy)
+        self.seg_y1 = _freeze(sy1, use_numpy)
+        self.seg_x2 = _freeze(sx2, use_numpy)
+        self.seg_y2 = _freeze(sy2, use_numpy)
+        self.seg_layer = _freeze(slay, use_numpy)
+        self.wire_seg_start = _freeze(seg_start, use_numpy)
+        self.zrun_x = _freeze(zx, use_numpy)
+        self.zrun_y = _freeze(zy, use_numpy)
+        self.zrun_lo = _freeze(zlo, use_numpy)
+        self.zrun_hi = _freeze(zhi, use_numpy)
+        self.wire_zrun_start = _freeze(zrun_start, use_numpy)
+        self.wire_length = _freeze(wlen, use_numpy)
+        self.wire_is_riser = _freeze(wriser, use_numpy)
+        self.node_x0 = _freeze(nx0, use_numpy)
+        self.node_y0 = _freeze(ny0, use_numpy)
+        self.node_x1 = _freeze(nx1, use_numpy)
+        self.node_y1 = _freeze(ny1, use_numpy)
+        self._seg_rows = None
+        self._zrun_rows = None
+        self._lengths_list = None
+        self._units = None
+
+    @classmethod
+    def from_layout(
+        cls, layout: "GridLayout", *, use_numpy: bool | None = None
+    ) -> "WireTable":
+        return cls(layout, use_numpy=use_numpy)
+
+    # -- measurement ----------------------------------------------------
+
+    def bounds(self) -> tuple[int, int, int, int] | None:
+        """(x0, y0, x1, y1) over node rects and segment endpoints, or
+        ``None`` when the layout has neither (risers never count,
+        matching the object path)."""
+        if self.num_segments == 0 and len(self.node_x0) == 0:
+            return None
+        if self.uses_numpy:
+            xs = (self.node_x0, self.node_x1, self.seg_x1, self.seg_x2)
+            ys = (self.node_y0, self.node_y1, self.seg_y1, self.seg_y2)
+            x0 = min(int(a.min()) for a in xs if len(a))
+            x1 = max(int(a.max()) for a in xs if len(a))
+            y0 = min(int(a.min()) for a in ys if len(a))
+            y1 = max(int(a.max()) for a in ys if len(a))
+            return (x0, y0, x1, y1)
+        xs = [a for a in (self.node_x0, self.node_x1, self.seg_x1, self.seg_x2) if len(a)]
+        ys = [a for a in (self.node_y0, self.node_y1, self.seg_y1, self.seg_y2) if len(a)]
+        return (
+            min(min(a) for a in xs),
+            min(min(a) for a in ys),
+            max(max(a) for a in xs),
+            max(max(a) for a in ys),
+        )
+
+    def wire_lengths(self) -> list[int]:
+        """Per-wire routed lengths as plain ints (``Wire.length``)."""
+        if self._lengths_list is None:
+            if self.uses_numpy:
+                self._lengths_list = self.wire_length.tolist()
+            else:
+                self._lengths_list = list(self.wire_length)
+        return self._lengths_list
+
+    def max_wire_length(self) -> int:
+        if self.num_wires == 0:
+            return 0
+        if self.uses_numpy:
+            return int(self.wire_length.max())
+        return max(self.wire_length)
+
+    def total_wire_length(self) -> int:
+        if self.num_wires == 0:
+            return 0
+        if self.uses_numpy:
+            return int(self.wire_length.sum())
+        return sum(self.wire_length)
+
+    def via_count(self) -> int:
+        """``sum(len(w.vias()))``: one via per z-run (a riser's single
+        z-run counts once, exactly as ``Wire.vias`` reports it)."""
+        return self.num_zruns
+
+    def layers_used(self) -> set[int]:
+        """Union of segment layers and riser z-spans (inclusive),
+        mirroring ``GridLayout.layers_used``: a via between two planar
+        layers does *not* claim the layers it passes through."""
+        if self.uses_numpy:
+            used = set(_np.unique(self.seg_layer).tolist())
+        else:
+            used = set(self.seg_layer)
+        starts = self.wire_zrun_start
+        for wi, riser in enumerate(self.wire_is_riser):
+            if riser:
+                z = starts[wi]
+                used.update(range(int(self.zrun_lo[z]), int(self.zrun_hi[z]) + 1))
+        return used
+
+    def link_delay_values(self, *, alpha: float = 1.0, base: float = 1.0) -> list[int]:
+        """``max(1, ceil(base + alpha * length))`` per wire, vectorized."""
+        if self.uses_numpy:
+            d = _np.ceil(base + alpha * self.wire_length.astype(_np.float64))
+            return _np.maximum(1, d.astype(_np.int64)).tolist()
+        return [
+            max(1, int(-(-(base + alpha * ln) // 1)))
+            for ln in self.wire_length
+        ]
+
+    # -- row views (serialization, rendering) ---------------------------
+
+    def segment_rows(self) -> list[list[int]]:
+        """``[x1, y1, x2, y2, layer]`` per segment, wire-major path
+        order -- exactly the lists ``layout_to_json`` serializes."""
+        if self._seg_rows is None:
+            if self.uses_numpy:
+                stacked = _np.stack(
+                    (self.seg_x1, self.seg_y1, self.seg_x2, self.seg_y2,
+                     self.seg_layer),
+                    axis=1,
+                ) if self.num_segments else _np.empty((0, 5), dtype=_np.int64)
+                self._seg_rows = stacked.tolist()
+            else:
+                self._seg_rows = [
+                    [self.seg_x1[i], self.seg_y1[i], self.seg_x2[i],
+                     self.seg_y2[i], self.seg_layer[i]]
+                    for i in range(self.num_segments)
+                ]
+        return self._seg_rows
+
+    def wire_segment_rows(self, wi: int) -> list[list[int]]:
+        rows = self.segment_rows()
+        starts = self.wire_seg_start
+        return rows[int(starts[wi]):int(starts[wi + 1])]
+
+    def zrun_rows(self) -> list[tuple[tuple[int, int], int, int]]:
+        """``((x, y), z_lo, z_hi)`` per z-run (``Wire.z_occupancy``)."""
+        if self._zrun_rows is None:
+            self._zrun_rows = [
+                ((int(self.zrun_x[i]), int(self.zrun_y[i])),
+                 int(self.zrun_lo[i]), int(self.zrun_hi[i]))
+                for i in range(self.num_zruns)
+            ]
+        return self._zrun_rows
+
+    def wire_zruns(self, wi: int) -> list[tuple[tuple[int, int], int, int]]:
+        rows = self.zrun_rows()
+        starts = self.wire_zrun_start
+        return rows[int(starts[wi]):int(starts[wi + 1])]
+
+    def wire_vias(self, wi: int) -> list[tuple[int, int]]:
+        """Planar via positions of wire ``wi`` (``Wire.vias``)."""
+        return [pt for pt, _, _ in self.wire_zruns(wi)]
+
+    # -- occupancy expansion (oracle) -----------------------------------
+
+    def _unit_expansion(self):
+        """Bulk unit expansion of every segment, cached.
+
+        Returns ``(edges, edge_start, points, point_start)`` where
+        ``edges[k] = (x, y, layer, horizontal)`` is the lower endpoint
+        of one unit grid edge, ``points`` covers every grid point of
+        every segment (endpoints included, shared junctions repeated
+        per segment -- exactly ``Segment.planar_points``), and the
+        ``*_start`` arrays are per-wire CSR offsets.  Order is
+        wire-major, path order, ascending coordinate within a segment.
+        """
+        if self._units is not None:
+            return self._units
+        if self.uses_numpy and self.num_segments:
+            x1, y1 = self.seg_x1, self.seg_y1
+            lens = (self.seg_x2 - x1) + (self.seg_y2 - y1)
+            horiz = (self.seg_y1 == self.seg_y2)
+            cum = _np.concatenate(([0], _np.cumsum(lens)))
+
+            def expand(counts, count_cum):
+                sid = _np.repeat(_np.arange(self.num_segments), counts)
+                off = _np.arange(int(count_cum[-1])) - _np.repeat(
+                    count_cum[:-1], counts
+                )
+                h = horiz[sid]
+                ex = x1[sid] + _np.where(h, off, 0)
+                ey = y1[sid] + _np.where(h, 0, off)
+                return _np.stack(
+                    (ex, ey, self.seg_layer[sid], h.astype(_np.int64)),
+                    axis=1,
+                ).tolist()
+
+            edges = expand(lens, cum)
+            pcum = cum + _np.arange(self.num_segments + 1)
+            points = expand(lens + 1, pcum)
+            edge_start = cum[self.wire_seg_start].tolist()
+            point_start = pcum[self.wire_seg_start].tolist()
+        else:
+            edges, points = [], []
+            edge_start, point_start = [0], [0]
+            starts = self.wire_seg_start
+            for wi in range(self.num_wires):
+                for i in range(int(starts[wi]), int(starts[wi + 1])):
+                    x, y = self.seg_x1[i], self.seg_y1[i]
+                    lay = self.seg_layer[i]
+                    if self.seg_y1[i] == self.seg_y2[i]:
+                        for xx in range(x, self.seg_x2[i]):
+                            edges.append([xx, y, lay, 1])
+                        for xx in range(x, self.seg_x2[i] + 1):
+                            points.append([xx, y, lay, 1])
+                    else:
+                        for yy in range(y, self.seg_y2[i]):
+                            edges.append([x, yy, lay, 0])
+                        for yy in range(y, self.seg_y2[i] + 1):
+                            points.append([x, yy, lay, 0])
+                edge_start.append(len(edges))
+                point_start.append(len(points))
+        self._units = (edges, edge_start, points, point_start)
+        return self._units
+
+    def wire_unit_edges(self, wi: int):
+        """Unit planar grid edges of wire ``wi`` as
+        ``((x, y, layer), (x', y', layer))`` pairs, in the order the
+        brute-force oracle enumerates them."""
+        edges, edge_start, _, _ = self._unit_expansion()
+        out = []
+        for x, y, lay, h in edges[edge_start[wi]:edge_start[wi + 1]]:
+            if h:
+                out.append(((x, y, lay), (x + 1, y, lay)))
+            else:
+                out.append(((x, y, lay), (x, y + 1, lay)))
+        return out
+
+    def wire_cover_points(self, wi: int) -> list[tuple[int, int, int]]:
+        """Every ``(x, y, layer)`` grid point covered by wire ``wi``'s
+        segments (junction points repeated per covering segment)."""
+        _, _, points, point_start = self._unit_expansion()
+        return [
+            (x, y, lay)
+            for x, y, lay, _ in points[point_start[wi]:point_start[wi + 1]]
+        ]
+
+    def wire_cover_point_rows(self, wi: int) -> list[list[int]]:
+        """Raw ``[x, y, layer, horizontal]`` cover-point rows of wire
+        ``wi`` (the ASCII renderer keys glyphs off the orientation)."""
+        _, _, points, point_start = self._unit_expansion()
+        return points[point_start[wi]:point_start[wi + 1]]
+
+    # -- memory accounting ----------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes held by the core arrays (derived row/expansion caches
+        excluded -- they are transient render helpers, not the
+        representation)."""
+        total = 0
+        for name in (
+            "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer",
+            "wire_seg_start", "zrun_x", "zrun_y", "zrun_lo", "zrun_hi",
+            "wire_zrun_start", "wire_length", "wire_is_riser",
+            "node_x0", "node_y0", "node_x1", "node_y1",
+        ):
+            arr = getattr(self, name)
+            if self.uses_numpy:
+                total += int(arr.nbytes)
+            else:
+                total += len(arr) * arr.itemsize
+        return total
+
+
+def object_graph_bytes(layout: "GridLayout") -> int:
+    """Bytes held by the layout's *geometry object graph*: the wire
+    list, ``Wire``/``Segment``/``Point`` instances, riser tuples, any
+    materialized path-point caches, placement ``Placement``/``Rect``
+    objects -- plus the coordinate ``int`` objects they reference
+    (deduplicated by identity; CPython's small-int cache keeps shared
+    ones from double-counting).  Node labels and ``meta`` are excluded:
+    the :class:`WireTable` shares them with the object graph rather
+    than replacing them, so they cancel out of the comparison
+    ``python -m repro stats --mem`` prints.
+    """
+    seen: set[int] = set()
+
+    def size(obj) -> int:
+        if id(obj) in seen:
+            return 0
+        seen.add(id(obj))
+        return sys.getsizeof(obj)
+
+    total = size(layout.wires)
+    for w in layout.wires:
+        total += size(w) + size(w.segments)
+        for s in w.segments:
+            total += size(s)
+            for v in (s.x1, s.y1, s.x2, s.y2, s.layer):
+                total += size(v)
+        if w.riser is not None:
+            total += size(w.riser)
+            for v in w.riser:
+                total += size(v)
+        pts = getattr(w, "_pts", None)
+        if pts is not None:
+            total += size(pts)
+            for p in pts:
+                total += size(p) + size(p.x) + size(p.y) + size(p.layer)
+    total += size(layout.placements)
+    for p in layout.placements.values():
+        total += size(p) + size(p.rect)
+        for v in (p.rect.x0, p.rect.y0, p.rect.w, p.rect.h, p.layer):
+            total += size(v)
+    return total

@@ -7,16 +7,24 @@ inter-layer connector, Section 2.1 of the paper).  Where two
 consecutive segments share layer and change direction, the shared point
 is a *bend*; the Thompson model forbids two distinct wires from bending
 at the same grid point (a knock-knee), which the validator checks.
+
+Path connectivity is validated at construction by a tuple-level walk
+(:func:`walk_path`); the full :class:`Point` vertex list is a *lazy*
+derived property, materialized only when something actually asks for
+``path_points``/``vias``/``bends`` -- at build time it used to be the
+single largest avoidable allocation (it duplicates every segment
+endpoint per wire), and the hot consumers now read the flat
+:class:`~repro.grid.table.WireTable` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Hashable, Iterator, Sequence
 
 from repro.grid.geometry import Point, Segment
 
-__all__ = ["Wire", "WirePathError"]
+__all__ = ["Wire", "WirePathError", "walk_path"]
 
 
 class WirePathError(ValueError):
@@ -50,9 +58,12 @@ class Wire:
     segments: list[Segment]
     edge_key: int = 0
     riser: tuple[int, int, int, int] | None = None
-    _points: list[Point] = field(default_factory=list, repr=False)
+    _pts: list[Point] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
+        self._pts = None
         if self.riser is not None:
             if self.segments:
                 raise WirePathError(
@@ -64,11 +75,25 @@ class Wire:
                 raise WirePathError(
                     f"wire {self.u}-{self.v}: bad riser layers {zlo}..{zhi}"
                 )
-            self._points = [Point(x, y, zlo), Point(x, y, zhi)]
             return
         if not self.segments:
             raise WirePathError(f"wire {self.u}-{self.v} has no segments")
-        self._points = _trace_path(self.segments, self.u, self.v)
+        # Validate connectivity without materializing the vertex list.
+        for _ in walk_path(self.segments, self.u, self.v):
+            pass
+
+    @property
+    def _points(self) -> list[Point]:
+        """The vertex list, traced lazily and cached."""
+        pts = self._pts
+        if pts is None:
+            if self.riser is not None:
+                x, y, zlo, zhi = self.riser
+                pts = [Point(x, y, zlo), Point(x, y, zhi)]
+            else:
+                pts = _trace_path(self.segments, self.u, self.v)
+            self._pts = pts
+        return pts
 
     @staticmethod
     def make_riser(
@@ -148,6 +173,53 @@ def _sort_key(node: Hashable) -> tuple:
     return (str(type(node)), repr(node))
 
 
+def walk_path(
+    segments: Sequence[Segment], u: Hashable, v: Hashable
+) -> Iterator[tuple[tuple[int, int], tuple[int, int]]]:
+    """Walk the path, yielding each segment's oriented planar endpoints.
+
+    Yields one ``(start, end)`` pair of ``(x, y)`` tuples per segment,
+    oriented along the path from the ``u`` pin; the junction between
+    consecutive segments is segment ``i``'s ``end`` == segment
+    ``i + 1``'s ``start``.  Raises :class:`WirePathError` on a
+    disconnect -- this is the construction-time validity check, shared
+    with the :class:`~repro.grid.table.WireTable` builder so the two
+    can never disagree about orientation.
+    """
+    segs = segments
+    first = segs[0]
+    a = (first.x1, first.y1)
+    b = (first.x2, first.y2)
+    if len(segs) == 1:
+        yield (a, b)
+        return
+
+    shared = _shared_planar(first, segs[1])
+    if shared is None:
+        raise WirePathError(
+            f"wire {u}-{v}: segments 0 and 1 do not touch "
+            f"({first} vs {segs[1]})"
+        )
+    # Start from whichever endpoint of the first segment is NOT shared.
+    cur = shared
+    yield ((b, a) if a == shared else (a, b))
+    for i in range(1, len(segs)):
+        seg = segs[i]
+        e1 = (seg.x1, seg.y1)
+        e2 = (seg.x2, seg.y2)
+        if e1 == cur:
+            nxt = e2
+        elif e2 == cur:
+            nxt = e1
+        else:
+            raise WirePathError(
+                f"wire {u}-{v}: segment {i} does not continue the path "
+                f"at {cur}: {seg}"
+            )
+        yield (cur, nxt)
+        cur = nxt
+
+
 def _trace_path(
     segments: Sequence[Segment], u: Hashable, v: Hashable
 ) -> list[Point]:
@@ -155,50 +227,20 @@ def _trace_path(
 
     Segments are stored normalized (endpoint-sorted); the path may
     traverse any of them in reverse.  The first segment's free endpoint
-    is the ``u`` pin.  Raises :class:`WirePathError` on a disconnect.
+    is the ``u`` pin.  Each vertex is anchored on the layer of the
+    segment *arriving* at it (so vias are explicit in the vertex list).
     """
-    segs = list(segments)
-    if len(segs) == 1:
-        a, b = segs[0].endpoints()
-        return [a, b]
-
-    first, second = segs[0], segs[1]
-    f1, f2 = first.endpoints()
-    shared = _shared_planar(first, second)
-    if shared is None:
-        raise WirePathError(
-            f"wire {u}-{v}: segments 0 and 1 do not touch "
-            f"({first} vs {second})"
-        )
-    # Start from whichever endpoint of the first segment is NOT shared.
-    if f1.planar() == shared:
-        points = [f2, f1]
-    else:
-        points = [f1, f2]
-
-    for i in range(1, len(segs)):
-        seg = segs[i]
-        cur = points[-1].planar()
-        e1, e2 = seg.endpoints()
-        if e1.planar() == cur:
-            nxt = e2
-        elif e2.planar() == cur:
-            nxt = e1
-        else:
-            raise WirePathError(
-                f"wire {u}-{v}: segment {i} does not continue the path "
-                f"at {cur}: {seg}"
-            )
-        # Re-anchor the junction on the new segment's layer so vias are
-        # explicit in the vertex list.
-        points[-1] = Point(cur[0], cur[1], points[-1].layer)
-        points.append(nxt)
+    points: list[Point] = []
+    for seg, (start, end) in zip(segments, walk_path(segments, u, v)):
+        if not points:
+            points.append(Point(start[0], start[1], seg.layer))
+        points.append(Point(end[0], end[1], seg.layer))
     return points
 
 
 def _shared_planar(a: Segment, b: Segment) -> tuple[int, int] | None:
-    a_ends = {p.planar() for p in a.endpoints()}
-    b_ends = {p.planar() for p in b.endpoints()}
+    a_ends = {(a.x1, a.y1), (a.x2, a.y2)}
+    b_ends = {(b.x1, b.y1), (b.x2, b.y2)}
     common = a_ends & b_ends
     if not common:
         return None

@@ -139,11 +139,14 @@ def layout_link_delays(
     """Per-link integer delays derived from routed wire lengths.
 
     delay = ceil(base + alpha * length); parallel wires keep the
-    fastest.  Keys are ordered pairs in both directions.
+    fastest.  Keys are ordered pairs in both directions.  The per-wire
+    delays come from the layout's :class:`~repro.grid.table.WireTable`
+    in one vectorized pass, so a simulator run's setup precomputes all
+    link delays without walking any per-wire segment objects.
     """
     out: dict[tuple[Node, Node], int] = {}
-    for w in layout.wires:
-        d = max(1, int(-(-(base + alpha * w.length) // 1)))
+    delays = layout.wire_table().link_delay_values(alpha=alpha, base=base)
+    for w, d in zip(layout.wires, delays):
         for key in ((w.u, w.v), (w.v, w.u)):
             if key not in out or d < out[key]:
                 out[key] = d

@@ -3,7 +3,11 @@
 Each link (directed edge) carries one message at a time and takes an
 integer delay per traversal -- by default the layout-derived wire delay
 of :func:`repro.routing.paths.layout_link_delays`, which is how the
-paper's geometry becomes performance.  Messages follow precomputed
+paper's geometry becomes performance.  Simulation setup precomputes
+every link delay in one vectorized pass over the layout's
+:class:`~repro.grid.table.WireTable`, so even a large layout's delay
+map costs one array ceil, not a walk of its wire objects.  Messages
+follow precomputed
 routes; contended links serve waiters in deterministic FIFO order, so
 simulations are exactly reproducible.
 

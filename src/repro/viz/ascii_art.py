@@ -98,11 +98,10 @@ def ascii_grid_layout(layout: GridLayout, *, max_width: int = 400) -> str:
         elif {cur, ch} == {"-", "|"}:
             grid[y - bb.y0][x - bb.x0] = "+"
 
-    for wire in layout.wires:
-        for seg in wire.segments:
-            ch = "-" if seg.horizontal else "|"
-            for (x, y) in seg.planar_points():
-                put(x, y, ch)
+    table = layout.wire_table()
+    for wi in range(table.num_wires):
+        for (x, y, _layer, horiz) in table.wire_cover_point_rows(wi):
+            put(x, y, "-" if horiz else "|")
     for p in layout.placements.values():
         r = p.rect
         for x in range(r.x0, r.x1 + 1):

@@ -71,15 +71,18 @@ def svg_layout(
                 f'text-anchor="middle" dominant-baseline="middle">'
                 f"{_escape(p.node)}</text>"
             )
-    for w in layout.wires:
-        for s in w.segments:
+    table = layout.wire_table()
+    seg_rows = table.segment_rows()
+    starts = table.wire_seg_start
+    for wi in range(table.num_wires):
+        for (x1, y1, x2, y2, layer) in seg_rows[int(starts[wi]):int(starts[wi + 1])]:
             parts.append(
-                f'<line x1="{sx(s.x1)}" y1="{sy(s.y1)}" '
-                f'x2="{sx(s.x2)}" y2="{sy(s.y2)}" '
-                f'stroke="{_layer_color(s.layer)}" stroke-width="1.5" '
+                f'<line x1="{sx(x1)}" y1="{sy(y1)}" '
+                f'x2="{sx(x2)}" y2="{sy(y2)}" '
+                f'stroke="{_layer_color(layer)}" stroke-width="1.5" '
                 f'stroke-opacity="0.85"/>'
             )
-        for (x, y) in w.vias():
+        for (x, y) in table.wire_vias(wi):
             parts.append(
                 f'<circle cx="{sx(x)}" cy="{sy(y)}" r="1.8" fill="#222222"/>'
             )
@@ -110,6 +113,9 @@ def svg_layer_stack(
     appears in its own panel.
     """
     bb = layout.bounding_box()
+    table = layout.wire_table()
+    seg_rows = table.segment_rows()
+    starts = table.wire_seg_start
     layers = sorted(
         layout.layers_used()
         | {p.layer for p in layout.placements.values()}
@@ -152,16 +158,18 @@ def svg_layer_stack(
                 f'height="{max(r.h * scale, 2)}" '
                 f'fill="#cccccc" stroke="#555555" stroke-width="0.8"/>'
             )
-        for w in layout.wires:
-            for s in w.segments:
-                if s.layer != layer:
+        for wi in range(table.num_wires):
+            for (x1, y1, x2, y2, slayer) in seg_rows[
+                int(starts[wi]):int(starts[wi + 1])
+            ]:
+                if slayer != layer:
                     continue
                 parts.append(
-                    f'<line x1="{sx(s.x1)}" y1="{sy(s.y1)}" '
-                    f'x2="{sx(s.x2)}" y2="{sy(s.y2)}" '
-                    f'stroke="{_layer_color(s.layer)}" stroke-width="1.2"/>'
+                    f'<line x1="{sx(x1)}" y1="{sy(y1)}" '
+                    f'x2="{sx(x2)}" y2="{sy(y2)}" '
+                    f'stroke="{_layer_color(slayer)}" stroke-width="1.2"/>'
                 )
-            for (pt, zlo, zhi) in w.z_occupancy():
+            for (pt, zlo, zhi) in table.wire_zruns(wi):
                 if zlo <= layer <= zhi:
                     parts.append(
                         f'<circle cx="{sx(pt[0])}" cy="{sy(pt[1])}" r="1.5" '

@@ -111,6 +111,46 @@ class TestFuzzCommand:
         assert "fuzz.case" in p.stdout
 
 
+class TestProfileFlag:
+    def test_profile_dumps_pstats(self, tmp_path):
+        import pstats
+
+        prof = tmp_path / "run.prof"
+        p = run_cli("layout", "hypercube:3", "--profile", str(prof))
+        assert p.returncode == 0, p.stderr
+        assert f"profile written to {prof}" in p.stdout
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+
+    def test_profile_excluded_from_report_spec(self, tmp_path):
+        prof = tmp_path / "run.prof"
+        report = tmp_path / "run.json"
+        p = run_cli(
+            "layout", "hypercube:3",
+            "--profile", str(prof), "--report", str(report),
+        )
+        assert p.returncode == 0, p.stderr
+        doc = json.loads(report.read_text())
+        validate_report(doc)
+        assert "profile" not in doc["spec"]
+
+
+class TestStatsMem:
+    def test_mem_table_covers_the_zoo(self):
+        p = run_cli("stats", "--mem", "--layers", "2")
+        assert p.returncode == 0, p.stderr
+        assert "layout representation memory" in p.stdout
+        assert "TOTAL" in p.stdout
+        assert "5-cube" in p.stdout
+        # Every per-network reduction ratio holds the table's promise.
+        ratios = [
+            float(line.rsplit(None, 1)[-1][:-1])
+            for line in p.stdout.splitlines()
+            if line.endswith("x")
+        ]
+        assert ratios and all(r >= 1.0 for r in ratios)
+
+
 class TestReportsAcrossCommands:
     @pytest.mark.parametrize(
         "args",

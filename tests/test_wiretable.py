@@ -1,0 +1,214 @@
+"""WireTable parity: the geometry kernel vs the object graph, exactly.
+
+Every consumer rerouted onto :class:`~repro.grid.table.WireTable`
+(metrics, delays, serialization, renderers) promises *byte-identical*
+outputs.  This module checks that promise on the full topology zoo at
+two layer budgets plus every network in the counterexample corpus, and
+checks the numpy arrays against the pure-python fallback in-process
+(``WireTable(lay, use_numpy=False)``), so it is meaningful both with
+and without numpy installed -- CI runs it once in each mode.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.batch.spec import dispatch_scheme
+from repro.check.shrink import iter_corpus
+from repro.cli import _zoo_networks
+from repro.grid.io import layout_to_json
+from repro.grid.table import HAVE_NUMPY, WireTable
+from repro.routing.paths import layout_link_delays
+from repro.viz.ascii_art import ascii_grid_layout
+from repro.viz.svg import svg_layer_stack, svg_layout
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_LAYOUT_CACHE: dict = {}
+
+
+def _corpus_networks() -> list:
+    nets = []
+    seen = set()
+    for _path, case in iter_corpus(CORPUS_DIR):
+        if case.network.name not in seen:
+            seen.add(case.network.name)
+            nets.append(case.network)
+    return nets
+
+
+def _cases() -> list:
+    cases = []
+    for net in _zoo_networks():
+        for L in (2, 4):
+            cases.append((f"zoo:{net.name}:L{L}", net, L))
+    for net in _corpus_networks():
+        cases.append((f"corpus:{net.name}:L2", net, 2))
+    return cases
+
+
+_CASES = _cases()
+
+
+def _layout(case_id: str, net, layers: int):
+    lay = _LAYOUT_CACHE.get(case_id)
+    if lay is None:
+        lay = dispatch_scheme(net, layers=layers, scheme="auto")
+        _LAYOUT_CACHE[case_id] = lay
+    return lay
+
+
+def _install_table(lay, table) -> None:
+    """Plant ``table`` as the layout's cached kernel (test-only)."""
+    lay._table = table
+    lay._table_stamp = (len(lay.placements), tuple(map(id, lay.wires)))
+
+
+def _ceil_delay(length: int, alpha: float, base: float) -> int:
+    return max(1, int(-(-(base + alpha * length) // 1)))
+
+
+@pytest.mark.parametrize(
+    "case_id,net,layers", _CASES, ids=[c[0] for c in _CASES]
+)
+def test_object_graph_parity(case_id, net, layers):
+    """Table accessors == per-wire object walks, wire by wire."""
+    lay = _layout(case_id, net, layers)
+    table = lay.wire_table()
+    wires = lay.wires
+    assert table.num_wires == len(wires)
+
+    assert table.wire_lengths() == [w.length for w in wires]
+    assert table.via_count() == sum(len(w.z_occupancy()) for w in wires)
+    expected_layers: set = set()
+    for w in wires:
+        expected_layers |= w.layers_used()
+    assert table.layers_used() == expected_layers
+
+    starts = table.wire_seg_start
+    seg_rows = table.segment_rows()
+    for wi, w in enumerate(wires):
+        rows = seg_rows[int(starts[wi]):int(starts[wi + 1])]
+        assert rows == [
+            [s.x1, s.y1, s.x2, s.y2, s.layer] for s in w.segments
+        ], f"segment rows differ on wire {wi} ({w.u}-{w.v})"
+        assert table.wire_segment_rows(wi) == rows
+        assert table.wire_vias(wi) == w.vias()
+        assert table.wire_zruns(wi) == w.z_occupancy()
+
+    for alpha, base in ((1.0, 1.0), (0.37, 2.5)):
+        got = layout_link_delays(lay, alpha=alpha, base=base)
+        want: dict = {}
+        for w in wires:
+            d = _ceil_delay(w.length, alpha, base)
+            for key in ((w.u, w.v), (w.v, w.u)):
+                if key not in want or d < want[key]:
+                    want[key] = d
+        assert got == want, f"link delays differ at alpha={alpha}"
+
+
+@pytest.mark.parametrize(
+    "case_id,net,layers", _CASES, ids=[c[0] for c in _CASES]
+)
+def test_numpy_vs_fallback_parity(case_id, net, layers):
+    """Both backends produce identical values from identical layouts."""
+    lay = _layout(case_id, net, layers)
+    t_fb = WireTable(lay, use_numpy=False)
+    t_nat = lay.wire_table()  # whatever backend the install selected
+
+    assert t_fb.bounds() == t_nat.bounds()
+    assert t_fb.wire_lengths() == t_nat.wire_lengths()
+    assert t_fb.via_count() == t_nat.via_count()
+    assert t_fb.layers_used() == t_nat.layers_used()
+    assert t_fb.segment_rows() == t_nat.segment_rows()
+    assert list(t_fb.wire_seg_start) == list(t_nat.wire_seg_start)
+    assert t_fb.zrun_rows() == t_nat.zrun_rows()
+    for alpha, base in ((1.0, 1.0), (0.37, 2.5)):
+        assert t_fb.link_delay_values(alpha=alpha, base=base) == (
+            t_nat.link_delay_values(alpha=alpha, base=base)
+        )
+    for wi in range(t_nat.num_wires):
+        assert t_fb.wire_unit_edges(wi) == t_nat.wire_unit_edges(wi)
+        assert t_fb.wire_cover_points(wi) == t_nat.wire_cover_points(wi)
+        assert t_fb.wire_cover_point_rows(wi) == (
+            t_nat.wire_cover_point_rows(wi)
+        )
+
+
+@pytest.mark.parametrize(
+    "case_id,net,layers", _CASES, ids=[c[0] for c in _CASES]
+)
+def test_rendered_bytes_parity(case_id, net, layers):
+    """JSON, SVGs and ASCII are byte-identical across backends."""
+    lay = _layout(case_id, net, layers)
+    native = (
+        layout_to_json(lay),
+        svg_layout(lay, legend=True),
+        svg_layer_stack(lay),
+        ascii_grid_layout(lay, max_width=10_000),
+    )
+    _install_table(lay, WireTable(lay, use_numpy=False))
+    try:
+        fallback = (
+            layout_to_json(lay),
+            svg_layout(lay, legend=True),
+            svg_layer_stack(lay),
+            ascii_grid_layout(lay, max_width=10_000),
+        )
+    finally:
+        lay.invalidate_table()
+    for name, a, b in zip(("json", "svg", "stack", "ascii"), native, fallback):
+        assert a == b, f"{name} output differs between backends"
+
+
+def test_table_cache_invalidation():
+    """Appending or replacing a wire rebuilds the cached table."""
+    from repro.topology import Ring
+
+    lay = dispatch_scheme(Ring(6), layers=2, scheme="auto")
+    t1 = lay.wire_table()
+    assert lay.wire_table() is t1  # cached
+
+    from repro.grid.wire import Wire
+
+    w0 = lay.wires[0]
+    lay.wires[0] = Wire(
+        w0.u, w0.v, list(w0.segments), edge_key=w0.edge_key
+    )
+    t2 = lay.wire_table()
+    assert t2 is not t1, "wire replacement must invalidate the table"
+
+    lay.invalidate_table()
+    assert lay.wire_table() is not t2
+
+
+def test_fallback_env_flag():
+    """REPRO_TABLE_FALLBACK=1 forces the pure-python backend."""
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ, REPRO_TABLE_FALLBACK="1")
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.grid.table import HAVE_NUMPY; print(HAVE_NUMPY)"],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == "False"
+
+
+def test_fallback_storage_is_compact():
+    """nbytes() is meaningful in both backends (fallback uses
+    array('q'), not python lists), and both report identical sizes for
+    the core arrays."""
+    from repro.topology import Hypercube
+
+    lay = dispatch_scheme(Hypercube(4), layers=2, scheme="auto")
+    t_fb = WireTable(lay, use_numpy=False)
+    n_fb = t_fb.nbytes()
+    assert n_fb > 0
+    if HAVE_NUMPY:
+        t_np = WireTable(lay, use_numpy=True)
+        assert t_np.nbytes() == n_fb
