@@ -15,6 +15,7 @@ and reports paper-vs-measured rows.  Reports go to three places:
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import time
@@ -23,6 +24,7 @@ import pytest
 
 from repro import __version__
 from repro.bench.harness import format_table, json_cell
+from repro.bench.trajectory import git_sha
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -123,6 +125,29 @@ def _flush_json_results() -> None:
     with (REPO_ROOT / "BENCH_summary.json").open("w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    _append_trajectory(summary)
+
+
+def _append_trajectory(summary: dict) -> None:
+    """Append this session to the perf-regression trajectory.
+
+    Partial runs (``pytest benchmarks/bench_kary.py``) would register
+    as "every other bench vanished" in a diff, so only sessions that
+    ran the performance gates contribute a record.  Disable entirely
+    with ``REPRO_NO_TRAJECTORY=1`` (CI's throwaway runs do).
+    """
+    if os.environ.get("REPRO_NO_TRAJECTORY"):
+        return
+    if "bench_performance" not in _SESSION:
+        return
+    from repro.bench.trajectory import append_record, trajectory_record
+
+    record = trajectory_record(
+        summary,
+        {m: rec for m, rec in _SESSION.items()},
+        sha=git_sha(REPO_ROOT),
+    )
+    append_record(REPO_ROOT / "benchmarks" / "trajectory.jsonl", record)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -13,9 +13,12 @@
 * with ``workers > 1`` jobs fan out over a ``ProcessPoolExecutor``
   (``fork`` start method where the platform offers it -- workers then
   inherit the warm interpreter; ``spawn`` elsewhere); workers run with
-  metrics collection on and the parent folds their counter snapshots
-  into its own :mod:`repro.obs` registry, so ``--report`` sees cache
-  hits that happened in children.
+  observability on and the parent folds their full metric snapshots
+  into its own :mod:`repro.obs` registry *and* re-roots their span
+  forests under per-worker ``sweep.worker`` spans, so ``--report``,
+  ``--trace``, and the ``--trace-out`` exporters see everything that
+  happened in children -- cache hits, counters, and the parallel hot
+  paths themselves.
 """
 
 from __future__ import annotations
@@ -32,7 +35,13 @@ from repro.core.metrics import measure
 from repro.grid.io import layout_to_json
 from repro.grid.validate import validate_layout
 
-__all__ = ["JobResult", "SweepResult", "SweepRunner", "run_sweep_job"]
+__all__ = [
+    "JobResult",
+    "SweepResult",
+    "SweepRunner",
+    "reroot_worker_spans",
+    "run_sweep_job",
+]
 
 
 @dataclass
@@ -151,12 +160,16 @@ def run_sweep_job(
     )
 
 
-def _worker_run(payload: tuple) -> tuple[list[dict], dict, dict]:
+def _worker_run(payload: tuple) -> tuple[list[dict], dict, dict, list]:
     """Process-pool entry: run a slice of jobs, return plain dicts.
 
-    Returns ``(results, cache_stats, counters)`` -- everything the
-    parent needs to merge deterministically and to fold the worker's
-    metrics into its own registry.
+    Returns ``(results, cache_stats, metrics_snapshot, spans)`` --
+    everything the parent needs to merge deterministically: job rows
+    keyed by spec index, the cache tally, the worker's full metrics
+    snapshot (counters *and* histograms; the parent folds it via
+    :meth:`MetricsRegistry.merge`), and the worker's serialized span
+    forest, which the parent re-roots under a per-worker span so
+    ``obs.trace_roots()`` / ``phase_totals()`` see the whole run.
     """
     jobs, cache_dir, readonly, validate, observe = payload
     cache = (
@@ -166,16 +179,46 @@ def _worker_run(payload: tuple) -> tuple[list[dict], dict, dict]:
     )
     if observe:
         # A fresh registry per worker: fork inherits the parent's
-        # counts, which must not be double-reported.
+        # counts and spans, which must not be double-reported.
         obs.reset()
         obs.enable()
     out = []
     for job in jobs:
         res = run_sweep_job(job, cache, validate=validate)
         out.append({"index": job.index, **res.as_dict()})
-    counters = obs.registry().snapshot()["counters"] if observe else {}
+    snapshot = obs.registry().snapshot() if observe else {}
+    spans = (
+        [r.as_dict() for r in obs.trace_roots()] if observe else []
+    )
     stats = cache.stats.as_dict() if cache is not None else {}
-    return out, stats, counters
+    return out, stats, snapshot, spans
+
+
+def reroot_worker_spans(
+    worker_id: int, span_docs: list, **attrs
+) -> None:
+    """Attach a worker's serialized span forest to the live trace.
+
+    The forest is rebuilt and wrapped in one ``sweep.worker`` span
+    whose attrs carry ``worker_id`` (the exporters key process rows
+    off it) plus anything the caller adds; timing is derived from the
+    children (monotonic clocks are shared across ``fork``, so child
+    timestamps line up with the parent's spans).  No-op when tracing
+    is disabled or the worker produced no spans.
+    """
+    if not span_docs or not obs.enabled():
+        return
+    children = [obs.SpanRecord.from_dict(d) for d in span_docs]
+    start = min((c.start for c in children if c.start), default=0.0)
+    end = max((c.end() for c in children), default=start)
+    wrapper = obs.SpanRecord(
+        name="sweep.worker",
+        attrs={"worker_id": worker_id, **attrs},
+        start=start,
+        duration=max(0.0, end - start),
+        children=children,
+    )
+    obs.attach(wrapper)
 
 
 class SweepRunner:
@@ -188,26 +231,49 @@ class SweepRunner:
         cache_readonly: bool = False,
         workers: int = 1,
         validate: bool = True,
+        trace_out: str | os.PathLike | None = None,
+        events_out: str | os.PathLike | None = None,
     ):
         self.cache_dir = cache_dir
         self.cache_readonly = cache_readonly
         self.workers = max(1, int(workers))
         self.validate = validate
+        self.trace_out = trace_out
+        self.events_out = events_out
 
     def run(self, spec: SweepSpec) -> SweepResult:
         jobs = spec.expand()
+        # An export request implies observation: turn collection on
+        # for the run (and back off, if we enabled it) so the written
+        # trace is never empty by accident.
+        exporting = self.trace_out or self.events_out
+        enabled_here = bool(exporting) and not obs.enabled()
+        if enabled_here:
+            obs.enable()
         t0 = time.perf_counter()
-        with obs.span(
-            "sweep.run", spec=spec.name, jobs=len(jobs),
-            workers=self.workers,
-        ):
-            if self.workers == 1 or len(jobs) <= 1:
-                result = self._run_serial(spec, jobs)
-            else:
-                result = self._run_parallel(spec, jobs)
-        result.elapsed_s = time.perf_counter() - t0
-        obs.count("sweep.runs")
-        obs.count("sweep.jobs", len(jobs))
+        try:
+            with obs.span(
+                "sweep.run", spec=spec.name, jobs=len(jobs),
+                workers=self.workers,
+            ):
+                if self.workers == 1 or len(jobs) <= 1:
+                    result = self._run_serial(spec, jobs)
+                else:
+                    result = self._run_parallel(spec, jobs)
+            result.elapsed_s = time.perf_counter() - t0
+            obs.count("sweep.runs")
+            obs.count("sweep.jobs", len(jobs))
+            if self.trace_out:
+                from repro.obs.export import write_chrome_trace
+
+                write_chrome_trace(self.trace_out)
+            if self.events_out:
+                from repro.obs.export import write_jsonl
+
+                write_jsonl(self.events_out)
+        finally:
+            if enabled_here:
+                obs.disable()
         return result
 
     def _open_cache(self) -> LayoutCache | None:
@@ -250,9 +316,18 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=len(payloads), mp_context=_mp_context()
         ) as pool:
-            for results, stats, counters in pool.map(_worker_run, payloads):
+            # pool.map yields in payload order, so metric folds and
+            # span re-rooting happen in worker-id order -- the merged
+            # registry and trace are deterministic for a given worker
+            # count, mirroring the row-merge guarantee.
+            for wid, (results, stats, snapshot, spans) in enumerate(
+                pool.map(_worker_run, payloads)
+            ):
+                indices = []
                 for doc in results:
-                    merged[doc.pop("index")] = JobResult(
+                    index = doc.pop("index")
+                    indices.append(index)
+                    merged[index] = JobResult(
                         job_id=doc["job_id"],
                         network=doc["network"],
                         scheme=doc["scheme"],
@@ -264,8 +339,13 @@ class SweepRunner:
                         elapsed_s=doc["elapsed_s"],
                     )
                 out.cache_stats.merge(stats)
-                if counters and obs.enabled():
-                    obs.registry().merge({"counters": counters})
+                if snapshot and obs.enabled():
+                    obs.registry().merge(snapshot)
+                reroot_worker_spans(
+                    wid, spans,
+                    jobs=len(indices),
+                    indices=",".join(str(i) for i in sorted(indices)),
+                )
         out.results = [merged[i] for i in sorted(merged)]
         return out
 

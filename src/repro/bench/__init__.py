@@ -5,6 +5,27 @@ from repro.bench.harness import (
     format_table,
     json_cell,
     print_table,
+    timed_median,
+)
+from repro.bench.trajectory import (
+    TRAJECTORY_SCHEMA,
+    append_record,
+    bench_diff,
+    gate_ratios,
+    load_timings,
+    trajectory_record,
 )
 
-__all__ = ["print_table", "comparison_row", "format_table", "json_cell"]
+__all__ = [
+    "print_table",
+    "comparison_row",
+    "format_table",
+    "json_cell",
+    "timed_median",
+    "TRAJECTORY_SCHEMA",
+    "append_record",
+    "bench_diff",
+    "gate_ratios",
+    "load_timings",
+    "trajectory_record",
+]

@@ -536,8 +536,9 @@ def _fuzz_worker(payload: tuple) -> dict:
                 and len(out["failures"]) >= max_failures
             ):
                 break
-    out["counters"] = (
-        obs.registry().snapshot()["counters"] if observe else {}
+    out["snapshot"] = obs.registry().snapshot() if observe else {}
+    out["spans"] = (
+        [r.as_dict() for r in obs.trace_roots()] if observe else []
     )
     return out
 
@@ -552,6 +553,8 @@ def _run_fuzz_parallel(
 
     from repro.batch.runner import _mp_context
 
+    from repro.batch.runner import reroot_worker_spans
+
     payloads = [
         (wid, workers) + payload_base for wid in range(workers)
     ]
@@ -559,7 +562,7 @@ def _run_fuzz_parallel(
     with ProcessPoolExecutor(
         max_workers=workers, mp_context=_mp_context()
     ) as pool:
-        for out in pool.map(_fuzz_worker, payloads):
+        for wid, out in enumerate(pool.map(_fuzz_worker, payloads)):
             report.cases_run += out["cases_run"]
             for k, v in out["kind_counts"].items():
                 report.kind_counts[k] = report.kind_counts.get(k, 0) + v
@@ -582,8 +585,11 @@ def _run_fuzz_parallel(
                     skipped=list(doc["skipped"]),
                 )
                 failures.append((doc["index"], res))
-            if out["counters"] and obs.enabled():
-                obs.registry().merge({"counters": out["counters"]})
+            if out["snapshot"] and obs.enabled():
+                obs.registry().merge(out["snapshot"])
+            reroot_worker_spans(
+                wid, out["spans"], cases=out["cases_run"]
+            )
     failures.sort(key=lambda pair: pair[0])
     report.failures = [res for _, res in failures]
     if max_failures is not None:

@@ -17,10 +17,14 @@ stack    3-D deck stacking for a torus (A x B x C of rings)
 stats    run the zoo traced and print a pipeline-phase timing breakdown
 fuzz     differential fuzzing: random networks through every scheme,
          cross-checked against independent oracles
+bench-diff  compare two bench/trajectory JSONs and flag perf
+         regressions past a threshold (nonzero exit on regression)
 
 Every command also accepts ``--trace`` (print the span tree after the
-run) and ``--report FILE`` (write a machine-readable JSON run report,
-see :mod:`repro.obs`).
+run), ``--report FILE`` (write a machine-readable JSON run report),
+``--trace-out FILE`` (write a Chrome trace-event file, loadable in
+ui.perfetto.dev), and ``--events-out FILE`` (write a JSONL event log
+for grep/jq); see :mod:`repro.obs`.
 
 Network specs for ``layout`` are ``family:arg,arg,...``, e.g.::
 
@@ -176,15 +180,21 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_stats(args) -> int:
     """Run the zoo with tracing on; print the phase timing breakdown."""
+    import time as _time
+
     if getattr(args, "mem", False):
         return _cmd_stats_mem(args)
     obs.enable()
     nets = _zoo_networks()
     for net in nets:
+        t0 = _time.perf_counter()
         with obs.span("network", network=net.name, N=net.num_nodes):
             lay = _zoo_dispatch(net, args.layers)
             validate_layout(lay)
             measure(lay)
+        obs.observe(
+            "stats.network_ms", (_time.perf_counter() - t0) * 1e3
+        )
     totals = obs.phase_totals()
     grand = sum(t["self_s"] for t in totals.values()) or 1.0
     rows = [
@@ -205,6 +215,20 @@ def _cmd_stats(args) -> int:
         ["phase", "calls", "total ms", "self ms", "self share"],
         rows,
     )
+    hists = obs.registry().snapshot()["histograms"]
+    if hists:
+        print_table(
+            "histogram summaries (percentiles estimated from buckets)",
+            ["histogram", "count", "mean", "p50", "p90", "p99"],
+            [
+                [
+                    name, h["count"], f"{h['mean']:.2f}",
+                    f"{h['p50']:.2f}", f"{h['p90']:.2f}",
+                    f"{h['p99']:.2f}",
+                ]
+                for name, h in sorted(hists.items())
+            ],
+        )
     return 0
 
 
@@ -432,6 +456,41 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_bench_diff(args) -> int:
+    """Compare two bench documents; exit 1 on perf regressions."""
+    from repro.bench.trajectory import bench_diff, format_diff_rows
+
+    diff = bench_diff(args.old, args.new, threshold=args.threshold)
+    pct = diff["threshold"] * 100
+    if diff["rows"]:
+        print_table(
+            f"bench timings: {diff['old_label']} -> "
+            f"{diff['new_label']} (threshold {pct:.0f}%)",
+            ["table", "old s", "new s", "delta", "verdict"],
+            format_diff_rows(diff["rows"]),
+        )
+    else:
+        print("bench-diff: no bench timings in common")
+    if diff["gate_rows"]:
+        print_table(
+            f"performance-gate ratios (drop > {pct:.0f}% regresses)",
+            ["gate", "old ratio", "new ratio", "delta", "verdict"],
+            format_diff_rows(diff["gate_rows"]),
+        )
+    for key, label in (("only_old", "removed"), ("only_new", "new")):
+        if diff[key]:
+            print(f"{label} bench(es): {', '.join(diff[key])}")
+    bad = diff["regressions"] + diff["gate_regressions"]
+    if bad:
+        print(
+            f"bench-diff: {len(bad)} regression(s) past "
+            f"{pct:.0f}%: {', '.join(bad)}"
+        )
+        return 1
+    print("bench-diff: OK (no regressions past threshold)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -451,6 +510,16 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--profile", metavar="FILE",
         help="run the command under cProfile and dump pstats to FILE",
+    )
+    common.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace-event JSON (open in ui.perfetto.dev "
+        "or about:tracing; parallel sweeps get one row per worker)",
+    )
+    common.add_argument(
+        "--events-out", metavar="FILE",
+        help="write a line-delimited JSON event log (spans + metric "
+        "samples) for grep/jq",
     )
 
     def add_parser(name, **kw):
@@ -570,6 +639,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shrink", dest="shrink", action="store_false",
                    help="report failures raw, without delta-debugging")
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = add_parser(
+        "bench-diff",
+        help="compare two bench/trajectory JSONs; exit 1 on regression",
+    )
+    p.add_argument(
+        "old",
+        help="baseline: trajectory .jsonl (newest record), "
+        "BENCH_summary.json, or a bench-result JSON",
+    )
+    p.add_argument("new", help="candidate document, same formats")
+    p.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional slowdown (or gate-ratio drop) that counts as "
+        "a regression (default 0.15)",
+    )
+    p.set_defaults(fn=_cmd_bench_diff)
     return parser
 
 
@@ -579,7 +665,12 @@ def main(argv: list[str] | None = None) -> int:
     trace = getattr(args, "trace", False)
     report_path = getattr(args, "report", None)
     profile_path = getattr(args, "profile", None)
-    observing = trace or report_path or args.command == "stats"
+    trace_out = getattr(args, "trace_out", None)
+    events_out = getattr(args, "events_out", None)
+    observing = (
+        trace or report_path or trace_out or events_out
+        or args.command == "stats"
+    )
     if observing:
         obs.reset()
         obs.enable()
@@ -599,6 +690,13 @@ def main(argv: list[str] | None = None) -> int:
         if trace:
             print("\n== span tree ==")
             print(obs.format_span_tree())
+        if trace_out:
+            obs.write_chrome_trace(trace_out)
+            print(f"chrome trace written to {trace_out} "
+                  "(open in ui.perfetto.dev)")
+        if events_out:
+            obs.write_jsonl(events_out)
+            print(f"event log written to {events_out}")
         if report_path:
             layers = getattr(args, "layers", None)
             rep = obs.collect_report(
@@ -606,7 +704,8 @@ def main(argv: list[str] | None = None) -> int:
                 spec={
                     k: v
                     for k, v in vars(args).items()
-                    if k not in ("fn", "trace", "report", "profile")
+                    if k not in ("fn", "trace", "report", "profile",
+                                 "trace_out", "events_out")
                     and isinstance(v, (str, int, float, bool, type(None)))
                 },
                 # sweep takes a *list* of layer budgets; the report

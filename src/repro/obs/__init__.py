@@ -31,6 +31,13 @@ Usage::
 """
 
 from repro.obs import trace as _trace
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,6 +55,7 @@ from repro.obs.report import (
 from repro.obs.trace import (
     Span,
     SpanRecord,
+    attach,
     disable,
     enable,
     enabled,
@@ -68,10 +76,17 @@ __all__ = [
     "span",
     "Span",
     "SpanRecord",
+    "attach",
     "trace_roots",
     "reset_trace",
     "phase_totals",
     "format_span_tree",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "jsonl_events",
+    "write_jsonl",
     # metrics
     "count",
     "observe",

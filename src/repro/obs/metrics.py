@@ -90,6 +90,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from buckets.
+
+        The estimate interpolates linearly inside the bucket holding
+        the rank, with the bucket's value range clamped to the
+        observed ``min``/``max`` (so a single-bucket histogram reports
+        exact percentiles and the overflow bucket tops out at ``max``
+        rather than infinity).  Deterministic, and exact whenever all
+        observations in the deciding bucket share one value.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return float(hi)
+                frac = (rank - cum) / n
+                return float(lo + (hi - lo) * frac)
+            cum += n
+        return float(self.max)
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -97,11 +128,78 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
             "buckets": {
                 f"le_{edge}": n for edge, n in zip(self.bounds, self.buckets)
             }
             | {"overflow": self.buckets[-1]},
         }
+
+    def _widen(self, new_bounds: tuple) -> None:
+        """Rebucket onto ``new_bounds`` (a superset of ``self.bounds``).
+
+        Every existing edge appears in ``new_bounds``, so each bucket
+        count moves verbatim to the bucket ending at the same edge --
+        counts are conserved exactly, at the cost of finer new edges
+        inside an old bucket's range staying empty.
+        """
+        mapping = {edge: new_bounds.index(edge) for edge in self.bounds}
+        buckets = [0] * (len(new_bounds) + 1)
+        for edge, n in zip(self.bounds, self.buckets):
+            buckets[mapping[edge]] += n
+        buckets[-1] += self.buckets[-1]
+        self.bounds = tuple(new_bounds)
+        self.buckets = buckets
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold another histogram's :meth:`as_dict` form into this one.
+
+        Mismatched bucket bounds widen both sides to the sorted union
+        of edges, so no count is dropped; summaries (count/sum/min/
+        max) combine exactly, while bucket counts keep upper-edge
+        placement (a count recorded against edge ``e`` stays at ``e``
+        even if the union introduces finer edges below it).
+        """
+        other_bounds, other_counts, overflow = _parse_buckets(
+            data.get("buckets", {})
+        )
+        with self._lock:
+            if other_bounds != self.bounds:
+                union = tuple(sorted(set(self.bounds) | set(other_bounds)))
+                self._widen(union)
+            index = {edge: i for i, edge in enumerate(self.bounds)}
+            for edge, n in zip(other_bounds, other_counts):
+                self.buckets[index[edge]] += n
+            self.buckets[-1] += overflow
+            self.count += int(data.get("count", 0))
+            self.total += float(data.get("sum", 0.0))
+            for key, pick in (("min", min), ("max", max)):
+                v = data.get(key)
+                if v is None:
+                    continue
+                mine = getattr(self, key)
+                setattr(self, key, v if mine is None else pick(mine, v))
+
+
+def _parse_buckets(buckets: dict) -> tuple[tuple, list[int], int]:
+    """Recover ``(bounds, counts, overflow)`` from an as_dict bucket map."""
+    edges = []
+    overflow = 0
+    for key, n in buckets.items():
+        if key == "overflow":
+            overflow = int(n)
+            continue
+        text = key[3:] if key.startswith("le_") else key
+        edge = float(text)
+        if edge.is_integer():
+            edge = int(edge)
+        edges.append((edge, int(n)))
+    edges.sort(key=lambda en: en[0])
+    bounds = tuple(e for e, _ in edges)
+    counts = [n for _, n in edges]
+    return bounds, counts, overflow
 
 
 class MetricsRegistry:
@@ -151,15 +249,21 @@ class MetricsRegistry:
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters add, gauges take the incoming value (last-write-wins,
-        matching :meth:`Gauge.set`).  Histogram summaries are not
-        refoldable from their dict form and are ignored; the sweep
-        workers that use this only emit counters.
+        Counters add; gauges take the incoming value (last-write-wins,
+        matching :meth:`Gauge.set`); histograms fold bucket-by-bucket
+        via :meth:`Histogram.merge_dict`, widening to the union of
+        bucket bounds when the two sides disagree.  This is what the
+        sweep/fuzz parents call on each worker's snapshot, in worker
+        order, so the merged registry is deterministic for a given
+        worker count.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds, _, _ = _parse_buckets(data.get("buckets", {}))
+            self.histogram(name, bounds or None).merge_dict(data)
 
     def reset(self) -> None:
         with self._lock:

@@ -27,6 +27,7 @@ __all__ = [
     "disable",
     "enabled",
     "span",
+    "attach",
     "trace_roots",
     "reset_trace",
     "phase_totals",
@@ -50,15 +51,37 @@ class SpanRecord:
     def as_dict(self) -> dict:
         return {
             "name": self.name,
+            "start_s": self.start,
             "duration_ms": round(self.duration * 1e3, 4),
             "attrs": dict(self.attrs),
             "counts": dict(self.counts),
             "children": [c.as_dict() for c in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        """Rebuild a span tree from its :meth:`as_dict` form.
+
+        This is how worker processes ship their span forests home:
+        serialize with ``as_dict``, rebuild in the parent, re-root
+        under a per-worker span (see :func:`attach`).
+        """
+        return cls(
+            name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+            start=float(data.get("start_s", 0.0)),
+            duration=float(data.get("duration_ms", 0.0)) / 1e3,
+            counts=dict(data.get("counts", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
     def self_time(self) -> float:
         """Duration minus time attributed to child spans."""
         return self.duration - sum(c.duration for c in self.children)
+
+    def end(self) -> float:
+        """``start + duration``: when the span closed (monotonic)."""
+        return self.start + self.duration
 
 
 class _Collector:
@@ -167,6 +190,25 @@ def span(name: str, /, **attrs):
     if not _enabled:
         return NOOP_SPAN
     return Span(name, attrs)
+
+
+def attach(rec: SpanRecord) -> None:
+    """Graft an already-built span tree into the live trace.
+
+    The subtree lands under the innermost span currently open on this
+    thread, or as a new root when none is open.  This is the parent
+    side of cross-process tracing: worker forests come home as dicts,
+    are rebuilt with :meth:`SpanRecord.from_dict`, wrapped in a
+    per-worker span, and attached under the orchestrating span.
+    """
+    if not _enabled:
+        return
+    stack = _collector._stack()
+    if stack:
+        stack[-1].children.append(rec)
+    else:
+        with _collector._lock:
+            _collector._roots.append(rec)
 
 
 def enable() -> None:

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.batch import (
     LayoutCache,
     SweepRunner,
@@ -102,6 +103,81 @@ class TestRunner:
         doc = json.loads(json.dumps(res.as_dict()))
         assert doc["jobs"] == 1
         assert doc["results"][0]["metrics"]["N"] == 6
+
+
+class TestCrossProcessTrace:
+    """Worker span forests must come home and merge deterministically."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    @staticmethod
+    def _span_names(roots):
+        names = set()
+        stack = list(roots)
+        while stack:
+            rec = stack.pop()
+            names.add(rec.name)
+            stack.extend(rec.children)
+        return names
+
+    def _observed_run(self, workers):
+        obs.reset()
+        obs.enable()
+        SweepRunner(workers=workers).run(SPEC)
+        return obs.trace_roots(), obs.phase_totals(), (
+            obs.registry().snapshot()
+        )
+
+    def test_parallel_trace_matches_serial(self):
+        """The satellite gate: workers=1 vs workers=4 agree on every
+        phase's call count and on the span-name set (timings aside);
+        the only parallel-side extra is the per-worker wrapper."""
+        roots1, totals1, snap1 = self._observed_run(1)
+        roots4, totals4, snap4 = self._observed_run(4)
+
+        names1 = self._span_names(roots1)
+        names4 = self._span_names(roots4)
+        assert names4 - {"sweep.worker"} == names1
+        assert "sweep.worker" in names4
+
+        calls1 = {n: t["calls"] for n, t in totals1.items()}
+        calls4 = {
+            n: t["calls"] for n, t in totals4.items()
+            if n != "sweep.worker"
+        }
+        assert calls4 == calls1
+        # Counter folds already guaranteed this; spans now match too.
+        assert snap4["counters"] == snap1["counters"]
+
+    def test_worker_spans_are_rerooted_under_sweep_run(self):
+        roots, _, _ = self._observed_run(4)
+        assert [r.name for r in roots] == ["sweep.run"]
+        workers = [
+            c for c in roots[0].children if c.name == "sweep.worker"
+        ]
+        assert workers, "no worker spans re-rooted"
+        # Worker order (and hence attrs) is deterministic.
+        assert [w.attrs["worker_id"] for w in workers] == list(
+            range(len(workers))
+        )
+        for w in workers:
+            assert w.children, "worker span lost its forest"
+            assert {c.name for c in w.children} == {"sweep.job"}
+            total_jobs = sum(
+                1 for w in workers for _ in w.children
+            )
+        assert total_jobs == len(SPEC.expand())
+
+    def test_serial_run_has_no_worker_wrappers(self):
+        roots, totals, _ = self._observed_run(1)
+        assert "sweep.worker" not in self._span_names(roots)
+        assert totals["sweep.job"]["calls"] == len(SPEC.expand())
 
 
 class TestCLI:

@@ -1,0 +1,234 @@
+"""Perf-regression tracker: trajectory records and bench-diff."""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    TRAJECTORY_SCHEMA,
+    append_record,
+    bench_diff,
+    gate_ratios,
+    git_sha,
+    load_records,
+    load_timings,
+    trajectory_record,
+)
+from repro.cli import main
+
+SUMMARY = {
+    "schema": "repro.bench-summary/v1",
+    "environment": {"python": "3.12"},
+    "total_seconds": 12.5,
+    "benches": [
+        {"bench": "bench_kary", "seconds": 4.0},
+        {"bench": "bench_performance", "seconds": 8.5},
+    ],
+}
+
+PERF_RECORD = {
+    "schema": "repro.bench-result/v1",
+    "bench": "bench_performance",
+    "tests": [
+        {"test": "test_cache", "seconds": 5.0},
+        {"test": "test_dp", "seconds": 3.5},
+    ],
+    "tables": [
+        {
+            "title": "E7c: cold vs warm",
+            "headers": ["pass", "seconds", "speedup"],
+            "rows": [["cold", "1.0", "1.00x"], ["warm", "0.1", "9.6x"]],
+        },
+        {
+            "title": "E7h: memory",
+            "headers": ["layout", "bytes", "reduction"],
+            "rows": [["8-cube", "1", "2.9x"], ["10-cube", "2", "2.2x"]],
+        },
+        {
+            "title": "no ratio column here",
+            "headers": ["a", "b"],
+            "rows": [["x", "y"]],
+        },
+    ],
+}
+
+
+def _slowed(summary, factor):
+    doc = json.loads(json.dumps(summary))
+    for b in doc["benches"]:
+        b["seconds"] = round(b["seconds"] * factor, 4)
+    return doc
+
+
+class TestRecord:
+    def test_trajectory_record_contents(self):
+        rec = trajectory_record(
+            SUMMARY, {"bench_performance": PERF_RECORD}, sha="abc123"
+        )
+        assert rec["schema"] == TRAJECTORY_SCHEMA
+        assert rec["git_sha"] == "abc123"
+        assert rec["benches"] == {
+            "bench_kary": 4.0, "bench_performance": 8.5,
+        }
+        assert rec["tests"]["bench_performance::test_cache"] == 5.0
+        assert rec["gates"] == {"E7c": 9.6, "E7h": 2.2}
+        assert rec["total_seconds"] == 12.5
+
+    def test_gate_ratios_skip_baseline_rows(self):
+        gates = gate_ratios(PERF_RECORD)
+        assert gates["E7c"] == 9.6  # not the 1.00x baseline row
+
+    def test_git_sha_in_this_repo(self):
+        sha = git_sha()
+        assert sha is None or len(sha) == 40
+
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        for sha in ("a" * 40, "b" * 40):
+            append_record(
+                path, trajectory_record(SUMMARY, None, sha=sha)
+            )
+        records = load_records(path)
+        assert [r["git_sha"] for r in records] == ["a" * 40, "b" * 40]
+        label, timings, gates = load_timings(path)
+        assert label.endswith("bbbbbbbbbbbb")  # newest record wins
+        assert timings["bench_kary"] == 4.0
+        assert gates == {}
+
+
+class TestLoadTimings:
+    def test_summary_json(self, tmp_path):
+        p = tmp_path / "BENCH_summary.json"
+        p.write_text(json.dumps(SUMMARY))
+        _, timings, gates = load_timings(p)
+        assert timings == {"bench_kary": 4.0, "bench_performance": 8.5}
+        assert gates == {}
+
+    def test_bench_result_json(self, tmp_path):
+        p = tmp_path / "bench_performance.json"
+        p.write_text(json.dumps(PERF_RECORD))
+        _, timings, gates = load_timings(p)
+        assert timings == {
+            "bench_performance::test_cache": 5.0,
+            "bench_performance::test_dp": 3.5,
+        }
+        assert gates == {"E7c": 9.6, "E7h": 2.2}
+
+    def test_unrecognized_document(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_timings(p)
+
+    def test_empty_trajectory(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_timings(p)
+
+
+class TestBenchDiff:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return p
+
+    def test_identical_runs_are_clean(self, tmp_path):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", SUMMARY)
+        diff = bench_diff(old, new)
+        assert diff["regressions"] == []
+        assert all(r[4] == "ok" for r in diff["rows"])
+
+    def test_synthetic_slowdown_regresses(self, tmp_path):
+        """The acceptance case: a 1.3x-slowed bench JSON must trip the
+        default 15% threshold."""
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", _slowed(SUMMARY, 1.3))
+        diff = bench_diff(old, new)
+        assert set(diff["regressions"]) == {
+            "bench_kary", "bench_performance",
+        }
+        worst = diff["rows"][0]
+        assert worst[4] == "REGRESSION"
+        assert worst[3] == pytest.approx(0.3, abs=0.01)
+
+    def test_speedup_never_regresses(self, tmp_path):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", _slowed(SUMMARY, 0.5))
+        diff = bench_diff(old, new)
+        assert diff["regressions"] == []
+        assert all(r[4] == "improved" for r in diff["rows"])
+
+    def test_threshold_is_respected(self, tmp_path):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", _slowed(SUMMARY, 1.3))
+        assert bench_diff(old, new, threshold=0.5)["regressions"] == []
+
+    def test_gate_ratio_drop_regresses(self, tmp_path):
+        old = self._write(tmp_path, "old.json", PERF_RECORD)
+        worse = json.loads(json.dumps(PERF_RECORD))
+        worse["tables"][0]["rows"][1][2] = "4.0x"  # E7c 9.6x -> 4.0x
+        new = self._write(tmp_path, "new.json", worse)
+        diff = bench_diff(old, new)
+        assert diff["gate_regressions"] == ["E7c"]
+
+    def test_disjoint_benches_reported_not_gated(self, tmp_path):
+        other = json.loads(json.dumps(SUMMARY))
+        other["benches"][0]["bench"] = "bench_new"
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", other)
+        diff = bench_diff(old, new)
+        assert diff["only_old"] == ["bench_kary"]
+        assert diff["only_new"] == ["bench_new"]
+        assert diff["regressions"] == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", SUMMARY)
+        assert main(["bench-diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "bench-diff: OK" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(
+            tmp_path, "new.json", _slowed(SUMMARY, 1.3)
+        )
+        assert main(["bench-diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "regression(s) past 15%" in out
+
+    def test_threshold_flag(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(
+            tmp_path, "new.json", _slowed(SUMMARY, 1.3)
+        )
+        assert main(
+            ["bench-diff", old, new, "--threshold", "0.5"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_against_committed_baseline(self, tmp_path, capsys):
+        """The repo's own trajectory baseline must diff cleanly
+        against itself -- the shape CI runs."""
+        import pathlib
+
+        baseline = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "trajectory.jsonl"
+        )
+        if not baseline.exists():
+            pytest.skip("no committed baseline")
+        assert main(
+            ["bench-diff", str(baseline), str(baseline)]
+        ) == 0
+        capsys.readouterr()

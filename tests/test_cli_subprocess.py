@@ -151,6 +151,73 @@ class TestStatsMem:
         assert ratios and all(r >= 1.0 for r in ratios)
 
 
+class TestTraceOut:
+    """--trace-out must emit loadable Chrome trace-event JSON."""
+
+    @staticmethod
+    def _check_chrome_schema(doc):
+        from repro.obs.export import validate_chrome_trace
+
+        validate_chrome_trace(doc)
+        events = doc["traceEvents"]
+        assert events, "empty trace"
+        completes = [e for e in events if e["ph"] == "X"]
+        assert completes, "no span events"
+        for ev in completes:
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+        return completes
+
+    def test_sweep_trace_out(self, tmp_path):
+        trace = tmp_path / "sweep-trace.json"
+        p = run_cli(
+            "sweep", "--networks", "ring:8", "hypercube:3", "star:3",
+            "complete:5", "--layers", "2", "--workers", "2",
+            "--trace-out", str(trace),
+        )
+        assert p.returncode == 0, p.stderr
+        assert f"chrome trace written to {trace}" in p.stdout
+        completes = self._check_chrome_schema(
+            json.loads(trace.read_text())
+        )
+        # One process row per worker, plus the orchestrating process.
+        pids = {e["pid"] for e in completes}
+        assert pids == {0, 1, 2}
+        names = {e["name"] for e in completes}
+        assert {"sweep.run", "sweep.worker", "sweep.job",
+                "build"} <= names
+
+    def test_fuzz_trace_out(self, tmp_path):
+        trace = tmp_path / "fuzz-trace.json"
+        p = run_cli(
+            "fuzz", "--budget", "4", "--seed", "0",
+            "--trace-out", str(trace),
+        )
+        assert p.returncode == 0, p.stderr
+        completes = self._check_chrome_schema(
+            json.loads(trace.read_text())
+        )
+        names = {e["name"] for e in completes}
+        assert {"fuzz.run", "fuzz.case"} <= names
+
+    def test_events_out_jsonl(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        p = run_cli(
+            "sweep", "--networks", "ring:8", "--layers", "2",
+            "--events-out", str(events),
+        )
+        assert p.returncode == 0, p.stderr
+        lines = [
+            json.loads(line)
+            for line in events.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        types = {line["type"] for line in lines}
+        assert {"span", "counter"} <= types
+
+
 class TestReportsAcrossCommands:
     @pytest.mark.parametrize(
         "args",

@@ -158,6 +158,107 @@ class TestMetrics:
         obs.registry().reset()
         assert obs.registry().snapshot()["counters"] == {}
 
+    def test_histogram_percentiles(self):
+        obs.enable()
+        h = obs.registry().histogram("lat")
+        for v in range(1, 101):  # 1..100, near-uniform
+            h.observe(v)
+        assert h.percentile(1.0) == 100
+        # Bucket interpolation keeps estimates within one bucket width.
+        assert h.percentile(0.5) == pytest.approx(50, abs=15)
+        assert h.percentile(0.9) == pytest.approx(90, abs=15)
+        d = h.as_dict()
+        assert d["p50"] <= d["p90"] <= d["p99"] <= 100
+
+    def test_histogram_percentile_single_value_is_exact(self):
+        obs.enable()
+        h = obs.registry().histogram("const")
+        for _ in range(10):
+            h.observe(7)
+        assert h.percentile(0.5) == 7
+        assert h.percentile(0.99) == 7
+
+    def test_histogram_percentile_empty_and_bad_q(self):
+        h = obs.Histogram()
+        assert h.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_merge_folds_counters_gauges_histograms(self):
+        obs.enable()
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.counter("jobs").inc(2)
+        b.counter("jobs").inc(3)
+        b.gauge("depth").set(9)
+        for v in (1, 5, 2000):
+            a.histogram("q").observe(v)
+        for v in (2, 64):
+            b.histogram("q").observe(v)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["jobs"] == 5
+        assert snap["gauges"]["depth"] == 9
+        q = snap["histograms"]["q"]
+        assert q["count"] == 5
+        assert q["sum"] == 2072
+        assert q["min"] == 1 and q["max"] == 2000
+        assert q["buckets"]["le_1"] == 1   # a's 1
+        assert q["buckets"]["le_2"] == 1   # b's 2
+        assert q["buckets"]["le_8"] == 1   # a's 5
+        assert q["buckets"]["le_64"] == 1  # b's 64
+        assert q["buckets"]["overflow"] == 1  # a's 2000
+
+    def test_merge_histograms_with_mismatched_bounds_widens(self):
+        """The satellite case: different bucket edges must union, not
+        silently drop (the old merge ignored histograms entirely)."""
+        obs.enable()
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.histogram("mix", bounds=(10, 100)).observe(7)
+        a.histogram("mix").observe(500)  # overflow for a
+        b.histogram("mix", bounds=(50,)).observe(30)
+        b.histogram("mix").observe(40)
+        a.merge(b.snapshot())
+        h = a.snapshot()["histograms"]["mix"]
+        assert sorted(
+            int(k[3:]) for k in h["buckets"] if k != "overflow"
+        ) == [10, 50, 100]
+        assert h["count"] == 4
+        assert h["sum"] == 577
+        assert h["min"] == 7 and h["max"] == 500
+        assert h["buckets"]["le_10"] == 1     # a's 7
+        assert h["buckets"]["le_50"] == 2     # b's 30, 40
+        assert h["buckets"]["le_100"] == 0
+        assert h["buckets"]["overflow"] == 1  # a's 500
+
+    def test_merge_creates_missing_histogram_with_incoming_bounds(self):
+        obs.enable()
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        b.histogram("fresh", bounds=(3, 9)).observe(5)
+        a.merge(b.snapshot())
+        h = a.snapshot()["histograms"]["fresh"]
+        assert h["count"] == 1
+        assert h["buckets"]["le_9"] == 1
+
+    def test_merge_is_associative_enough_for_worker_folds(self):
+        """Folding worker snapshots one at a time, in worker order,
+        yields the same totals as any single combined registry."""
+        obs.enable()
+        parent = obs.MetricsRegistry()
+        workers = []
+        for wid in range(3):
+            w = obs.MetricsRegistry()
+            w.counter("n").inc(wid + 1)
+            for v in range(wid + 2):
+                w.histogram("h").observe(v + 1)
+            workers.append(w)
+        for w in workers:
+            parent.merge(w.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["n"] == 6
+        assert snap["histograms"]["h"]["count"] == 2 + 3 + 4
+
 
 class TestRunReport:
     def _traced_run(self):
