@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.obs import logging as olog
 from repro.grid.io import (
     FORMAT_VERSION,
     canonical_json,
@@ -183,6 +184,7 @@ class LayoutCache:
         except OSError:
             self.stats.misses += 1
             obs.count("cache.misses")
+            olog.debug("cache.miss", key=key[:16])
             return None
         entry = self._decode(raw, key, key_doc)
         if entry is None:
@@ -190,6 +192,11 @@ class LayoutCache:
             self.stats.misses += 1
             obs.count("cache.corrupt")
             obs.count("cache.misses")
+            olog.warning(
+                "cache.corrupt",
+                key=key[:16],
+                readonly=self.readonly,
+            )
             if not self.readonly:
                 try:
                     path.unlink()
@@ -198,6 +205,7 @@ class LayoutCache:
             return None
         self.stats.hits += 1
         obs.count("cache.hits")
+        olog.debug("cache.hit", key=key[:16])
         return entry
 
     @staticmethod
@@ -256,4 +264,5 @@ class LayoutCache:
             raise
         self.stats.writes += 1
         obs.count("cache.writes")
+        olog.debug("cache.write", key=key[:16])
         return True

@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Sequence
 
+from repro.obs import logging as olog
+
 __all__ = [
     "print_table",
     "comparison_row",
@@ -21,7 +23,11 @@ __all__ = [
 
 
 def timed_median(
-    fn: Callable[[], object], *, repeats: int = 3, warmup: int = 1
+    fn: Callable[[], object],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    label: str | None = None,
 ) -> float:
     """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
 
@@ -30,6 +36,9 @@ def timed_median(
     outlier interpreter pause cannot decide a timing gate.  Use for
     steady-state cells; cold-cache cells must keep their own
     single-sample timing, since a warmup call would defeat them.
+    ``label`` names the measurement in the structured log (benches
+    report results through their tables on stdout; per-sample
+    diagnostics go to the logger, not ``print``).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -41,7 +50,16 @@ def timed_median(
         fn()
         samples.append(time.perf_counter() - t0)
     samples.sort()
-    return samples[len(samples) // 2]
+    median = samples[len(samples) // 2]
+    olog.debug(
+        "bench.timed",
+        label=label,
+        seconds=round(median, 6),
+        repeats=repeats,
+        warmup=warmup,
+        spread_s=round(samples[-1] - samples[0], 6),
+    )
+    return median
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:

@@ -42,12 +42,15 @@ A violated invariant (or a crash anywhere in a stage) becomes a
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.batch.cache import LayoutCache
+from repro.obs import live
+from repro.obs import logging as olog
 from repro.batch.spec import dispatch_scheme
 from repro.check.generate import (
     CheckCase,
@@ -133,6 +136,7 @@ class FuzzReport:
     stage_counts: dict = field(default_factory=dict)
     failures: list[CheckResult] = field(default_factory=list)
     elapsed_s: float = 0.0
+    worker_health: dict = field(default_factory=dict)
 
     @property
     def violations(self) -> int:
@@ -457,6 +461,15 @@ def check_case(
             if found:
                 obs.count("fuzz.violations_found", found)
     obs.count("fuzz.cases_run")
+    if not res.ok:
+        olog.warning(
+            "fuzz.case_failed",
+            case=case.case_id,
+            kind=case.kind,
+            violations=[
+                [v.invariant, v.stage] for v in res.violations
+            ],
+        )
     return res
 
 
@@ -475,11 +488,16 @@ def _fuzz_worker(payload: tuple) -> dict:
     need not cross the process boundary) and keep every case with
     ``index % nworkers == wid``; failing cases come back as plain
     documents the parent rebuilds, keyed by case index so the merge
-    is invariant under worker count.
+    is invariant under worker count.  With a ``run_dir`` each worker
+    also keeps a heartbeat fresh for the parent's watchdog and
+    ``repro watch``.
     """
     (wid, nworkers, seed, budget, layers, max_nodes, stages, kinds,
      exact_limit, bisect_limit, mutation_rounds, max_failures,
-     cache_dir, observe) = payload
+     cache_dir, observe, run_dir, log_path, log_run_id) = payload
+    olog.fork_child(wid)
+    if not olog.configured() and log_path:
+        olog.configure(log_path, run_id=log_run_id, worker_id=wid)
     cache = (
         LayoutCache(cache_dir, readonly=True) if cache_dir else None
     )
@@ -488,6 +506,14 @@ def _fuzz_worker(payload: tuple) -> dict:
         # snapshot returned below holds only this worker's activity.
         obs.reset()
         obs.enable()
+    hb = None
+    if run_dir is not None:
+        hb = live.HeartbeatWriter(
+            run_dir, wid,
+            jobs_total=(budget - wid + nworkers - 1) // nworkers,
+        )
+        hb.beat(force=True)
+        hb.start_pulse()
     out: dict = {
         "cases_run": 0,
         "kind_counts": {},
@@ -499,6 +525,9 @@ def _fuzz_worker(payload: tuple) -> dict:
     )):
         if i % nworkers != wid:
             continue
+        if hb is not None:
+            hb.current_job = case.case_id
+            hb.beat(force=True)
         result = check_case(
             case,
             stages=stages,
@@ -508,6 +537,8 @@ def _fuzz_worker(payload: tuple) -> dict:
             cache=cache,
         )
         out["cases_run"] += 1
+        if hb is not None:
+            hb.job_tick()
         out["kind_counts"][case.kind] = (
             out["kind_counts"].get(case.kind, 0) + 1
         )
@@ -540,6 +571,8 @@ def _fuzz_worker(payload: tuple) -> dict:
     out["spans"] = (
         [r.as_dict() for r in obs.trace_roots()] if observe else []
     )
+    if hb is not None:
+        hb.finish("done")
     return out
 
 
@@ -548,6 +581,8 @@ def _run_fuzz_parallel(
     workers: int,
     payload_base: tuple,
     max_failures: int | None,
+    run_dir: str | None = None,
+    stall_after_s: float = live.DEFAULT_STALL_AFTER_S,
 ) -> None:
     from concurrent.futures import ProcessPoolExecutor
 
@@ -559,6 +594,11 @@ def _run_fuzz_parallel(
         (wid, workers) + payload_base for wid in range(workers)
     ]
     failures: list[tuple[int, CheckResult]] = []
+    watchdog = None
+    if run_dir is not None:
+        watchdog = live.Watchdog(
+            run_dir, stall_after_s=stall_after_s,
+        ).start()
     with ProcessPoolExecutor(
         max_workers=workers, mp_context=_mp_context()
     ) as pool:
@@ -590,6 +630,8 @@ def _run_fuzz_parallel(
             reroot_worker_spans(
                 wid, out["spans"], cases=out["cases_run"]
             )
+    if watchdog is not None:
+        report.worker_health = watchdog.stop()
     failures.sort(key=lambda pair: pair[0])
     report.failures = [res for _, res in failures]
     if max_failures is not None:
@@ -610,6 +652,8 @@ def run_fuzz(
     max_failures: int | None = None,
     workers: int = 1,
     cache_dir=None,
+    run_dir=None,
+    stall_after_s: float = live.DEFAULT_STALL_AFTER_S,
 ) -> FuzzReport:
     """Generate ``budget`` cases and differential-check each one.
 
@@ -625,53 +669,121 @@ def run_fuzz(
     serial early-stopped run.  ``cache_dir`` points every worker at a
     shared layout cache, opened read-only in workers (a serial run
     opens it read-write and populates it).
+
+    ``run_dir`` turns on live telemetry: a run manifest, per-worker
+    heartbeats, a ``log.jsonl`` sink (unless one is already
+    configured), and -- for parallel runs -- a watchdog whose final
+    per-worker verdicts land in :attr:`FuzzReport.worker_health`.
+    ``python -m repro watch RUNDIR`` renders all of it live.
     """
     from repro.check.generate import KINDS
 
     report = FuzzReport(seed=seed, budget=budget)
+    run_dir = None if run_dir is None else os.fspath(run_dir)
+    log_here = False
+    if run_dir is not None:
+        os.makedirs(run_dir, exist_ok=True)
+        if not olog.configured():
+            olog.configure(os.path.join(run_dir, live.LOG_NAME))
+            log_here = True
+        live.write_run_manifest(
+            run_dir,
+            kind="fuzz",
+            seed=seed,
+            jobs_total=budget,
+            workers=workers,
+        )
     start = time.perf_counter()
-    with obs.span(
-        "fuzz.run", seed=seed, budget=budget, workers=workers
-    ):
-        if workers > 1:
-            _run_fuzz_parallel(
-                report,
-                workers,
-                (
-                    seed, budget, layers, max_nodes, stages,
-                    kinds or KINDS, exact_limit, bisect_limit,
-                    mutation_rounds, max_failures,
-                    None if cache_dir is None else str(cache_dir),
-                    obs.enabled(),
-                ),
-                max_failures,
+    try:
+        with obs.span(
+            "fuzz.run", seed=seed, budget=budget, workers=workers
+        ):
+            olog.info(
+                "fuzz.start", seed=seed, budget=budget, workers=workers
             )
-        else:
-            cache = (
-                LayoutCache(cache_dir) if cache_dir is not None else None
-            )
-            for case in generate_cases(
-                seed,
-                budget,
-                layers=layers,
-                max_nodes=max_nodes,
-                kinds=kinds or KINDS,
-            ):
-                result = check_case(
-                    case,
-                    stages=stages,
-                    exact_limit=exact_limit,
-                    bisect_limit=bisect_limit,
-                    mutation_rounds=mutation_rounds,
-                    cache=cache,
+            if workers > 1:
+                log_path = None
+                if olog.configured():
+                    from repro.obs.logging import _config as _log_cfg
+
+                    log_path = (
+                        _log_cfg.path if _log_cfg is not None else None
+                    )
+                _run_fuzz_parallel(
+                    report,
+                    workers,
+                    (
+                        seed, budget, layers, max_nodes, stages,
+                        kinds or KINDS, exact_limit, bisect_limit,
+                        mutation_rounds, max_failures,
+                        None if cache_dir is None else str(cache_dir),
+                        obs.enabled(),
+                        run_dir,
+                        log_path,
+                        olog.run_id(),
+                    ),
+                    max_failures,
+                    run_dir,
+                    stall_after_s,
                 )
-                _tally(report, case, result)
-                if not result.ok:
-                    report.failures.append(result)
-                    if (
-                        max_failures is not None
-                        and len(report.failures) >= max_failures
+            else:
+                cache = (
+                    LayoutCache(cache_dir) if cache_dir is not None else None
+                )
+                hb = None
+                if run_dir is not None:
+                    hb = live.HeartbeatWriter(
+                        run_dir, 0, jobs_total=budget,
+                    )
+                    hb.beat(force=True)
+                    hb.start_pulse()
+                try:
+                    for case in generate_cases(
+                        seed,
+                        budget,
+                        layers=layers,
+                        max_nodes=max_nodes,
+                        kinds=kinds or KINDS,
                     ):
-                        break
-    report.elapsed_s = time.perf_counter() - start
+                        if hb is not None:
+                            hb.current_job = case.case_id
+                            hb.beat(force=True)
+                        result = check_case(
+                            case,
+                            stages=stages,
+                            exact_limit=exact_limit,
+                            bisect_limit=bisect_limit,
+                            mutation_rounds=mutation_rounds,
+                            cache=cache,
+                        )
+                        _tally(report, case, result)
+                        if hb is not None:
+                            hb.job_tick()
+                        if not result.ok:
+                            report.failures.append(result)
+                            if (
+                                max_failures is not None
+                                and len(report.failures) >= max_failures
+                            ):
+                                break
+                finally:
+                    if hb is not None:
+                        hb.finish("done")
+        report.elapsed_s = time.perf_counter() - start
+        olog.info(
+            "fuzz.done",
+            cases_run=report.cases_run,
+            failures=len(report.failures),
+            elapsed_s=round(report.elapsed_s, 4),
+        )
+        if run_dir is not None:
+            live.update_run_manifest(
+                run_dir,
+                state="done",
+                jobs_done=report.cases_run,
+                elapsed_s=round(report.elapsed_s, 4),
+            )
+    finally:
+        if log_here:
+            olog.close()
     return report

@@ -17,14 +17,21 @@ stack    3-D deck stacking for a torus (A x B x C of rings)
 stats    run the zoo traced and print a pipeline-phase timing breakdown
 fuzz     differential fuzzing: random networks through every scheme,
          cross-checked against independent oracles
+watch    live status console for a sweep/fuzz run directory: per-worker
+         heartbeats, jobs/sec, ETA, cache hit-rate, log tail
+         (``--once --json`` for scripts and CI)
 bench-diff  compare two bench/trajectory JSONs and flag perf
          regressions past a threshold (nonzero exit on regression)
 
 Every command also accepts ``--trace`` (print the span tree after the
 run), ``--report FILE`` (write a machine-readable JSON run report),
 ``--trace-out FILE`` (write a Chrome trace-event file, loadable in
-ui.perfetto.dev), and ``--events-out FILE`` (write a JSONL event log
-for grep/jq); see :mod:`repro.obs`.
+ui.perfetto.dev), ``--events-out FILE`` (write a JSONL event log for
+grep/jq), ``--log-out FILE`` (structured JSONL logging; threshold via
+``REPRO_LOG_LEVEL``), and ``--metrics-out FILE`` (Prometheus text
+exposition, refreshed live during sweeps); see :mod:`repro.obs`.
+``sweep`` and ``fuzz`` take ``--run-dir DIR`` to keep heartbeats, the
+log, and the run manifest where ``repro watch`` can find them.
 
 Network specs for ``layout`` are ``family:arg,arg,...``, e.g.::
 
@@ -37,9 +44,12 @@ Network specs for ``layout`` are ``family:arg,arg,...``, e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import obs
+from repro.obs import live
+from repro.obs import logging as olog
 from repro.batch.spec import FAMILIES as _FAMILIES
 from repro.batch.spec import SCHEMES, dispatch_scheme, parse_network
 from repro.bench.harness import print_table
@@ -147,6 +157,9 @@ def _cmd_sweep(args) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         validate=args.validate,
+        run_dir=args.run_dir,
+        metrics_out=getattr(args, "metrics_out", None),
+        stall_after_s=args.stall_after,
     )
     res = runner.run(spec)
     rows = [
@@ -171,6 +184,14 @@ def _cmd_sweep(args) -> int:
             f"cache: {st.hits} hit(s), {st.misses} miss(es), "
             f"{st.writes} write(s), {st.corrupt} corrupt"
         )
+    lost = res.lost_workers()
+    if lost:
+        print(
+            "WARNING: worker(s) "
+            + ", ".join(str(w) for w in lost)
+            + " lost (see worker_health / the run log); merged rows "
+            "cover the surviving workers only"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             _json.dump(res.as_dict(), fh, indent=2)
@@ -184,14 +205,32 @@ def _cmd_stats(args) -> int:
 
     if getattr(args, "mem", False):
         return _cmd_stats_mem(args)
+    cache = None
+    if getattr(args, "cache_dir", None):
+        from repro.batch.cache import LayoutCache
+
+        cache = LayoutCache(args.cache_dir)
     obs.enable()
     nets = _zoo_networks()
     for net in nets:
         t0 = _time.perf_counter()
         with obs.span("network", network=net.name, N=net.num_nodes):
-            lay = _zoo_dispatch(net, args.layers)
-            validate_layout(lay)
-            measure(lay)
+            entry = key = key_doc = None
+            if cache is not None:
+                key, key_doc = cache.key_for(
+                    net, scheme="auto", layers=args.layers
+                )
+                entry = cache.get(key, key_doc)
+            if entry is None or entry.metrics is None:
+                lay = _zoo_dispatch(net, args.layers)
+                validate_layout(lay)
+                m = measure(lay)
+                if cache is not None:
+                    from repro.grid.io import layout_to_json
+
+                    cache.put(
+                        key, key_doc, layout_to_json(lay), m.as_dict()
+                    )
         obs.observe(
             "stats.network_ms", (_time.perf_counter() - t0) * 1e3
         )
@@ -215,7 +254,14 @@ def _cmd_stats(args) -> int:
         ["phase", "calls", "total ms", "self ms", "self share"],
         rows,
     )
-    hists = obs.registry().snapshot()["histograms"]
+    snap = obs.registry().snapshot()
+    if snap["counters"]:
+        print_table(
+            "pipeline counters (cache.* appear when --cache-dir is set)",
+            ["counter", "value"],
+            [[name, v] for name, v in sorted(snap["counters"].items())],
+        )
+    hists = snap["histograms"]
     if hists:
         print_table(
             "histogram summaries (percentiles estimated from buckets)",
@@ -424,6 +470,7 @@ def _cmd_fuzz(args) -> int:
         max_failures=args.max_failures,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        run_dir=args.run_dir,
     )
     stage_cols = list(stages or STAGES)
     print_table(
@@ -454,6 +501,107 @@ def _cmd_fuzz(args) -> int:
     print(f"\nfuzz: {rep.violations} violation(s) in "
           f"{len(rep.failures)} case(s)")
     return 1
+
+
+def _fmt_bytes(n) -> str:
+    if not isinstance(n, (int, float)):
+        return "-"
+    return f"{n / (1 << 20):.1f}M"
+
+
+def _fmt_eta(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _print_watch(snap: dict) -> None:
+    man = snap.get("manifest") or {}
+    tot = snap["totals"]
+    jobs_total = tot["jobs_total"]
+    print(
+        f"run {snap['run_dir']}  kind={man.get('kind', '?')}  "
+        f"state={man.get('state', 'running')}"
+    )
+    done = tot["jobs_done"]
+    frac = (
+        f" ({100 * done / jobs_total:.0f}%)"
+        if isinstance(jobs_total, int) and jobs_total
+        else ""
+    )
+    rate = tot["jobs_per_s"]
+    hit = tot["cache_hit_rate"]
+    print(
+        f"jobs {done}/{jobs_total if jobs_total is not None else '?'}"
+        f"{frac}  "
+        f"{'%.2f' % rate if rate is not None else '-'} jobs/s  "
+        f"eta {_fmt_eta(tot['eta_s'])}  "
+        f"cache hit-rate "
+        f"{'%.0f%%' % (100 * hit) if hit is not None else '-'}"
+    )
+    if snap["workers"]:
+        print_table(
+            f"workers ({tot['ok']} ok, {tot['done']} done, "
+            f"{tot['stalled']} stalled, {tot['dead']} dead)",
+            ["wid", "verdict", "pid", "jobs", "current job", "rss",
+             "beat age s"],
+            [
+                [
+                    w["worker_id"], w["verdict"], w["pid"],
+                    f"{w['jobs_done']}/{w['jobs_total']}",
+                    w["current_job"] or "-",
+                    _fmt_bytes(w["rss_bytes"]),
+                    f"{w['age_s']:.1f}",
+                ]
+                for w in snap["workers"]
+            ],
+        )
+    else:
+        print("no heartbeats yet")
+    for rec in snap.get("log_tail", []):
+        extras = " ".join(
+            f"{k}={v}"
+            for k, v in rec.items()
+            if k not in ("ts", "level", "event", "run", "pid")
+        )
+        print(f"  [{rec.get('level', '?')}] {rec.get('event')} {extras}")
+
+
+def _cmd_watch(args) -> int:
+    """Tail a run directory's heartbeats + log; render live status."""
+    import json as _json
+    import time as _time
+
+    if not os.path.isdir(args.run_dir):
+        print(f"watch: no run directory at {args.run_dir}")
+        return 1
+    while True:
+        snap = live.watch_snapshot(
+            args.run_dir, stall_after_s=args.stall_after
+        )
+        if args.as_json:
+            print(_json.dumps(snap, sort_keys=True))
+        else:
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            _print_watch(snap)
+        if args.once:
+            return 0
+        man = snap.get("manifest") or {}
+        terminal = {"done", "failed", "dead"}
+        if man.get("state") == "done" or (
+            snap["workers"]
+            and all(
+                w["verdict"] in terminal for w in snap["workers"]
+            )
+        ):
+            return 0
+        _time.sleep(args.interval)
 
 
 def _cmd_bench_diff(args) -> int:
@@ -521,6 +669,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a line-delimited JSON event log (spans + metric "
         "samples) for grep/jq",
     )
+    common.add_argument(
+        "--log-out", metavar="FILE",
+        help="append structured JSONL log records to FILE (level via "
+        "REPRO_LOG_LEVEL: debug/info/warning/error, default info)",
+    )
+    common.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write counters/gauges/histograms in Prometheus text "
+        "exposition format (refreshed live during parallel sweeps)",
+    )
 
     def add_parser(name, **kw):
         return sub.add_parser(name, parents=[common], **kw)
@@ -564,6 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the full sweep result as JSON to FILE")
     p.add_argument("--no-validate", dest="validate", action="store_false",
                    help="skip layout validation on cache misses")
+    p.add_argument("--run-dir", metavar="DIR",
+                   help="keep live-telemetry artifacts (heartbeats, "
+                   "log.jsonl, manifest) in DIR for `repro watch`")
+    p.add_argument("--stall-after", type=float,
+                   default=live.DEFAULT_STALL_AFTER_S, metavar="S",
+                   help="flag a worker stalled after S seconds without "
+                   "a heartbeat (default %(default)s)")
     p.set_defaults(fn=_cmd_sweep)
 
     p = add_parser("figures", help="print the paper's figures (ASCII)")
@@ -612,6 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="report layout memory instead: object graph vs geometry "
         "table bytes for every zoo network",
     )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="route zoo builds through a layout cache so the cache.* "
+        "counters show up in the counters table",
+    )
     p.set_defaults(fn=_cmd_stats)
 
     from repro.check.differential import STAGES as _STAGES
@@ -638,7 +808,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save shrunk counterexamples into DIR")
     p.add_argument("--no-shrink", dest="shrink", action="store_false",
                    help="report failures raw, without delta-debugging")
+    p.add_argument("--run-dir", metavar="DIR",
+                   help="keep live-telemetry artifacts (heartbeats, "
+                   "log.jsonl, manifest) in DIR for `repro watch`")
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = add_parser(
+        "watch",
+        help="live status console for a sweep/fuzz run directory",
+    )
+    p.add_argument("run_dir", help="the --run-dir of a sweep/fuzz run")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="emit the raw status document as JSON instead "
+                   "of tables")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (default 1.0)")
+    p.add_argument("--stall-after", type=float,
+                   default=live.DEFAULT_STALL_AFTER_S, metavar="S",
+                   help="age after which a heartbeat counts as stalled "
+                   "(default %(default)s)")
+    p.set_defaults(fn=_cmd_watch)
 
     p = add_parser(
         "bench-diff",
@@ -667,13 +858,24 @@ def main(argv: list[str] | None = None) -> int:
     profile_path = getattr(args, "profile", None)
     trace_out = getattr(args, "trace_out", None)
     events_out = getattr(args, "events_out", None)
+    log_out = getattr(args, "log_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
     observing = (
-        trace or report_path or trace_out or events_out
+        trace or report_path or trace_out or events_out or metrics_out
         or args.command == "stats"
     )
     if observing:
         obs.reset()
         obs.enable()
+    log_here = False
+    if log_out:
+        olog.configure(log_out)
+        log_here = True
+    olog.info(
+        "cli.start",
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+    )
     profiler = None
     if profile_path:
         import cProfile
@@ -697,6 +899,9 @@ def main(argv: list[str] | None = None) -> int:
         if events_out:
             obs.write_jsonl(events_out)
             print(f"event log written to {events_out}")
+        if metrics_out:
+            obs.write_prometheus(metrics_out)
+            print(f"prometheus metrics written to {metrics_out}")
         if report_path:
             layers = getattr(args, "layers", None)
             rep = obs.collect_report(
@@ -718,6 +923,9 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if profiler is not None:
             profiler.disable()
+        olog.info("cli.exit", command=args.command)
+        if log_here:
+            olog.close()
         if observing:
             obs.disable()
     return rc

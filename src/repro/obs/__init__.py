@@ -31,12 +31,16 @@ Usage::
 """
 
 from repro.obs import trace as _trace
+from repro.obs import logging  # noqa: F401  (structured JSONL logger)
+from repro.obs import live  # noqa: F401  (heartbeats, watchdog, watch)
 from repro.obs.export import (
     chrome_trace,
     jsonl_events,
+    prometheus_text,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 from repro.obs.metrics import (
     Counter,
@@ -56,6 +60,7 @@ from repro.obs.trace import (
     Span,
     SpanRecord,
     attach,
+    current_span_name,
     disable,
     enable,
     enabled,
@@ -81,12 +86,18 @@ __all__ = [
     "reset_trace",
     "phase_totals",
     "format_span_tree",
+    "current_span_name",
+    # live telemetry
+    "logging",
+    "live",
     # exporters
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
     "jsonl_events",
     "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
     # metrics
     "count",
     "observe",

@@ -18,8 +18,16 @@ in-process span collector and metrics registry:
   ``depth``/``pid``, then metric samples) built for ``grep``/``jq``
   pipelines rather than a viewer.
 
-Both exporters are pure functions of the collected data -- they never
-toggle collection -- and are wired into every CLI subcommand via
+* :func:`prometheus_text` / :func:`write_prometheus` -- the metrics
+  registry in Prometheus text exposition format (counters as
+  ``<name>_total``, histograms with *cumulative* ``_bucket{le=...}``
+  series plus ``_sum``/``_count``).  Unlike the other exporters this
+  one is refreshed **live**: the sweep watchdog rewrites the file
+  (atomically, so scrapers never see a torn body) on every poll when
+  ``--metrics-out`` is given.
+
+The trace exporters are pure functions of the collected data -- they
+never toggle collection -- and are wired into every CLI subcommand via
 ``--trace-out`` / ``--events-out`` and into
 :class:`repro.batch.runner.SweepRunner`.
 """
@@ -27,6 +35,8 @@ toggle collection -- and are wired into every CLI subcommand via
 from __future__ import annotations
 
 import json
+import os
+import re
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -36,9 +46,11 @@ __all__ = [
     "JSONL_SCHEMA",
     "chrome_trace",
     "jsonl_events",
+    "prometheus_text",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]
 
 CHROME_TRACE_SCHEMA = "repro.chrome-trace/v1"
@@ -261,3 +273,80 @@ def write_jsonl(
             fh.write(json.dumps(ev, sort_keys=True))
             fh.write("\n")
     return events
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name: prefix + sanitized name."""
+    out = _PROM_BAD.sub("_", prefix + name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_num(value) -> str:
+    """Render a sample value; integers stay integral."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    snapshot: dict | None = None, *, prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters become ``<prefix><name>_total``; gauges keep their name;
+    histograms emit the conventional trio -- *cumulative*
+    ``_bucket{le="..."}`` series ending in ``le="+Inf"``, ``_sum``,
+    and ``_count``.  Dots and other illegal characters in registry
+    names are mapped to underscores (``cache.hits`` ->
+    ``repro_cache_hits_total``).
+    """
+    if snapshot is None:
+        snapshot = _metrics.registry().snapshot()
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_num(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_num(value)}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        bounds, counts, overflow = _metrics._parse_buckets(
+            h.get("buckets", {})
+        )
+        cum = 0
+        for edge, n in zip(bounds, counts):
+            cum += n
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_num(edge)}"}} {cum}'
+            )
+        cum += overflow
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cum}')
+        lines.append(f"{metric}_sum {_prom_num(h.get('sum', 0))}")
+        lines.append(f"{metric}_count {h.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path, snapshot: dict | None = None, *, prefix: str = "repro_"
+) -> str:
+    """Atomically write :func:`prometheus_text` to ``path``.
+
+    Temp-file + rename because this file is rewritten mid-run by the
+    sweep watchdog while scrapers read it; returns the text.
+    """
+    text = prometheus_text(snapshot, prefix=prefix)
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return text

@@ -1,0 +1,574 @@
+"""Live run telemetry: worker heartbeats, a watchdog, `repro watch`.
+
+Everything post-hoc in :mod:`repro.obs` (spans, reports, Chrome
+traces) materializes only after a run finishes; this module is the
+*during* half.  Three pieces share one **run directory**:
+
+* :class:`HeartbeatWriter` -- each sweep/fuzz worker atomically
+  rewrites ``heartbeat-<wid>.json`` (pid, monotonic stamp, jobs
+  done/total, current job key, RSS from ``/proc``) on a
+  jobs-or-seconds cadence, plus a background pulse thread so a worker
+  grinding on one slow job still looks alive.
+* :class:`Watchdog` -- a thread in the orchestrating process that
+  polls the heartbeats and classifies each worker ``ok`` / ``stalled``
+  (stale beat) / ``dead`` (pid gone), logging transitions and keeping
+  per-worker health records that land in the merged result.
+* :func:`watch_snapshot` -- one read-only pass over the run directory
+  producing the document ``python -m repro watch`` renders: per-worker
+  progress, jobs/sec, ETA, cache hit-rate.
+
+Heartbeat files are written with the temp-file + ``os.replace`` trick,
+so readers never see a partial document; the monotonic stamp is
+``time.monotonic()``, which on Linux is CLOCK_MONOTONIC and therefore
+comparable *across* processes on the same machine -- staleness checks
+prefer it and fall back to wall-clock only if the monotonic delta is
+nonsensical (e.g. heartbeats from a previous boot).
+
+A dead pid is detected with ``kill(pid, 0)``; note a *zombie* (exited,
+not yet reaped) still passes that probe, so orchestrators should join
+their workers before asking the watchdog for a final verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+
+from repro.obs import logging as olog
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_STALL_AFTER_S",
+    "HEARTBEAT_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "WATCH_SCHEMA",
+    "HeartbeatWriter",
+    "Watchdog",
+    "classify_heartbeat",
+    "pid_alive",
+    "read_heartbeats",
+    "read_run_manifest",
+    "rss_bytes",
+    "tail_log",
+    "update_run_manifest",
+    "watch_snapshot",
+    "write_json_atomic",
+    "write_run_manifest",
+]
+
+HEARTBEAT_SCHEMA = "repro.heartbeat/v1"
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+WATCH_SCHEMA = "repro.watch/v1"
+
+DEFAULT_HEARTBEAT_S = 0.5
+DEFAULT_STALL_AFTER_S = 10.0
+
+MANIFEST_NAME = "manifest.json"
+LOG_NAME = "log.jsonl"
+_HEARTBEAT_RE = re.compile(r"^heartbeat-(\d+)\.json$")
+
+
+def rss_bytes(pid: int | None = None) -> int | None:
+    """Resident set size of ``pid`` (default: this process) in bytes.
+
+    Read from ``/proc/<pid>/statm`` (resident pages x page size);
+    returns None where /proc is unavailable (macOS, exited pid).
+    """
+    if pid is None:
+        pid = os.getpid()
+    try:
+        with open(f"/proc/{pid}/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def pid_alive(pid: int) -> bool:
+    """True if ``pid`` exists (signal-0 probe; EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def write_json_atomic(path: str | os.PathLike, doc: dict) -> None:
+    """Write ``doc`` as JSON via temp file + rename: readers racing the
+    write see either the old document or the new one, never a torn
+    half (the heartbeat/manifest/Prometheus files are all read live)."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, default=str)
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# run manifest
+
+
+def write_run_manifest(run_dir: str | os.PathLike, **fields) -> dict:
+    """Describe the run for `repro watch`: kind, totals, start time."""
+    doc = {
+        "schema": MANIFEST_SCHEMA,
+        "time_unix": round(time.time(), 3),
+        "mono": time.monotonic(),
+        "run_id": olog.run_id(),
+        **fields,
+    }
+    write_json_atomic(os.path.join(os.fspath(run_dir), MANIFEST_NAME), doc)
+    return doc
+
+
+def read_run_manifest(run_dir: str | os.PathLike) -> dict | None:
+    try:
+        with open(os.path.join(os.fspath(run_dir), MANIFEST_NAME)) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def update_run_manifest(run_dir: str | os.PathLike, **fields) -> dict:
+    """Merge ``fields`` into the existing manifest (or start one)."""
+    doc = read_run_manifest(run_dir)
+    if doc is None:
+        return write_run_manifest(run_dir, **fields)
+    doc.update(fields)
+    write_json_atomic(os.path.join(os.fspath(run_dir), MANIFEST_NAME), doc)
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# heartbeats (worker side)
+
+
+class HeartbeatWriter:
+    """One worker's ``heartbeat-<wid>.json``, rewritten atomically.
+
+    Two cadences cooperate: :meth:`job_tick` forces a beat after every
+    finished job (progress is fresh while jobs are short), and an
+    optional pulse thread beats every ``interval_s`` so a worker stuck
+    inside one long job still advances its monotonic stamp.  Plain
+    :meth:`beat` calls between ticks are rate-limited to the interval.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | os.PathLike,
+        worker_id: int,
+        *,
+        jobs_total: int | None = None,
+        interval_s: float = DEFAULT_HEARTBEAT_S,
+    ):
+        self.path = os.path.join(
+            os.fspath(run_dir), f"heartbeat-{worker_id}.json"
+        )
+        self.worker_id = worker_id
+        self.jobs_total = jobs_total
+        self.interval_s = interval_s
+        self.jobs_done = 0
+        self.current_job = None
+        self.extra: dict = {}
+        self._state = "running"
+        self._last_write = 0.0
+        self._lock = threading.Lock()
+        self._pulse: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def _doc(self) -> dict:
+        return {
+            "schema": HEARTBEAT_SCHEMA,
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "state": self._state,
+            "time_unix": round(time.time(), 3),
+            "mono": time.monotonic(),
+            "jobs_done": self.jobs_done,
+            "jobs_total": self.jobs_total,
+            "current_job": self.current_job,
+            "rss_bytes": rss_bytes(),
+            "extra": dict(self.extra),
+        }
+
+    def beat(self, *, force: bool = False, **extra) -> None:
+        """Write the heartbeat file if forced or the interval elapsed.
+
+        ``extra`` keys (cache stats, say) persist across beats.  Never
+        raises: a worker must not die because its telemetry did.
+        """
+        with self._lock:
+            if extra:
+                self.extra.update(extra)
+            now = time.monotonic()
+            if not force and now - self._last_write < self.interval_s:
+                return
+            self._last_write = now
+            try:
+                write_json_atomic(self.path, self._doc())
+            except OSError:
+                pass
+
+    def job_tick(self, current_job=None, **extra) -> None:
+        """Record one finished job and beat immediately."""
+        self.jobs_done += 1
+        self.current_job = current_job
+        self.beat(force=True, **extra)
+
+    def start_pulse(self) -> "HeartbeatWriter":
+        """Beat every ``interval_s`` from a daemon thread."""
+        if self._pulse is None:
+            self._stop.clear()
+            self._pulse = threading.Thread(
+                target=self._pulse_loop, daemon=True, name="repro-heartbeat"
+            )
+            self._pulse.start()
+        return self
+
+    def _pulse_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.beat(force=True)
+
+    def finish(self, state: str = "done", **extra) -> None:
+        """Terminal beat (``done`` or ``failed``) and pulse shutdown."""
+        self._stop.set()
+        if self._pulse is not None:
+            self._pulse.join(timeout=2.0)
+            self._pulse = None
+        self._state = state
+        self.current_job = None
+        self.beat(force=True, **extra)
+
+
+def read_heartbeats(run_dir: str | os.PathLike) -> dict[int, dict]:
+    """All parseable ``heartbeat-<wid>.json`` docs, keyed by worker id."""
+    out: dict[int, dict] = {}
+    try:
+        names = os.listdir(os.fspath(run_dir))
+    except OSError:
+        return out
+    for name in names:
+        m = _HEARTBEAT_RE.match(name)
+        if not m:
+            continue
+        try:
+            with open(os.path.join(os.fspath(run_dir), name)) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, dict):
+            out[int(m.group(1))] = doc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# classification + watchdog (orchestrator side)
+
+
+def heartbeat_age(
+    doc: dict,
+    *,
+    now_mono: float | None = None,
+    now_unix: float | None = None,
+) -> float:
+    """Seconds since the heartbeat was written.
+
+    Prefers the monotonic stamp (cross-process comparable on Linux);
+    falls back to wall clock when the monotonic delta is negative,
+    which means the file predates this boot or came from another host.
+    """
+    if now_mono is None:
+        now_mono = time.monotonic()
+    if now_unix is None:
+        now_unix = time.time()
+    mono = doc.get("mono")
+    if isinstance(mono, (int, float)):
+        age = now_mono - mono
+        if age >= 0:
+            return age
+    ts = doc.get("time_unix")
+    if isinstance(ts, (int, float)):
+        return max(0.0, now_unix - ts)
+    return float("inf")
+
+
+def classify_heartbeat(
+    doc: dict,
+    *,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+    now_mono: float | None = None,
+    now_unix: float | None = None,
+) -> tuple[str, float]:
+    """``(verdict, age_s)`` for one heartbeat document.
+
+    Verdicts: ``done`` / ``failed`` (the worker said so), ``dead``
+    (its pid no longer exists), ``stalled`` (alive but the beat is
+    older than ``stall_after_s``), else ``ok``.
+    """
+    age = heartbeat_age(doc, now_mono=now_mono, now_unix=now_unix)
+    state = doc.get("state")
+    if state in ("done", "failed"):
+        return state, age
+    pid = doc.get("pid")
+    if isinstance(pid, int) and not pid_alive(pid):
+        return "dead", age
+    if age > stall_after_s:
+        return "stalled", age
+    return "ok", age
+
+
+class Watchdog:
+    """Polls a run directory's heartbeats and tracks worker health.
+
+    One record per worker id::
+
+        {"worker_id": 2, "verdict": "stalled", "state": "running",
+         "age_s": 7.3, "pid": 41712, "jobs_done": 3, "jobs_total": 5,
+         "rss_bytes": 28311552, "stalls": 1, "ever_stalled": True,
+         "current_job": "hypercube:3/L4"}
+
+    Transitions are logged (``live.worker_stalled`` warning,
+    ``live.worker_dead`` error, ``live.worker_recovered`` info) and
+    ``on_tick(health)`` runs after every poll -- the sweep runner uses
+    it to refresh gauges and the Prometheus exposition file mid-run.
+    The final :meth:`stop` does one last poll so terminal states are
+    always captured.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | os.PathLike,
+        *,
+        stall_after_s: float = DEFAULT_STALL_AFTER_S,
+        interval_s: float | None = None,
+        on_tick=None,
+    ):
+        self.run_dir = os.fspath(run_dir)
+        self.stall_after_s = stall_after_s
+        if interval_s is None:
+            interval_s = max(0.05, min(1.0, stall_after_s / 4.0))
+        self.interval_s = interval_s
+        self.on_tick = on_tick
+        self.health: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "Watchdog":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, daemon=True, name="repro-watchdog"
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll()
+
+    def poll(self) -> dict[int, dict]:
+        """One classification pass; returns a health snapshot."""
+        beats = read_heartbeats(self.run_dir)
+        now_mono, now_unix = time.monotonic(), time.time()
+        with self._lock:
+            for wid, doc in sorted(beats.items()):
+                verdict, age = classify_heartbeat(
+                    doc,
+                    stall_after_s=self.stall_after_s,
+                    now_mono=now_mono,
+                    now_unix=now_unix,
+                )
+                prev = self.health.get(wid)
+                rec = {
+                    "worker_id": wid,
+                    "verdict": verdict,
+                    "state": doc.get("state"),
+                    "age_s": round(age, 3),
+                    "pid": doc.get("pid"),
+                    "jobs_done": doc.get("jobs_done"),
+                    "jobs_total": doc.get("jobs_total"),
+                    "rss_bytes": doc.get("rss_bytes"),
+                    "current_job": doc.get("current_job"),
+                    "stalls": prev["stalls"] if prev else 0,
+                    "ever_stalled": prev["ever_stalled"] if prev else False,
+                }
+                was = prev["verdict"] if prev else None
+                if verdict == "stalled" and was != "stalled":
+                    rec["stalls"] += 1
+                    rec["ever_stalled"] = True
+                    olog.warning(
+                        "live.worker_stalled",
+                        worker_id=wid,
+                        age_s=rec["age_s"],
+                        worker_pid=rec["pid"],
+                        jobs_done=rec["jobs_done"],
+                    )
+                elif verdict == "dead" and was != "dead":
+                    olog.error(
+                        "live.worker_dead",
+                        worker_id=wid,
+                        age_s=rec["age_s"],
+                        worker_pid=rec["pid"],
+                        jobs_done=rec["jobs_done"],
+                    )
+                elif verdict == "ok" and was == "stalled":
+                    olog.info(
+                        "live.worker_recovered",
+                        worker_id=wid,
+                        age_s=rec["age_s"],
+                    )
+                self.health[wid] = rec
+            snapshot = {w: dict(r) for w, r in self.health.items()}
+        if self.on_tick is not None:
+            try:
+                self.on_tick(snapshot)
+            except Exception:
+                pass
+        return snapshot
+
+    def stop(self) -> dict[int, dict]:
+        """Stop polling; one final pass captures terminal states."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        return self.poll()
+
+
+# ---------------------------------------------------------------------------
+# watch (reader side)
+
+
+def tail_log(
+    path: str | os.PathLike, n: int = 10, *, max_bytes: int = 262_144
+) -> list[dict]:
+    """Last ``n`` parseable records of a JSONL log, oldest first."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            if size > max_bytes:
+                fh.seek(size - max_bytes)
+                fh.readline()  # drop the partial first line
+            lines = fh.read().decode("utf-8", "replace").splitlines()
+    except OSError:
+        return []
+    out: list[dict] = []
+    for line in lines[-n * 4:]:
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            out.append(doc)
+    return out[-n:]
+
+
+def watch_snapshot(
+    run_dir: str | os.PathLike,
+    *,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+    log_lines: int = 8,
+) -> dict:
+    """One read-only status document for ``python -m repro watch``.
+
+    Aggregates the manifest, every heartbeat (classified), and the log
+    tail into totals: jobs done/total, jobs/sec (from the manifest
+    start stamp), an ETA at the current rate, and the cache hit-rate
+    folded across workers' heartbeat extras.
+    """
+    run_dir = os.fspath(run_dir)
+    manifest = read_run_manifest(run_dir)
+    beats = read_heartbeats(run_dir)
+    now_mono, now_unix = time.monotonic(), time.time()
+
+    workers = []
+    jobs_done = 0
+    jobs_total: int | None = 0
+    hits = misses = 0
+    for wid, doc in sorted(beats.items()):
+        verdict, age = classify_heartbeat(
+            doc,
+            stall_after_s=stall_after_s,
+            now_mono=now_mono,
+            now_unix=now_unix,
+        )
+        workers.append(
+            {
+                "worker_id": wid,
+                "verdict": verdict,
+                "state": doc.get("state"),
+                "age_s": round(age, 3),
+                "pid": doc.get("pid"),
+                "jobs_done": doc.get("jobs_done"),
+                "jobs_total": doc.get("jobs_total"),
+                "current_job": doc.get("current_job"),
+                "rss_bytes": doc.get("rss_bytes"),
+                "extra": doc.get("extra") or {},
+            }
+        )
+        if isinstance(doc.get("jobs_done"), int):
+            jobs_done += doc["jobs_done"]
+        if isinstance(doc.get("jobs_total"), int) and jobs_total is not None:
+            jobs_total += doc["jobs_total"]
+        else:
+            jobs_total = None
+        extra = doc.get("extra") or {}
+        cache = extra.get("cache") or {}
+        hits += int(cache.get("hits", 0) or 0)
+        misses += int(cache.get("misses", 0) or 0)
+
+    if not workers:
+        jobs_total = None
+    if jobs_total is None and manifest:
+        jt = manifest.get("jobs_total")
+        if isinstance(jt, int):
+            jobs_total = jt
+
+    elapsed = None
+    if manifest and isinstance(manifest.get("time_unix"), (int, float)):
+        elapsed = max(0.0, now_unix - manifest["time_unix"])
+    jobs_per_s = (
+        jobs_done / elapsed if elapsed and elapsed > 0 and jobs_done else None
+    )
+    eta_s = None
+    if jobs_per_s and jobs_total is not None and jobs_total > jobs_done:
+        eta_s = (jobs_total - jobs_done) / jobs_per_s
+    looked_up = hits + misses
+
+    totals = {
+        "workers": len(workers),
+        "ok": sum(1 for w in workers if w["verdict"] == "ok"),
+        "done": sum(1 for w in workers if w["verdict"] == "done"),
+        "failed": sum(1 for w in workers if w["verdict"] == "failed"),
+        "stalled": sum(1 for w in workers if w["verdict"] == "stalled"),
+        "dead": sum(1 for w in workers if w["verdict"] == "dead"),
+        "jobs_done": jobs_done,
+        "jobs_total": jobs_total,
+        "elapsed_s": round(elapsed, 3) if elapsed is not None else None,
+        "jobs_per_s": round(jobs_per_s, 3) if jobs_per_s else None,
+        "eta_s": round(eta_s, 3) if eta_s is not None else None,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": (
+            round(hits / looked_up, 4) if looked_up else None
+        ),
+    }
+    return {
+        "schema": WATCH_SCHEMA,
+        "time_unix": round(now_unix, 3),
+        "run_dir": run_dir,
+        "manifest": manifest,
+        "workers": workers,
+        "totals": totals,
+        "log_tail": tail_log(
+            os.path.join(run_dir, LOG_NAME), n=log_lines
+        ),
+    }

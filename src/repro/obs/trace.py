@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Span",
     "SpanRecord",
+    "current_span_name",
     "enable",
     "disable",
     "enabled",
@@ -209,6 +210,21 @@ def attach(rec: SpanRecord) -> None:
     else:
         with _collector._lock:
             _collector._roots.append(rec)
+
+
+def current_span_name() -> str | None:
+    """The innermost span open on this thread, or None.
+
+    This is the span context the structured logger stamps on every
+    record: a log line emitted inside ``with span("build")`` carries
+    ``"span": "build"`` without the call sites threading anything
+    through.  Returns None while tracing is disabled or outside any
+    span.
+    """
+    if not _enabled:
+        return None
+    stack = _collector._stack()
+    return stack[-1].name if stack else None
 
 
 def enable() -> None:

@@ -1,6 +1,7 @@
 """Sweep engine: expansion, determinism, worker fan-out, CLI, fuzz."""
 
 import json
+import os
 
 import pytest
 
@@ -103,6 +104,68 @@ class TestRunner:
         doc = json.loads(json.dumps(res.as_dict()))
         assert doc["jobs"] == 1
         assert doc["results"][0]["metrics"]["N"] == 6
+
+    def test_run_dir_keeps_telemetry_artifacts(self, tmp_path):
+        from repro.obs import live
+
+        rd = tmp_path / "run"
+        res = SweepRunner(workers=2, run_dir=rd).run(SPEC)
+        assert res.run_dir == str(rd)
+        man = live.read_run_manifest(rd)
+        assert man["kind"] == "sweep"
+        assert man["state"] == "done"
+        assert man["jobs_total"] == 8 and man["jobs_done"] == 8
+        beats = live.read_heartbeats(rd)
+        assert sorted(beats) == [0, 1]
+        assert all(d["state"] == "done" for d in beats.values())
+        assert sum(d["jobs_done"] for d in beats.values()) == 8
+        # Workers' result handoff files stay for post-mortems...
+        assert sorted(
+            p.name for p in rd.glob("result-*.json")
+        ) == ["result-0.json", "result-1.json"]
+        # ...and the run got a default structured log.
+        assert (rd / "log.jsonl").exists()
+        health = res.worker_health
+        assert sorted(health) == [0, 1]
+        assert all(r["verdict"] == "done" for r in health.values())
+        assert all(r["exitcode"] == 0 for r in health.values())
+        doc = json.loads(json.dumps(res.as_dict()))
+        assert doc["run_dir"] == str(rd)
+        assert set(doc["worker_health"]) == {"0", "1"}
+
+    def test_serial_run_dir_heartbeat(self, tmp_path):
+        from repro.obs import live
+
+        rd = tmp_path / "run"
+        res = SweepRunner(workers=1, run_dir=rd).run(SPEC)
+        assert res.jobs == 8
+        beats = live.read_heartbeats(rd)
+        assert list(beats) == [0]
+        assert beats[0]["state"] == "done"
+        assert beats[0]["jobs_done"] == 8
+        assert live.read_run_manifest(rd)["state"] == "done"
+
+    def test_parallel_without_run_dir_leaves_nothing(self, tmp_path):
+        import glob
+        import tempfile
+
+        before = set(glob.glob(
+            os.path.join(tempfile.gettempdir(), "repro-sweep-*")
+        ))
+        res = SweepRunner(workers=2).run(SPEC)
+        assert res.jobs == 8
+        assert res.run_dir is None
+        after = set(glob.glob(
+            os.path.join(tempfile.gettempdir(), "repro-sweep-*")
+        ))
+        assert after == before  # scratch dir cleaned up
+
+    def test_metrics_out_written_live(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        SweepRunner(workers=2, metrics_out=out).run(SPEC)
+        text = out.read_text()
+        assert "repro_sweep_jobs_total 8" in text
+        assert "repro_sweep_runs_total 1" in text
 
 
 class TestCrossProcessTrace:
@@ -222,6 +285,52 @@ class TestCLI:
         validate_report(doc)
         assert doc["layers"] is None
         assert doc["metrics"]["counters"]["sweep.jobs"] == 2
+
+    def test_sweep_run_dir_and_metrics_flags(self, tmp_path, capsys):
+        rd = tmp_path / "run"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "sweep", "--networks", "ring:6", "hypercube:3",
+            "--layers", "2", "--workers", "2",
+            "--run-dir", str(rd), "--metrics-out", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" not in out  # no workers lost
+        assert (rd / "manifest.json").exists()
+        assert (rd / "log.jsonl").exists()
+        assert "repro_sweep_jobs_total 2" in prom.read_text()
+
+    def test_stats_cache_dir_surfaces_cache_counters(
+        self, tmp_path, capsys
+    ):
+        cdir = tmp_path / "cache"
+        assert main(["stats", "--cache-dir", str(cdir)]) == 0
+        cold = capsys.readouterr().out
+        assert "pipeline counters" in cold
+        assert "cache.misses" in cold
+        assert "cache.writes" in cold
+        assert main(["stats", "--cache-dir", str(cdir)]) == 0
+        warm = capsys.readouterr().out
+        assert "cache.hits" in warm
+
+    def test_stats_without_cache_has_no_cache_counters(
+        self, capsys
+    ):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache.hits" not in out
+
+    def test_fuzz_run_dir_flag(self, tmp_path, capsys):
+        from repro.obs import live
+
+        rd = tmp_path / "fuzz-run"
+        assert main([
+            "fuzz", "--budget", "6", "--seed", "5", "--workers", "2",
+            "--run-dir", str(rd),
+        ]) == 0
+        assert "fuzz: OK" in capsys.readouterr().out
+        assert live.read_run_manifest(rd)["kind"] == "fuzz"
+        assert sorted(live.read_heartbeats(rd)) == [0, 1]
 
     def test_fuzz_workers_flag(self, tmp_path, capsys):
         assert main([

@@ -217,6 +217,41 @@ class TestCli:
         ) == 0
         capsys.readouterr()
 
+    def test_one_sided_benches_exit_clean(self, tmp_path, capsys):
+        """Added/removed benches are reported but never gate: a
+        renamed bench must not fail CI as a phantom regression."""
+        other = json.loads(json.dumps(SUMMARY))
+        other["benches"][0]["bench"] = "bench_renamed"
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", other)
+        assert main(["bench-diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "removed bench(es): bench_kary" in out
+        assert "new bench(es): bench_renamed" in out
+        assert "bench-diff: OK" in out
+
+    def test_fully_disjoint_sides_exit_clean(self, tmp_path, capsys):
+        other = json.loads(json.dumps(SUMMARY))
+        for b in other["benches"]:
+            b["bench"] = "fresh_" + b["bench"]
+        old = self._write(tmp_path, "old.json", SUMMARY)
+        new = self._write(tmp_path, "new.json", other)
+        assert main(["bench-diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "no bench timings in common" in out
+        assert "bench-diff: OK" in out
+
+    def test_gate_ratio_drop_exits_nonzero(self, tmp_path, capsys):
+        worse = json.loads(json.dumps(PERF_RECORD))
+        worse["tables"][0]["rows"][1][2] = "4.0x"  # E7c 9.6x -> 4.0x
+        old = self._write(tmp_path, "old.json", PERF_RECORD)
+        new = self._write(tmp_path, "new.json", worse)
+        assert main(["bench-diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "performance-gate ratios" in out
+        assert "E7c" in out
+        assert "regression(s) past 15%" in out
+
     def test_against_committed_baseline(self, tmp_path, capsys):
         """The repo's own trajectory baseline must diff cleanly
         against itself -- the shape CI runs."""

@@ -232,6 +232,37 @@ class TestMetrics:
         assert h["buckets"]["le_100"] == 0
         assert h["buckets"]["overflow"] == 1  # a's 500
 
+    def test_merge_percentiles_over_widened_edges(self):
+        """Percentile estimates must stay sane on a merged histogram
+        whose bucket edges were widened by the union: p50/p90/p99 are
+        interpolated inside the *merged* bucket list, so edges from
+        either side anchor them."""
+        obs.enable()
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        ha = a.histogram("lat", bounds=(10, 20, 40, 80))
+        for v in (5, 12, 18, 33, 70):
+            ha.observe(v)
+        hb = b.histogram("lat", bounds=(25, 50, 100, 200))
+        for v in (22, 48, 95, 180, 199):
+            hb.observe(v)
+        a.merge(b.snapshot())
+        merged = a.histogram("lat")
+        snap = a.snapshot()["histograms"]["lat"]
+        assert sorted(
+            int(k[3:]) for k in snap["buckets"] if k != "overflow"
+        ) == [10, 20, 25, 40, 50, 80, 100, 200]
+        assert snap["count"] == 10
+        assert snap["min"] == 5 and snap["max"] == 199
+        p50 = merged.percentile(0.5)
+        p90 = merged.percentile(0.9)
+        p99 = merged.percentile(0.99)
+        # rank 5 lands exactly on the le_40 bucket's edge; ranks 9 and
+        # 9.9 interpolate inside (100, 200], clamped by max=199.
+        assert p50 == pytest.approx(40.0)
+        assert p90 == pytest.approx(149.5, rel=0.01)
+        assert p99 == pytest.approx(194.05, rel=0.01)
+        assert p50 <= p90 <= p99 <= snap["max"]
+
     def test_merge_creates_missing_histogram_with_incoming_bounds(self):
         obs.enable()
         a, b = obs.MetricsRegistry(), obs.MetricsRegistry()

@@ -9,9 +9,11 @@ from repro.batch.runner import reroot_worker_spans
 from repro.obs.export import (
     chrome_trace,
     jsonl_events,
+    prometheus_text,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 
 
@@ -172,6 +174,62 @@ class TestJsonl:
         parsed = [json.loads(line) for line in lines]
         assert parsed[0]["schema"].startswith("repro.events-jsonl")
         assert any(p.get("type") == "span" for p in parsed)
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix_and_sanitized_names(self):
+        text = prometheus_text(
+            {"counters": {"cache.hits": 12, "sweep.jobs": 8}}
+        )
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 12" in text
+        assert "repro_sweep_jobs_total 8" in text
+
+    def test_gauges_keep_name(self):
+        text = prometheus_text(
+            {"gauges": {"sweep.live.workers_ok": 4.0}}
+        )
+        assert "# TYPE repro_sweep_live_workers_ok gauge" in text
+        # Integral floats render integral.
+        assert "repro_sweep_live_workers_ok 4\n" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        obs.enable()
+        h = obs.registry().histogram("lat", bounds=(1, 2, 8))
+        for v in (0.5, 1.5, 5, 100):
+            h.observe(v)
+        text = prometheus_text()
+        assert '# TYPE repro_lat histogram' in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="2"} 2' in text
+        assert 'repro_lat_bucket{le="8"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_sum 107" in text
+        assert "repro_lat_count 4" in text
+
+    def test_leading_digit_name_prefixed(self):
+        text = prometheus_text(
+            {"counters": {"9lives": 1}}, prefix=""
+        )
+        assert "_9lives_total 1" in text
+
+    def test_empty_snapshot_is_valid_exposition(self):
+        assert prometheus_text({}) == "\n"
+
+    def test_write_prometheus_atomic(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(path, {"counters": {"n": 3}})
+        assert path.read_text() == text
+        assert text.endswith("\n")
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_live_registry_snapshot_roundtrip(self):
+        obs.enable()
+        obs.count("sweep.runs")
+        obs.observe("depth", 2)
+        text = prometheus_text()
+        assert "repro_sweep_runs_total 1" in text
+        assert "repro_depth_count 1" in text
 
 
 class TestRerootWorkerSpans:

@@ -1,0 +1,231 @@
+"""The structured JSONL logger: levels, context, sinks, CLI wiring."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import logging as olog
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(olog.ENV_LEVEL, raising=False)
+    olog.close()
+    obs.disable()
+    obs.reset()
+    yield
+    olog.close()
+    obs.disable()
+    obs.reset()
+
+
+def _records(stream: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line
+    ]
+
+
+class TestLogger:
+    def test_unconfigured_is_noop(self):
+        # Must not raise, must not create any sink state.
+        olog.info("nobody.listening", x=1)
+        assert not olog.configured()
+        assert olog.run_id() is None
+
+    def test_record_shape(self):
+        s = io.StringIO()
+        rid = olog.configure(stream=s, run_id="cafe01", worker_id=3)
+        assert rid == "cafe01"
+        olog.info("sweep.start", jobs=8, spec="test")
+        (rec,) = _records(s)
+        assert rec["event"] == "sweep.start"
+        assert rec["level"] == "info"
+        assert rec["run"] == "cafe01"
+        assert rec["worker"] == 3
+        assert rec["pid"] == os.getpid()
+        assert rec["jobs"] == 8 and rec["spec"] == "test"
+        assert isinstance(rec["ts"], float)
+
+    def test_level_threshold_filters(self):
+        s = io.StringIO()
+        olog.configure(stream=s, level="warning")
+        olog.debug("a")
+        olog.info("b")
+        olog.warning("c")
+        olog.error("d")
+        assert [r["event"] for r in _records(s)] == ["c", "d"]
+
+    def test_env_level_default(self, monkeypatch):
+        monkeypatch.setenv(olog.ENV_LEVEL, "debug")
+        s = io.StringIO()
+        olog.configure(stream=s)
+        olog.debug("visible")
+        assert [r["event"] for r in _records(s)] == ["visible"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            olog.level_no("loud")
+
+    def test_span_context_stamped(self):
+        s = io.StringIO()
+        olog.configure(stream=s)
+        obs.enable()
+        olog.info("outside")
+        with obs.span("build"):
+            with obs.span("pack"):
+                olog.info("inside")
+        recs = _records(s)
+        assert "span" not in recs[0]
+        assert recs[1]["span"] == "pack"  # innermost wins
+
+    def test_span_context_off_when_disabled(self):
+        s = io.StringIO()
+        olog.configure(stream=s)
+        with obs.span("build"):  # no-op span: tracing disabled
+            olog.info("x")
+        assert "span" not in _records(s)[0]
+
+    def test_file_sink_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        olog.configure(path)
+        olog.info("first")
+        olog.close()
+        olog.configure(path, run_id="second-run")
+        olog.info("second")
+        olog.close()
+        recs = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [r["event"] for r in recs] == ["first", "second"]
+        assert recs[0]["run"] != recs[1]["run"]
+
+    def test_unserializable_field_stringified(self):
+        s = io.StringIO()
+        olog.configure(stream=s)
+        olog.info("odd", obj=object())
+        (rec,) = _records(s)
+        assert rec["obj"].startswith("<object object")
+
+    def test_log_never_raises_on_broken_sink(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        olog.configure(path)
+        olog.info("ok")
+        # Break the handle behind the logger's back.
+        olog._config._fh.close()
+        olog._config.stream = None
+        olog._config._fh = open(os.devnull)  # read-only: write fails
+        olog.info("dropped")  # must not raise
+
+    def test_fork_child_keeps_path_and_run(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        rid = olog.configure(path, run_id="shared")
+        olog.fork_child(worker_id=5)
+        assert olog.configured()
+        assert olog.run_id() == rid == "shared"
+        olog.info("from-child")
+        olog.close()
+        (rec,) = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert rec["worker"] == 5
+        assert rec["run"] == "shared"
+
+    def test_fork_child_drops_stream_sink(self):
+        olog.configure(stream=io.StringIO())
+        olog.fork_child(worker_id=1)
+        assert not olog.configured()
+
+    def test_new_run_ids_are_distinct(self):
+        assert olog.new_run_id() != olog.new_run_id()
+        assert len(olog.new_run_id()) == 12
+
+
+class TestInstrumentedCallSites:
+    def test_cache_corruption_is_logged(self, tmp_path):
+        from repro.batch.cache import LayoutCache
+        from repro.topology import Ring
+
+        s = io.StringIO()
+        olog.configure(stream=s, level="debug")
+        cache = LayoutCache(tmp_path / "cache")
+        net = Ring(4)
+        key, doc = cache.key_for(net, scheme="auto", layers=2)
+        cache.put(key, doc, '{"fake": true}', {"area": 1})
+        path = cache._path(key)
+        path.write_text("{corrupt json")
+        assert cache.get(key, doc) is None
+        events = [r["event"] for r in _records(s)]
+        assert "cache.write" in events
+        assert "cache.corrupt" in events
+
+    def test_cache_hit_and_miss_are_logged(self, tmp_path):
+        from repro.batch.cache import LayoutCache
+        from repro.topology import Ring
+
+        s = io.StringIO()
+        olog.configure(stream=s, level="debug")
+        cache = LayoutCache(tmp_path / "cache")
+        key, doc = cache.key_for(Ring(4), scheme="auto", layers=2)
+        assert cache.get(key, doc) is None  # miss
+        events = [r["event"] for r in _records(s)]
+        assert events == ["cache.miss"]
+
+    def test_timed_median_logs_label(self):
+        from repro.bench.harness import timed_median
+
+        s = io.StringIO()
+        olog.configure(stream=s, level="debug")
+        t = timed_median(lambda: None, repeats=2, label="noop")
+        assert t >= 0.0
+        (rec,) = _records(s)
+        assert rec["event"] == "bench.timed"
+        assert rec["label"] == "noop"
+        assert rec["repeats"] == 2
+        assert rec["seconds"] >= 0.0
+
+
+class TestCliLogOut:
+    def test_log_out_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli.jsonl"
+        assert main(
+            ["predict", "hypercube:6", "--log-out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        recs = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+        ]
+        events = [r["event"] for r in recs]
+        assert events[0] == "cli.start"
+        assert events[-1] == "cli.exit"
+        assert recs[0]["run"] == recs[-1]["run"]
+        # main() tears the sink down again.
+        assert not olog.configured()
+
+    def test_sweep_run_dir_gets_default_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rd = tmp_path / "run"
+        assert main([
+            "sweep", "--networks", "ring:6", "-L", "2",
+            "--run-dir", str(rd),
+        ]) == 0
+        capsys.readouterr()
+        log = rd / "log.jsonl"
+        assert log.exists()
+        events = [
+            json.loads(line)["event"]
+            for line in log.read_text().splitlines()
+        ]
+        assert "sweep.start" in events
+        assert "sweep.done" in events
+        assert not olog.configured()
