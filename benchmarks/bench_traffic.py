@@ -5,20 +5,44 @@ same network, the same e-cube routes and the same traffic kernels run
 faster on the L-layer layout because every link is a shorter wire.
 The folding baseline, whose wires keep their 2-layer lengths, gains
 nothing.
+
+Two engine benches ride along:
+
+* **E9d** -- the performance gate for :func:`repro.routing.
+  simulate_fast`: >= 20x over the per-packet oracle on 10-cube uniform
+  traffic at saturation, asserted byte-identical first.  The full gate
+  simulates ~0.5M messages and costs minutes (almost all of it the
+  oracle); ``REPRO_BENCH_FAST=1`` switches to a reduced load whose
+  table is titled ``E9d-smoke`` so its (much smaller) ratio never
+  collides with the committed full-gate baseline in ``bench-diff``.
+* **E9e** -- one saturation-sweep knee per network family
+  (hypercube / mesh / ring), located by :func:`repro.routing.
+  knee_point`.
 """
+
+import os
+import time
 
 from repro.core import layout_hypercube
 from repro.core.folding import fold_layout
 from repro.routing import (
     bit_complement,
     dimension_order_route,
+    knee_point,
+    layout_link_delays,
     random_permutation,
+    saturation_sweep,
     simulate,
+    simulate_fast,
     transpose,
+    uniform,
 )
-from repro.topology import Hypercube
+from repro.topology import Hypercube, Mesh, Ring
 
 DIM = 8
+
+#: Reduced load for CI smoke runs (REPRO_BENCH_FAST=1).
+FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
 
 
 def _route(net):
@@ -93,6 +117,109 @@ def test_latency_vs_load_curve(report, benchmark):
     benchmark(
         simulate, net, rate_injection(net, rate=0.01, duration=100),
         layout=lay2, router=route,
+    )
+
+
+def test_engine_vs_oracle_gate(report, benchmark):
+    """E9d: the batched engine's >= 20x gate at saturation.
+
+    10-cube, uniform traffic at rate 1.0 with 16-flit messages over
+    the L=4 layout's link delays: the regime where the oracle's
+    re-heapify of every waiter per release goes quadratic in queue
+    depth while the engine stays linear in hops.  Parity is asserted
+    field-for-field before any timing, so the speedup is measured
+    between two provably identical simulations.
+    """
+    net = Hypercube(10)
+    route = _route(net)
+    link_delay = layout_link_delays(
+        layout_hypercube(10, layers=4, node_side="min")
+    )
+    duration = 64 if FAST_MODE else 512
+    msgs = uniform(net, rate=1.0, duration=duration, seed=0)
+    kwargs = dict(
+        router=route, link_delay=link_delay,
+        message_length=16, max_cycles=10**9,
+    )
+    t0 = time.perf_counter()
+    oracle = simulate(net, msgs, **kwargs)
+    t_oracle = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = simulate_fast(net, msgs, **kwargs)
+    t_fast = time.perf_counter() - t0
+    assert fast == oracle, "engine diverged from the oracle at scale"
+    ratio = t_oracle / t_fast
+    title = (
+        "E9d-smoke: engine vs oracle, reduced load (no gate)"
+        if FAST_MODE
+        else "E9d: batched engine vs per-packet oracle, 10-cube "
+             "uniform at saturation (parity-checked)"
+    )
+    report(
+        title,
+        ["messages", "makespan", "oracle s", "engine s", "speedup"],
+        [[
+            len(msgs), oracle.makespan,
+            f"{t_oracle:.2f}", f"{t_fast:.2f}", f"{ratio:.1f}x",
+        ]],
+    )
+    if not FAST_MODE:
+        assert ratio >= 20.0, (
+            f"engine gate: {ratio:.1f}x < 20x over the oracle"
+        )
+    benchmark.pedantic(
+        simulate_fast, args=(net, msgs), kwargs=kwargs,
+        rounds=1, iterations=1,
+    )
+
+
+def test_saturation_knees_per_family(report, benchmark):
+    """E9e: offered load vs latency, one knee per network family."""
+    rates = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+    duration = 24 if FAST_MODE else 48
+    hnet = Hypercube(6)
+    families = {
+        "hypercube6": (hnet, dict(
+            router=_route(hnet),
+            link_delay=layout_link_delays(
+                layout_hypercube(6, layers=4, node_side="min")
+            ),
+        )),
+        "mesh4x4": (Mesh(4, 2), {}),
+        "ring16": (Ring(16), {}),
+    }
+    curve_rows = []
+    knee_rows = []
+    for family, (net, kwargs) in families.items():
+        rows = saturation_sweep(
+            net, rates=rates, duration=duration, **kwargs
+        )
+        knee = knee_point(rows)
+        assert knee is not None, f"{family}: no saturation knee in range"
+        for r in rows:
+            curve_rows.append([
+                family, r["rate"], r["messages"],
+                f"{r['avg_latency']:.1f}", r["p99"],
+                f"{r['max_utilization']:.2f}",
+            ])
+        knee_rows.append([
+            family, net.num_nodes, knee,
+            f"{rows[0]['avg_latency']:.1f}",
+        ])
+    report(
+        "E9e: saturation sweep (uniform traffic, fast engine)",
+        ["family", "rate", "messages", "avg latency", "p99", "max util"],
+        curve_rows,
+    )
+    report(
+        "E9e-knee: saturation knee per family (latency > 2x zero-load)",
+        ["family", "nodes", "knee rate", "zero-load latency"],
+        knee_rows,
+    )
+    net = families["hypercube6"][0]
+    benchmark(
+        saturation_sweep, net, rates=rates, duration=duration,
+        **families["hypercube6"][1],
     )
 
 

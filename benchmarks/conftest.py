@@ -138,9 +138,14 @@ def _append_trajectory(summary: dict) -> None:
     """
     if os.environ.get("REPRO_NO_TRAJECTORY"):
         return
-    if "bench_performance" not in _SESSION:
+    from repro.bench.trajectory import (
+        GATE_BENCHES,
+        append_record,
+        trajectory_record,
+    )
+
+    if any(name not in _SESSION for name in GATE_BENCHES):
         return
-    from repro.bench.trajectory import append_record, trajectory_record
 
     record = trajectory_record(
         summary,

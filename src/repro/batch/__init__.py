@@ -27,6 +27,7 @@ from repro.batch.spec import (
     SCHEMES,
     SweepJob,
     SweepSpec,
+    TrafficSpec,
     dispatch_scheme,
     parse_network,
     standard_family_sweep,
@@ -44,6 +45,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "TrafficSpec",
     "cache_key",
     "dispatch_scheme",
     "network_fingerprint",

@@ -50,6 +50,7 @@ __all__ = [
     "SCHEMES",
     "SweepJob",
     "SweepSpec",
+    "TrafficSpec",
     "dispatch_scheme",
     "parse_network",
     "standard_family_sweep",
@@ -202,6 +203,131 @@ class SweepSpec:
 
     @classmethod
     def from_file(cls, path) -> "SweepSpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass
+class TrafficSpec:
+    """A declarative traffic experiment: one workload on one network.
+
+    The batch-side mirror of :func:`repro.routing.make_workload` plus
+    the engine knobs -- everything needed to reproduce a simulation or
+    a saturation sweep from a JSON document.  ``rates`` non-empty
+    means a sweep (``rate`` is then ignored); ``params`` passes
+    through to the workload generator (``hot_fraction``, ``p_on``,
+    ...).
+    """
+
+    network: str
+    workload: str = "uniform"
+    rate: float = 0.1
+    rates: list[float] = field(default_factory=list)
+    duration: int = 64
+    seed: int = 0
+    layers: int = 2
+    mode: str = "store_forward"
+    message_length: int = 1
+    engine: str = "fast"
+    params: dict = field(default_factory=dict)
+
+    _KEYS = (
+        "network", "workload", "rate", "rates", "duration", "seed",
+        "layers", "mode", "message_length", "engine", "params",
+    )
+
+    def __post_init__(self) -> None:
+        from repro.routing.traffic import WORKLOAD_KINDS
+
+        if self.workload not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"known: {', '.join(WORKLOAD_KINDS)}"
+            )
+        if self.engine not in ("fast", "oracle"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.mode not in ("store_forward", "cut_through"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def build_network(self) -> Network:
+        return parse_network(self.network)
+
+    def run(self):
+        """Execute the spec on its network's L-layer layout.
+
+        Returns a :class:`~repro.routing.SimulationResult` for a
+        single run, or ``{"rows", "knee"}`` when ``rates`` makes it a
+        saturation sweep.
+        """
+        from repro.routing import (
+            knee_point,
+            make_workload,
+            saturation_sweep,
+            simulate,
+            simulate_fast,
+        )
+
+        net = self.build_network()
+        lay = layout_network(net, layers=self.layers)
+        if self.rates:
+            rows = saturation_sweep(
+                net, rates=self.rates, duration=self.duration,
+                workload=self.workload, seed=self.seed,
+                engine=self.engine, layout=lay, mode=self.mode,
+                message_length=self.message_length,
+                workload_params=self.params or None,
+            )
+            return {"rows": rows, "knee": knee_point(rows)}
+        msgs = make_workload(
+            self.workload, net, seed=self.seed, rate=self.rate,
+            duration=self.duration, **self.params,
+        )
+        run_fn = simulate_fast if self.engine == "fast" else simulate
+        return run_fn(
+            net, msgs, layout=lay, mode=self.mode,
+            message_length=self.message_length,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "workload": self.workload,
+            "rate": self.rate,
+            "rates": list(self.rates),
+            "duration": self.duration,
+            "seed": self.seed,
+            "layers": self.layers,
+            "mode": self.mode,
+            "message_length": self.message_length,
+            "engine": self.engine,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TrafficSpec":
+        unknown = set(doc) - set(cls._KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown traffic spec keys: {sorted(unknown)}"
+            )
+        if "network" not in doc:
+            raise ValueError("traffic spec needs a network")
+        return cls(
+            network=str(doc["network"]),
+            workload=str(doc.get("workload", "uniform")),
+            rate=float(doc.get("rate", 0.1)),
+            rates=[float(r) for r in doc.get("rates", [])],
+            duration=int(doc.get("duration", 64)),
+            seed=int(doc.get("seed", 0)),
+            layers=int(doc.get("layers", 2)),
+            mode=str(doc.get("mode", "store_forward")),
+            message_length=int(doc.get("message_length", 1)),
+            engine=str(doc.get("engine", "fast")),
+            params=dict(doc.get("params", {})),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "TrafficSpec":
         with open(path) as fh:
             return cls.from_dict(json.load(fh))
 

@@ -5,9 +5,10 @@ snapshots; this module gives them a time axis and a gate:
 
 * :func:`trajectory_record` distills one bench session (the summary
   document plus the per-bench records) into a compact record -- git
-  SHA, timestamp, per-bench and per-test wall seconds, and the E7
-  performance-gate ratios parsed out of ``bench_performance``'s
-  speedup/reduction columns (themselves ``timed_median`` medians);
+  SHA, timestamp, per-bench and per-test wall seconds, and the
+  performance-gate ratios parsed out of the speedup/reduction columns
+  of ``bench_performance`` (the E7 kernel gates, ``timed_median``
+  medians) and ``bench_traffic`` (the E9 engine/traffic gates);
 * :func:`append_record` appends it to ``benchmarks/trajectory.jsonl``,
   one JSON object per line, so the repo accumulates a perf history a
   PR reviewer can plot or ``jq`` through;
@@ -46,6 +47,9 @@ __all__ = [
 TRAJECTORY_SCHEMA = "repro.bench-trajectory/v1"
 DEFAULT_THRESHOLD = 0.15
 
+#: Bench modules whose speedup/ratio columns are treated as gates.
+GATE_BENCHES = ("bench_performance", "bench_traffic")
+
 
 def git_sha(repo_root=None) -> str | None:
     """The current commit SHA, or None outside a usable git checkout."""
@@ -77,7 +81,7 @@ def _parse_ratio(cell) -> float | None:
 
 
 def gate_ratios(perf_record: dict) -> dict[str, float]:
-    """Extract the E7 gate ratios from a ``bench_performance`` record.
+    """Extract the gate ratios from a gate bench's result record.
 
     Scans every table for ``speedup``/``reduction``-style columns and
     keeps the best (last-row) ratio, keyed by the table's ``E7x``
@@ -117,7 +121,7 @@ def trajectory_record(
 
     ``summary`` is a ``BENCH_summary.json`` document; ``per_bench``
     optionally maps bench module name to its ``bench-result`` record
-    (used for per-test seconds and, for ``bench_performance``, the E7
+    (used for per-test seconds and, for the :data:`GATE_BENCHES`, the
     gate ratios).
     """
     benches = {
@@ -129,8 +133,8 @@ def trajectory_record(
     for name, rec in (per_bench or {}).items():
         for t in rec.get("tests", []):
             tests[f"{name}::{t['test']}"] = t.get("seconds", 0.0)
-        if name == "bench_performance":
-            gates = gate_ratios(rec)
+        if name in GATE_BENCHES:
+            gates.update(gate_ratios(rec))
     return {
         "schema": TRAJECTORY_SCHEMA,
         "git_sha": sha if sha is not None else git_sha(),
@@ -202,7 +206,7 @@ def load_timings(path) -> tuple[str, dict[str, float], dict[str, float]]:
             f"{name}::{t['test']}": t.get("seconds", 0.0)
             for t in doc.get("tests", [])
         }
-        gates = gate_ratios(doc) if name == "bench_performance" else {}
+        gates = gate_ratios(doc) if name in GATE_BENCHES else {}
         return path.name, timings, gates
     raise ValueError(
         f"{path}: unrecognized bench document (schema={schema!r})"

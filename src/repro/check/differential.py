@@ -32,7 +32,11 @@ reference model:
     geometric folding preserves legality, the edge multiset and wire
     lengths (uniform-pitch layouts only);
 ``threedee-legal``
-    3-D deck stacking of k^3 tori yields legal layouts.
+    3-D deck stacking of k^3 tori yields legal layouts;
+``engine-parity``
+    the batched event engine (:func:`repro.routing.simulate_fast`)
+    reproduces the per-packet oracle field-for-field on seeded zoo
+    workloads -- on both its backends when numpy is importable.
 
 A violated invariant (or a crash anywhere in a stage) becomes a
 :class:`Violation`; :func:`run_fuzz` streams cases from
@@ -73,6 +77,8 @@ from repro.grid.io import clone_layout, layout_to_json
 from repro.grid.layout import GridLayout
 from repro.grid.oracle import OracleViolation, oracle_validate
 from repro.grid.validate import LayoutError, check_topology, validate_layout
+from repro.routing import layout_link_delays, make_workload, simulate
+from repro.routing.engine import HAVE_NUMPY, simulate_fast
 from repro.topology import DeBruijn, KAryNCube, Ring, ShuffleExchange, StarGraph
 
 __all__ = [
@@ -93,6 +99,7 @@ STAGES = (
     "agreement",
     "folding",
     "threedee",
+    "traffic",
 )
 
 
@@ -399,6 +406,61 @@ def _stage_threedee(case: CheckCase, res: CheckResult, opts: dict) -> None:
     _validate_both(lay, res, "threedee", f"{k}^3 torus decks")
 
 
+def _result_mismatch(oracle, fast) -> str | None:
+    """Describe the first field where the two results diverge."""
+    for name in (
+        "makespan", "messages", "avg_latency", "max_latency",
+        "latency_hist", "max_link_load", "busiest_link",
+        "link_utilization", "queue_depth_hist",
+    ):
+        a, b = getattr(oracle, name), getattr(fast, name)
+        if a != b:
+            return f"{name}: oracle {a!r} vs fast {b!r}"
+    if list(oracle.link_utilization) != list(fast.link_utilization):
+        return "link_utilization insertion order diverged"
+    return None
+
+
+def _stage_traffic(case: CheckCase, res: CheckResult, opts: dict) -> None:
+    """Differential-test the batched engine against the oracle.
+
+    Seeded zoo workloads over the case's network, with per-link delays
+    taken from the orthogonal stage's largest-L layout when it was
+    built (unit delays otherwise), under a seeded choice of switching
+    mode and message length.  Every observable field of
+    :class:`~repro.routing.SimulationResult` must match, on the pure
+    python backend and -- when numpy imported -- the vectorized one.
+    """
+    net = case.network
+    link_delay = None
+    lay = opts.get("_layouts", {}).get(max(case.layers))
+    if lay is not None:
+        link_delay = layout_link_delays(lay)
+    rng = random.Random(case.seed ^ 0x7AFF1C)
+    kinds = ["uniform", rng.choice(
+        ["hotspot", "bursty", "adversarial", "bit-reversal"]
+    )]
+    backends = [False] + ([True] if HAVE_NUMPY else [])
+    for kind in kinds:
+        msgs = make_workload(kind, net, seed=case.seed, rate=0.3, duration=8)
+        mode, length = rng.choice(
+            [("store_forward", 1), ("store_forward", 4), ("cut_through", 4)]
+        )
+        kwargs = dict(
+            link_delay=link_delay, mode=mode, message_length=length,
+        )
+        oracle = simulate(net, msgs, **kwargs)
+        for use_numpy in backends:
+            fast = simulate_fast(net, msgs, use_numpy=use_numpy, **kwargs)
+            diff = _result_mismatch(oracle, fast)
+            if diff is not None:
+                res.add(
+                    "engine-parity", "traffic",
+                    f"{kind}/{mode}/ml={length} "
+                    f"use_numpy={use_numpy}: {diff}",
+                )
+
+
 _STAGE_FNS = {
     "collinear": _stage_collinear,
     "cutwidth": _stage_cutwidth,
@@ -406,6 +468,7 @@ _STAGE_FNS = {
     "agreement": _stage_agreement,
     "folding": _stage_folding,
     "threedee": _stage_threedee,
+    "traffic": _stage_traffic,
 }
 
 

@@ -347,40 +347,101 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    import json as _json
+
     from repro.routing import (
+        WORKLOAD_KINDS,
         all_to_all,
         bit_complement,
         hot_spot,
+        knee_point,
+        load_trace,
+        make_workload,
         random_permutation,
+        saturation_sweep,
         simulate,
+        simulate_fast,
         transpose,
     )
 
     net = parse_network(args.network)
     lay = layout_network(net, layers=args.layers)
-    kernels = {
+    classic = {
         "bit-complement": bit_complement,
         "transpose": transpose,
         "random": random_permutation,
         "all-to-all": all_to_all,
         "hot-spot": hot_spot,
     }
-    if args.kernel not in kernels:
-        raise SystemExit(
-            f"unknown kernel {args.kernel!r}; known: {', '.join(kernels)}"
+
+    if args.saturation:
+        rows = saturation_sweep(
+            net,
+            rates=args.saturation,
+            duration=args.duration,
+            workload=(
+                args.kernel if args.kernel in WORKLOAD_KINDS else "uniform"
+            ),
+            seed=args.seed,
+            engine=args.engine,
+            layout=lay,
+            mode=args.mode,
+            message_length=args.message_length,
         )
-    msgs = kernels[args.kernel](net)
-    res = simulate(
+        knee = knee_point(rows)
+        print_table(
+            f"{net.name} L={args.layers}: saturation sweep "
+            f"({args.engine} engine, knee at "
+            f"{'none in range' if knee is None else knee})",
+            ["rate", "offered", "messages", "avg latency", "p50", "p99",
+             "max util"],
+            [[r["rate"], f"{r['offered']:.3f}", r["messages"],
+              f"{r['avg_latency']:.1f}", r["p50"], r["p99"],
+              f"{r['max_utilization']:.2f}"] for r in rows],
+        )
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(
+                    {"network": net.name, "layers": args.layers,
+                     "engine": args.engine, "knee": knee, "rows": rows},
+                    fh, indent=2,
+                )
+                fh.write("\n")
+            print(f"sweep written to {args.json}")
+        return 0
+
+    if args.trace_file:
+        msgs = make_workload("trace", net, trace=load_trace(args.trace_file))
+    elif args.kernel in classic:
+        msgs = classic[args.kernel](net)
+    elif args.kernel in WORKLOAD_KINDS:
+        msgs = make_workload(
+            args.kernel, net, seed=args.seed, rate=args.rate,
+            duration=args.duration,
+        )
+    else:
+        known = ", ".join([*classic, *WORKLOAD_KINDS])
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; known: {known}"
+        )
+    run = simulate_fast if args.engine == "fast" else simulate
+    res = run(
         net, msgs, layout=lay, mode=args.mode,
         message_length=args.message_length,
     )
     print_table(
-        f"{net.name} L={args.layers}: {args.kernel} ({args.mode})",
-        ["messages", "makespan", "avg latency", "max latency",
+        f"{net.name} L={args.layers}: {args.kernel} "
+        f"({args.mode}, {args.engine} engine)",
+        ["messages", "makespan", "avg latency", "p99", "max latency",
          "max link load"],
         [[res.messages, res.makespan, f"{res.avg_latency:.1f}",
-          res.max_latency, res.max_link_load]],
+          res.latency_p99, res.max_latency, res.max_link_load]],
     )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(res.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"result written to {args.json}")
     return 0
 
 
@@ -742,10 +803,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("simulate", help="run a traffic kernel")
     p.add_argument("network")
     p.add_argument("--layers", "-L", type=int, default=2)
-    p.add_argument("--kernel", default="bit-complement")
+    p.add_argument("--kernel", default="bit-complement",
+                   help="a classic kernel (bit-complement, transpose, "
+                   "random, all-to-all, hot-spot) or a workload-zoo "
+                   "kind (uniform, hotspot, bursty, adversarial, ...)")
     p.add_argument("--mode", default="store_forward",
                    choices=["store_forward", "cut_through"])
     p.add_argument("--message-length", type=int, default=1)
+    p.add_argument("--engine", default="fast",
+                   choices=["fast", "oracle"],
+                   help="batched event engine (default) or the "
+                   "per-packet oracle -- results are identical")
+    p.add_argument("--rate", type=float, default=0.1,
+                   help="injection rate for the timed zoo kinds")
+    p.add_argument("--duration", type=int, default=64,
+                   help="injection window (cycles) for the timed kinds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-file", metavar="FILE",
+                   help="replay a save_trace JSONL instead of a kernel")
+    p.add_argument("--saturation", type=float, nargs="+", metavar="RATE",
+                   help="sweep these offered loads and report the "
+                   "latency curve + saturation knee")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the result (or sweep) as JSON")
     p.set_defaults(fn=_cmd_simulate)
 
     p = add_parser("cost", help="price a layout")

@@ -121,6 +121,28 @@ class Histogram:
             cum += n
         return float(self.max)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild a histogram from its :meth:`as_dict` form.
+
+        The round trip is exact: bucket counts, count/sum/min/max all
+        come back verbatim, so percentile queries on the rebuilt
+        histogram equal the original's.  This is how consumers of a
+        serialized distribution (``SimulationResult.latency_hist``,
+        run-report JSON) query percentiles without re-observing.
+        """
+        bounds, counts, overflow = _parse_buckets(data.get("buckets", {}))
+        if bounds:
+            h = cls(bounds)
+            h.buckets = [*counts, overflow]
+        else:
+            h = cls()
+        h.count = int(data.get("count", 0))
+        h.total = float(data.get("sum", 0.0))
+        h.min = data.get("min")
+        h.max = data.get("max")
+        return h
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,

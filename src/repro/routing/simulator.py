@@ -11,6 +11,20 @@ follow precomputed
 routes; contended links serve waiters in deterministic FIFO order, so
 simulations are exactly reproducible.
 
+This per-packet loop is the **oracle**: the batched engine in
+:mod:`repro.routing.engine` reproduces its results field-for-field and
+is differential-tested against it (``tests/test_engine_parity.py``,
+the ``traffic`` fuzz stage).  The setup and result-finalization
+helpers here are shared by both drivers so they cannot drift: link
+delays, routes, per-hop costs, and the latency histogram all come from
+one code path.
+
+Latency summaries flow through a :class:`repro.obs.metrics.Histogram`
+(``LATENCY_BOUNDS`` power-of-two edges): ``avg_latency`` is the
+histogram mean and the percentile fields interpolate its buckets, so
+``repro watch``, run reports, and the Prometheus exporter all agree
+with the numbers the engines print.
+
 The results quantify the introduction's claim chain: shorter wires
 (multilayer layout) -> smaller link delays -> lower message latency and
 makespan for the same traffic.
@@ -24,13 +38,19 @@ from typing import Callable, Hashable
 
 from repro import obs
 from repro.grid.layout import GridLayout
+from repro.obs.metrics import Histogram
 from repro.routing.paths import RoutingTable, layout_link_delays
 from repro.topology.base import Network
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "LATENCY_BOUNDS"]
 
 Node = Hashable
 Message = tuple[Node, Node]
+
+#: Bucket edges for the shared latency histogram: powers of two up to
+#: 2^20 cycles, wide enough that paper-scale simulations never spill
+#: into the overflow bucket (which would coarsen percentiles).
+LATENCY_BOUNDS = tuple(2 ** k for k in range(21))
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,8 +61,12 @@ class SimulationResult:
     of the makespan it was busy; ``queue_depth_hist`` counts, for every
     wait event (a message finding its next link busy), how many
     messages were then queued on that link -- ``{depth: events}``.
-    Both are also published to the :mod:`repro.obs` metrics registry
-    when observability is enabled.
+    ``latency_hist`` is the :meth:`repro.obs.metrics.Histogram.as_dict`
+    snapshot of per-message latencies; ``avg_latency`` is its mean and
+    the ``latency_p*`` properties interpolate its buckets, so every
+    reporting surface (CLI tables, run reports, Prometheus) quotes the
+    same distribution.  All of it is also published to the
+    :mod:`repro.obs` metrics registry when observability is enabled.
     """
 
     makespan: int
@@ -55,6 +79,7 @@ class SimulationResult:
         default_factory=dict
     )
     queue_depth_hist: dict[int, int] = field(default_factory=dict)
+    latency_hist: dict = field(default_factory=dict)
 
     @property
     def max_utilization(self) -> float:
@@ -65,11 +90,32 @@ class SimulationResult:
         u = self.link_utilization
         return sum(u.values()) / len(u) if u else 0.0
 
+    def latency_percentile(self, q: float) -> float:
+        """Bucket-interpolated latency quantile (``0 < q <= 1``)."""
+        if not self.latency_hist:
+            return 0.0
+        return Histogram.from_dict(self.latency_hist).percentile(q)
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def latency_p90(self) -> float:
+        return self.latency_percentile(0.90)
+
+    @property
+    def latency_p99(self) -> float:
+        return self.latency_percentile(0.99)
+
     def as_dict(self) -> dict:
         return {
             "makespan": self.makespan,
             "avg_latency": self.avg_latency,
             "max_latency": self.max_latency,
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
             "messages": self.messages,
             "max_link_load": self.max_link_load,
             "busiest_link": self.busiest_link,
@@ -87,6 +133,152 @@ class _Msg:
     start: int = 0
     done: int | None = None
     waiting_on: tuple | None = None
+
+
+# ---------------------------------------------------------------------------
+# Setup and finalization shared with repro.routing.engine.  Both drivers
+# must resolve delays, routes, hop costs and results through these
+# helpers -- parity is tested field-for-field, and a second copy of any
+# of this logic is where drift would start.
+
+
+def _resolve_link_delay(
+    layout: GridLayout | None,
+    link_delay: dict[tuple[Node, Node], int] | None,
+) -> dict[tuple[Node, Node], int]:
+    if link_delay is not None:
+        return link_delay
+    if layout is not None:
+        return layout_link_delays(layout)
+    return {}
+
+
+def _resolve_router(
+    network: Network,
+    router: RoutingTable | Callable[[Node, Node], list] | None,
+) -> Callable[[Node, Node], list]:
+    if router is None:
+        from repro.routing.paths import shortest_hop_routes
+
+        return shortest_hop_routes(network).route
+    if isinstance(router, RoutingTable):
+        return router.route
+    return router
+
+
+def _build_routes(
+    messages: list[Message],
+    get_route: Callable[[Node, Node], list],
+) -> tuple[list[list], list[int]]:
+    """Resolve every message to ``(routes, start_cycles)``.
+
+    Messages are ``(src, dst)`` pairs injected at cycle 0, or timed
+    ``(src, dst, start_cycle)`` triples.
+    """
+    routes: list[list] = []
+    starts: list[int] = []
+    # Memoize per (src, dst): high-load workloads repeat pairs heavily
+    # and routers are deterministic functions of the endpoints.  Routes
+    # are shared read-only downstream, so aliasing is safe.
+    memo: dict[tuple[Node, Node], list] = {}
+    for msg in messages:
+        if len(msg) == 3:
+            src, dst, start = msg  # timed injection
+        else:
+            src, dst = msg
+            start = 0
+        key = (src, dst)
+        r = memo.get(key)
+        if r is None:
+            memo[key] = r = get_route(src, dst)
+        routes.append(r)
+        starts.append(start)
+    for r in routes:
+        if len(r) < 1:
+            raise ValueError("empty route")
+    return routes, starts
+
+
+def _hop_costs(
+    link_delay: dict[tuple[Node, Node], int],
+    default_delay: int,
+    router_overhead: int,
+    mode: str,
+    message_length: int,
+) -> Callable[[Node, Node], tuple[int, int]]:
+    """Validate mode/length; return ``(u, v) -> (advance, busy)``."""
+    if mode not in ("store_forward", "cut_through"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if message_length < 1:
+        raise ValueError("message_length >= 1")
+
+    def delay_of(u: Node, v: Node) -> tuple[int, int]:
+        """(header advance delay, link busy time) for one hop."""
+        wire = link_delay.get((u, v), default_delay)
+        if mode == "store_forward":
+            d = wire * message_length + router_overhead
+            return d, d
+        # cut-through: header takes wire+router; the link streams the
+        # body for message_length cycles.
+        return wire + router_overhead, max(wire + router_overhead,
+                                           message_length)
+
+    return delay_of
+
+
+def _finalize_result(
+    *,
+    makespan: int,
+    lat_hist: Histogram,
+    n_messages: int,
+    link_load: dict[tuple[Node, Node], int],
+    link_busy_time: dict[tuple[Node, Node], int],
+    depth_hist: dict[int, int],
+    events: int,
+) -> SimulationResult:
+    """Fold raw per-run tallies into a :class:`SimulationResult`.
+
+    ``link_load`` must be insertion-ordered by first acquisition: the
+    busiest-link tie-break is "first link to reach the max load", which
+    the oracle gets for free from dict insertion order and the engine
+    reproduces with explicit first-use sequencing.
+    """
+    busiest = max(link_load, key=link_load.__getitem__) if link_load else None
+    # Busy fractions clip at 1.0: the last transit may overrun the
+    # makespan (its message already arrived; the tail streams on).
+    link_utilization = {
+        link: min(1.0, busy / makespan) if makespan else 0.0
+        for link, busy in link_busy_time.items()
+    }
+    if obs.enabled():
+        obs.count("simulator.runs")
+        obs.count("simulator.events", events)
+        obs.count("simulator.messages", n_messages)
+        obs.count("simulator.hops", sum(link_load.values()))
+        for util in link_utilization.values():
+            obs.observe(
+                "simulator.link_utilization", util,
+                bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+            )
+        for depth, times in depth_hist.items():
+            for _ in range(times):
+                obs.observe("simulator.queue_depth", depth)
+        from repro.obs.metrics import registry as _registry
+
+        _registry().histogram(
+            "simulator.latency", LATENCY_BOUNDS
+        ).merge_dict(lat_hist.as_dict())
+    return SimulationResult(
+        makespan=makespan,
+        avg_latency=lat_hist.mean,
+        max_latency=int(lat_hist.max) if lat_hist.count else 0,
+        messages=n_messages,
+        max_link_load=link_load.get(busiest, 0) if busiest else 0,
+        busiest_link=busiest,
+        link_utilization=link_utilization,
+        queue_depth_hist=depth_hist,
+        latency_hist=lat_hist.as_dict(),
+    )
 
 
 def simulate(
@@ -130,49 +322,16 @@ def simulate(
     ``(src, dst, start_cycle)`` triples -- the form rate sweeps use to
     draw latency-vs-load curves.
     """
-    if link_delay is None:
-        if layout is not None:
-            link_delay = layout_link_delays(layout)
-        else:
-            link_delay = {}
-
-    if router is None:
-        from repro.routing.paths import shortest_hop_routes
-
-        table = shortest_hop_routes(network)
-        get_route = table.route
-    elif isinstance(router, RoutingTable):
-        get_route = router.route
-    else:
-        get_route = router
-
-    msgs = []
-    for i, msg in enumerate(messages):
-        if len(msg) == 3:
-            src, dst, start = msg  # timed injection
-        else:
-            src, dst = msg
-            start = 0
-        msgs.append(_Msg(idx=i, route=get_route(src, dst), start=start))
-    for m in msgs:
-        if len(m.route) < 1:
-            raise ValueError("empty route")
-
-    if mode not in ("store_forward", "cut_through"):
-        raise ValueError(f"unknown mode {mode!r}")
-    if message_length < 1:
-        raise ValueError("message_length >= 1")
-
-    def delay_of(u: Node, v: Node) -> tuple[int, int]:
-        """(header advance delay, link busy time) for one hop."""
-        wire = link_delay.get((u, v), default_delay)
-        if mode == "store_forward":
-            d = wire * message_length + router_overhead
-            return d, d
-        # cut-through: header takes wire+router; the link streams the
-        # body for message_length cycles.
-        return wire + router_overhead, max(wire + router_overhead,
-                                           message_length)
+    link_delay = _resolve_link_delay(layout, link_delay)
+    get_route = _resolve_router(network, router)
+    routes, starts = _build_routes(messages, get_route)
+    msgs = [
+        _Msg(idx=i, route=route, start=start)
+        for i, (route, start) in enumerate(zip(routes, starts))
+    ]
+    delay_of = _hop_costs(
+        link_delay, default_delay, router_overhead, mode, message_length
+    )
 
     # Event queue: (time, msg_idx) = message ready to take its next hop.
     # Links are busy until a recorded time; FIFO waiters by (arrival,
@@ -186,7 +345,7 @@ def simulate(
     depth_hist: dict[int, int] = {}
     finished = 0
     makespan = 0
-    latencies: list[int] = []
+    lat_hist = Histogram(LATENCY_BOUNDS)
 
     with obs.span(
         "simulate", messages=len(msgs), mode=mode,
@@ -209,7 +368,7 @@ def simulate(
                     m.done = t + tail
                     finished += 1
                     makespan = max(makespan, m.done)
-                    latencies.append(m.done - m.start)
+                    lat_hist.observe(m.done - m.start)
                 continue
             u, v = m.route[m.hop], m.route[m.hop + 1]
             link = (u, v)
@@ -235,33 +394,12 @@ def simulate(
 
     if finished != len(msgs):
         raise RuntimeError("simulation ended with unfinished messages")
-    busiest = max(link_load, key=link_load.__getitem__) if link_load else None
-    # Busy fractions clip at 1.0: the last transit may overrun the
-    # makespan (its message already arrived; the tail streams on).
-    link_utilization = {
-        link: min(1.0, busy / makespan) if makespan else 0.0
-        for link, busy in link_busy_time.items()
-    }
-    if obs.enabled():
-        obs.count("simulator.runs")
-        obs.count("simulator.events", guard)
-        obs.count("simulator.messages", len(msgs))
-        obs.count("simulator.hops", sum(link_load.values()))
-        for util in link_utilization.values():
-            obs.observe(
-                "simulator.link_utilization", util,
-                bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
-            )
-        for depth, times in depth_hist.items():
-            for _ in range(times):
-                obs.observe("simulator.queue_depth", depth)
-    return SimulationResult(
+    return _finalize_result(
         makespan=makespan,
-        avg_latency=sum(latencies) / len(latencies) if latencies else 0.0,
-        max_latency=max(latencies, default=0),
-        messages=len(msgs),
-        max_link_load=link_load.get(busiest, 0) if busiest else 0,
-        busiest_link=busiest,
-        link_utilization=link_utilization,
-        queue_depth_hist=depth_hist,
+        lat_hist=lat_hist,
+        n_messages=len(msgs),
+        link_load=link_load,
+        link_busy_time=link_busy_time,
+        depth_hist=depth_hist,
+        events=guard,
     )

@@ -14,6 +14,8 @@ random_networks     connected graphs (spanning tree + density draw)
 grid_specs          random R x C node grids with row/col/extra links
 block_specs         1 x C block rows with random clusters and links
 foldable_specs      uniform-pitch 2-layer specs foldable into 4/8
+traffic_networks    networks for the workload zoo (incl. hypercubes)
+workload_cases      (network, kind, seed, rate, duration) zoo draws
 
 Helpers
 -------
@@ -32,12 +34,16 @@ from repro.grid.io import clone_layout
 from repro.grid.layout import GridLayout
 from repro.grid.oracle import OracleViolation, oracle_validate
 from repro.grid.validate import LayoutError, validate_layout
+from repro.routing.traffic import WORKLOAD_KINDS
+from repro.topology import Hypercube
 
 __all__ = [
     "random_networks",
     "grid_specs",
     "block_specs",
     "foldable_specs",
+    "traffic_networks",
+    "workload_cases",
     "mutate",
     "clone_layout",
     "verdicts_agree",
@@ -55,6 +61,41 @@ def random_networks(draw, min_nodes=2, max_nodes=12):
     return random_connected_network(
         rng, min_nodes=min_nodes, max_nodes=max_nodes
     )
+
+
+@st.composite
+def traffic_networks(draw, min_nodes=2, max_nodes=14):
+    """Networks the workload zoo runs on: random connected graphs from
+    the fuzzer's distribution, mixed with small hypercubes (the only
+    family where the address-arithmetic kernels -- transpose,
+    bit-reversal on addresses -- take their specialized form).
+    """
+    if draw(st.booleans()):
+        return Hypercube(draw(st.integers(2, 4)))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    return random_connected_network(
+        rng, min_nodes=min_nodes, max_nodes=max_nodes
+    )
+
+
+@st.composite
+def workload_cases(draw, kinds=None):
+    """(network, kind, seed, rate, duration) draws over the zoo.
+
+    ``transpose`` is pinned to hypercubes (it is undefined on the
+    integer-labeled random graphs); ``trace`` is excluded by default
+    because it replays rather than generates.
+    """
+    pool = list(kinds) if kinds else [k for k in WORKLOAD_KINDS if k != "trace"]
+    kind = draw(st.sampled_from(pool))
+    if kind == "transpose":
+        net = Hypercube(draw(st.integers(2, 4)))
+    else:
+        net = draw(traffic_networks())
+    seed = draw(st.integers(0, 2**16))
+    rate = draw(st.sampled_from([0.05, 0.1, 0.25, 0.5, 1.0]))
+    duration = draw(st.integers(1, 24))
+    return net, kind, seed, rate, duration
 
 
 @st.composite

@@ -10,6 +10,7 @@ from repro.batch import (
     LayoutCache,
     SweepRunner,
     SweepSpec,
+    TrafficSpec,
     dispatch_scheme,
     standard_family_sweep,
 )
@@ -58,6 +59,49 @@ class TestSpec:
     def test_dispatch_scheme_unknown(self):
         with pytest.raises(ValueError, match="unknown scheme"):
             dispatch_scheme(parse_network("ring:4"), layers=2, scheme="x")
+
+
+class TestTrafficSpec:
+    def test_roundtrip_through_dict(self):
+        spec = TrafficSpec(
+            network="hypercube:4", workload="hotspot", rate=0.3,
+            duration=16, seed=7, layers=4, mode="cut_through",
+            message_length=4, engine="oracle",
+            params={"hot_fraction": 0.8},
+        )
+        assert TrafficSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic spec keys"):
+            TrafficSpec.from_dict({"network": "ring:4", "warmup": 10})
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            TrafficSpec(network="ring:4", workload="teleport")
+        with pytest.raises(ValueError, match="engine"):
+            TrafficSpec(network="ring:4", engine="warp")
+        with pytest.raises(ValueError, match="mode"):
+            TrafficSpec(network="ring:4", mode="wormhole")
+        with pytest.raises(ValueError, match="network"):
+            TrafficSpec.from_dict({"workload": "uniform"})
+
+    def test_run_engines_agree(self):
+        doc = {
+            "network": "hypercube:3", "workload": "uniform",
+            "rate": 0.4, "duration": 12, "seed": 3,
+        }
+        fast = TrafficSpec.from_dict(doc).run()
+        oracle = TrafficSpec.from_dict({**doc, "engine": "oracle"}).run()
+        assert fast == oracle
+        assert fast.messages > 0
+
+    def test_run_saturation_sweep(self):
+        spec = TrafficSpec(
+            network="ring:8", rates=[0.05, 0.5, 1.0], duration=16,
+        )
+        out = spec.run()
+        assert [r["rate"] for r in out["rows"]] == [0.05, 0.5, 1.0]
+        assert out["knee"] is None or out["knee"] in (0.05, 0.5, 1.0)
 
 
 class TestRunner:

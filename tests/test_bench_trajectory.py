@@ -53,6 +53,20 @@ PERF_RECORD = {
 }
 
 
+TRAFFIC_RECORD = {
+    "schema": "repro.bench-result/v1",
+    "bench": "bench_traffic",
+    "tests": [{"test": "test_engine_vs_oracle_gate", "seconds": 20.0}],
+    "tables": [
+        {
+            "title": "E9d: batched engine vs per-packet oracle",
+            "headers": ["messages", "oracle s", "engine s", "speedup"],
+            "rows": [["524288", "192.0", "8.0", "24.0x"]],
+        },
+    ],
+}
+
+
 def _slowed(summary, factor):
     doc = json.loads(json.dumps(summary))
     for b in doc["benches"]:
@@ -73,6 +87,25 @@ class TestRecord:
         assert rec["tests"]["bench_performance::test_cache"] == 5.0
         assert rec["gates"] == {"E7c": 9.6, "E7h": 2.2}
         assert rec["total_seconds"] == 12.5
+
+    def test_traffic_gates_merge_into_record(self):
+        rec = trajectory_record(
+            SUMMARY,
+            {
+                "bench_performance": PERF_RECORD,
+                "bench_traffic": TRAFFIC_RECORD,
+            },
+            sha="abc123",
+        )
+        assert rec["gates"] == {"E7c": 9.6, "E7h": 2.2, "E9d": 24.0}
+        assert rec["tests"]["bench_traffic::test_engine_vs_oracle_gate"] == 20.0
+
+    def test_traffic_result_file_carries_gates(self, tmp_path):
+        p = tmp_path / "bench_traffic.json"
+        p.write_text(json.dumps(TRAFFIC_RECORD))
+        _, timings, gates = load_timings(p)
+        assert timings == {"bench_traffic::test_engine_vs_oracle_gate": 20.0}
+        assert gates == {"E9d": 24.0}
 
     def test_gate_ratios_skip_baseline_rows(self):
         gates = gate_ratios(PERF_RECORD)

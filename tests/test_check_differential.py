@@ -123,6 +123,43 @@ class TestInjectedBug:
         assert small.is_connected()
 
 
+class TestTrafficStage:
+    """The engine-parity differential stage."""
+
+    def test_clean_engine_agrees(self):
+        res = check_case(_case(Hypercube(3)), stages=("traffic",))
+        assert res.ok, [str(v) for v in res.violations]
+        assert res.stages_run == ["traffic"]
+
+    def test_uses_layout_delays_when_available(self):
+        # orthogonal first so the traffic stage picks up the routed
+        # layout's per-link delays instead of unit delays.
+        res = check_case(_case(Hypercube(3)), stages=("orthogonal", "traffic"))
+        assert res.ok, [str(v) for v in res.violations]
+
+    def test_injected_engine_bug_is_caught_and_shrunk(self, monkeypatch):
+        import dataclasses
+
+        from repro.check import differential as diff
+
+        real = diff.simulate_fast
+
+        def skewed(net, msgs, **kw):
+            r = real(net, msgs, **kw)
+            return dataclasses.replace(r, makespan=r.makespan + 1)
+
+        monkeypatch.setattr(
+            "repro.check.differential.simulate_fast", skewed
+        )
+        res = check_case(_case(Hypercube(3)), stages=("traffic",))
+        assert not res.ok
+        assert {v.invariant for v in res.violations} == {"engine-parity"}
+        assert "makespan" in res.violations[0].detail
+        small = shrink_failing_case(res)
+        assert small.num_nodes <= 4
+        assert small.is_connected()
+
+
 class TestInvariantSensitivity:
     """Each stage actually fires on hand-built degenerate inputs."""
 

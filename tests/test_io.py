@@ -159,6 +159,52 @@ class TestCli:
         with pytest.raises(SystemExit, match="kernel"):
             main(["simulate", "hypercube:3", "--kernel", "chaos"])
 
+    def test_simulate_zoo_kernel_both_engines(self, capsys):
+        from repro.cli import main
+
+        args = [
+            "simulate", "hypercube:3", "--kernel", "uniform",
+            "--rate", "0.4", "--duration", "12", "--seed", "5",
+        ]
+        assert main(args + ["--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(args + ["--engine", "oracle"]) == 0
+        oracle_out = capsys.readouterr().out
+        # Same numbers either way; only the title names the engine.
+        assert (
+            fast_out.replace("fast engine", "X")
+            == oracle_out.replace("oracle engine", "X")
+        )
+
+    def test_simulate_saturation_sweep(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out_json = tmp_path / "sat.json"
+        rc = main([
+            "simulate", "hypercube:3", "--saturation", "0.05", "1.0",
+            "--duration", "16", "--json", str(out_json),
+        ])
+        assert rc == 0
+        assert "saturation sweep" in capsys.readouterr().out
+        doc = json.loads(out_json.read_text())
+        assert [r["rate"] for r in doc["rows"]] == [0.05, 1.0]
+        assert "knee" in doc
+
+    def test_simulate_trace_replay(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.routing import save_trace, uniform
+        from repro.topology import Hypercube
+
+        trace = tmp_path / "trace.jsonl"
+        save_trace(trace, uniform(Hypercube(3), rate=0.3, duration=8, seed=1))
+        rc = main([
+            "simulate", "hypercube:3", "--trace-file", str(trace),
+        ])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
     def test_cost_command(self, capsys):
         from repro.cli import main
 

@@ -107,7 +107,37 @@ class TestSimulatorScenarios:
             "makespan", "avg_latency", "max_latency", "messages",
             "max_link_load", "busiest_link", "max_utilization",
             "avg_utilization", "queue_depth_hist",
+            "latency_p50", "latency_p90", "latency_p99",
         }
+
+    def test_latency_summaries_come_from_the_histogram(self):
+        """avg/max/percentiles all derive from one obs Histogram, so
+        every reporting surface quotes the same distribution."""
+        from repro.obs.metrics import Histogram
+
+        net = Ring(8)
+        res = simulate(net, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        h = Histogram.from_dict(res.latency_hist)
+        assert h.count == res.messages == 4
+        assert res.avg_latency == h.mean
+        assert res.max_latency == h.max
+        assert res.latency_p50 == h.percentile(0.50)
+        assert res.latency_p90 == h.percentile(0.90)
+        assert res.latency_p99 == h.percentile(0.99)
+        assert 0 < res.latency_p50 <= res.latency_p99 <= res.max_latency
+
+    def test_latency_percentiles_exact_on_uniform_traffic(self):
+        # Four messages over the same hop count: one latency value, so
+        # every percentile is exact and equals avg and max.
+        net = Ring(12)
+        res = simulate(net, [(i, i + 2) for i in (0, 3, 6, 9)])
+        assert res.latency_p50 == res.latency_p99 == res.max_latency
+        assert res.avg_latency == res.max_latency
+
+    def test_empty_run_has_zero_percentiles(self):
+        res = simulate(Ring(4), [])
+        assert res.latency_p50 == res.latency_p90 == res.latency_p99 == 0.0
+        assert res.avg_latency == 0.0
 
 
 class TestLinkObservability:
