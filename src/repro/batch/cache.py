@@ -35,7 +35,8 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro import obs
@@ -90,12 +91,19 @@ def cache_key(doc: dict) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache handle."""
+    """Hit/miss accounting for one cache handle.
+
+    ``coalesced`` counts getters that neither hit nor built: they
+    arrived while another thread was already building the same key
+    (see :meth:`LayoutCache.get_or_build`) and simply waited for its
+    result.
+    """
 
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
     writes: int = 0
+    coalesced: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -103,6 +111,7 @@ class CacheStats:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "coalesced": self.coalesced,
         }
 
     def merge(self, other: "CacheStats | dict") -> None:
@@ -111,6 +120,7 @@ class CacheStats:
         self.misses += d.get("misses", 0)
         self.corrupt += d.get("corrupt", 0)
         self.writes += d.get("writes", 0)
+        self.coalesced += d.get("coalesced", 0)
 
 
 @dataclass
@@ -125,6 +135,17 @@ class CacheEntry:
         """Deserialize the stored layout (hits that only need metrics
         never pay this)."""
         return layout_from_json(self.layout_json)
+
+
+class _Flight:
+    """One in-progress build: followers wait on ``done``."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: CacheEntry | None = None
+        self.error: BaseException | None = None
 
 
 class LayoutCache:
@@ -143,6 +164,10 @@ class LayoutCache:
         self.root = Path(root)
         self.readonly = readonly
         self.stats = CacheStats()
+        # Single-flight state: one _Flight per key currently being
+        # built *by this handle*; guarded by _flight_lock.
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
 
     # -- keys -----------------------------------------------------------
 
@@ -266,3 +291,73 @@ class LayoutCache:
         obs.count("cache.writes")
         olog.debug("cache.write", key=key[:16])
         return True
+
+    # -- single-flight build --------------------------------------------
+
+    def get_or_build(
+        self,
+        key: str,
+        key_doc: dict,
+        build,
+        *,
+        require_metrics: bool = True,
+    ) -> tuple[CacheEntry, str]:
+        """The entry under ``key``, building it at most once per handle.
+
+        ``build()`` must return ``(layout_json, metrics)``.  Returns
+        ``(entry, source)`` where ``source`` is ``"cache"`` (warm
+        hit), ``"built"`` (this caller paid the build), or
+        ``"coalesced"`` (another thread was already building the same
+        key; this caller waited for its result without re-probing the
+        disk, so neither the build work nor the ``cache.misses``
+        count is doubled).
+
+        Concurrency is **per handle**: two threads sharing one
+        :class:`LayoutCache` coalesce; separate processes (or separate
+        handles) still race benignly through the atomic ``put``.  A
+        build that raises releases the flight and propagates to every
+        waiter, so a later request retries cleanly.
+        """
+        while True:
+            with self._flight_lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.entry is None:
+                    # The leader found a usable warm entry *after* we
+                    # enqueued (rare); loop and take the fast path.
+                    continue
+                self.stats.coalesced += 1
+                obs.count("cache.coalesced")
+                olog.debug("cache.coalesced", key=key[:16])
+                return flight.entry, "coalesced"
+            try:
+                entry = self.get(key, key_doc)
+                if entry is not None and (
+                    not require_metrics or entry.metrics is not None
+                ):
+                    flight.entry = entry
+                    return entry, "cache"
+                olog.info("cache.build", key=key[:16])
+                layout_json, metrics = build()
+                self.put(key, key_doc, layout_json, metrics)
+                entry = CacheEntry(
+                    key=key, layout_json=layout_json, metrics=metrics
+                )
+                flight.entry = entry
+                return entry, "built"
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._flight_lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()

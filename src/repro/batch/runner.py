@@ -152,35 +152,38 @@ def run_sweep_job(
     *,
     validate: bool = True,
 ) -> JobResult:
-    """Execute one job: cache lookup, else build + validate + measure."""
+    """Execute one job: cache lookup, else build + validate + measure.
+
+    Cached runs go through :meth:`LayoutCache.get_or_build`, so two
+    threads racing the same cold key on one cache handle pay exactly
+    one build (``source`` comes back ``"coalesced"`` for the waiter);
+    the serve-side coalescer and the sweep workers share this path.
+    """
     t0 = time.perf_counter()
     net = job.build_network()
-    key = key_doc = None
+
+    def build() -> tuple:
+        with obs.span("sweep.job", job=job.job_id):
+            layout = dispatch_scheme(
+                net, layers=job.layers, scheme=job.scheme
+            )
+            if validate:
+                validate_layout(layout)
+            metrics = measure(layout).as_dict()
+        obs.count("sweep.jobs_built")
+        return layout, metrics
+
     if cache is not None:
         key, key_doc = cache.key_for(
             net, scheme=job.scheme, layers=job.layers,
         )
-        entry = cache.get(key, key_doc)
-        if entry is not None and entry.metrics is not None:
-            return JobResult(
-                job_id=job.job_id,
-                network=job.network,
-                scheme=job.scheme,
-                layers=job.layers,
-                num_nodes=net.num_nodes,
-                num_edges=net.num_edges,
-                metrics=entry.metrics,
-                source="cache",
-                elapsed_s=time.perf_counter() - t0,
-            )
-    with obs.span("sweep.job", job=job.job_id):
-        layout = dispatch_scheme(net, layers=job.layers, scheme=job.scheme)
-        if validate:
-            validate_layout(layout)
-        metrics = measure(layout).as_dict()
-    if cache is not None:
-        cache.put(key, key_doc, layout_to_json(layout), metrics)
-    obs.count("sweep.jobs_built")
+        entry, source = cache.get_or_build(
+            key, key_doc, lambda: _serialized(build())
+        )
+        metrics = entry.metrics
+    else:
+        _, metrics = build()
+        source = "built"
     return JobResult(
         job_id=job.job_id,
         network=job.network,
@@ -189,9 +192,15 @@ def run_sweep_job(
         num_nodes=net.num_nodes,
         num_edges=net.num_edges,
         metrics=metrics,
-        source="built",
+        source=source,
         elapsed_s=time.perf_counter() - t0,
     )
+
+
+def _serialized(built: tuple) -> tuple:
+    """``(layout, metrics) -> (layout_json, metrics)`` for the cache."""
+    layout, metrics = built
+    return layout_to_json(layout), metrics
 
 
 def _maybe_fault(worker_id: int, jobs_done: int) -> None:

@@ -22,6 +22,13 @@ watch    live status console for a sweep/fuzz run directory: per-worker
          (``--once --json`` for scripts and CI)
 bench-diff  compare two bench/trajectory JSONs and flag perf
          regressions past a threshold (nonzero exit on regression)
+serve    run the layout daemon: an asyncio HTTP/JSON server answering
+         (network, scheme, layers) requests from the layout cache,
+         coalescing duplicate in-flight keys, building misses on a
+         persistent worker pool, streaming sweeps as JSONL
+loadgen  replay a request trace (save_trace JSONL rows reinterpreted
+         as [network, layers, start]) against a live server and
+         report p50/p90/p99 latency from repro.obs histograms
 
 Every command also accepts ``--trace`` (print the span tree after the
 run), ``--report FILE`` (write a machine-readable JSON run report),
@@ -389,6 +396,12 @@ def _cmd_simulate(args) -> int:
             message_length=args.message_length,
         )
         knee = knee_point(rows)
+        if knee is None and len(args.saturation) < 2:
+            print(
+                "saturation: knee detection needs >= 2 rates to "
+                "bracket a knee; reporting knee=none for this "
+                f"{len(args.saturation)}-rate sweep"
+            )
         print_table(
             f"{net.name} L={args.layers}: saturation sweep "
             f"({args.engine} engine, knee at "
@@ -562,6 +575,96 @@ def _cmd_fuzz(args) -> int:
     print(f"\nfuzz: {rep.violations} violation(s) in "
           f"{len(rep.failures)} case(s)")
     return 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the layout daemon until interrupted."""
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        validate=args.validate,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_inflight=args.max_inflight,
+        request_timeout_s=args.request_timeout,
+        run_dir=args.run_dir,
+        ready_file=args.ready_file,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Replay a request trace against a server; report percentiles."""
+    import json as _json
+
+    from repro.routing.traffic import load_trace, save_trace
+    from repro.serve.loadgen import run_loadgen, synth_rows
+
+    if args.trace_file:
+        rows = load_trace(args.trace_file)
+    else:
+        networks = args.networks or ["ring:8", "hypercube:3", "kary:3,2"]
+        rows = synth_rows(
+            networks,
+            args.requests,
+            layers=tuple(args.layers),
+            seed=args.seed,
+        )
+    if args.save_trace:
+        n = save_trace(args.save_trace, rows)
+        print(f"request trace ({n} rows) written to {args.save_trace}")
+    report = run_loadgen(
+        args.host,
+        args.port,
+        rows,
+        concurrency=args.concurrency,
+        cycle_s=args.cycle_s,
+        client_id=args.client,
+        scheme=args.scheme,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    lat = report["latency_ms"]
+    print_table(
+        f"loadgen vs {report['target']}: {report['ok']}/"
+        f"{report['requests']} ok, {report['five_xx']} 5xx, "
+        f"{report['retried']} retried, {report['elapsed_s']}s "
+        f"({report['rps']} req/s)",
+        ["metric", "ms"],
+        [
+            ["p50", lat["p50"]],
+            ["p90", lat["p90"]],
+            ["p99", lat["p99"]],
+            ["mean", lat["mean"]],
+            ["min", lat["min"]],
+            ["max", lat["max"]],
+        ],
+    )
+    if report["status"]:
+        print(
+            "status counts: "
+            + ", ".join(
+                f"{code}x{n}" for code, n in report["status"].items()
+            )
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"loadgen report written to {args.json}")
+    if report["five_xx"] or not report["ok"]:
+        return 1
+    return 0
 
 
 def _fmt_bytes(n) -> str:
@@ -910,6 +1013,76 @@ def build_parser() -> argparse.ArgumentParser:
                    help="age after which a heartbeat counts as stalled "
                    "(default %(default)s)")
     p.set_defaults(fn=_cmd_watch)
+
+    p = add_parser(
+        "serve",
+        help="run the layout daemon (HTTP/JSON over the sweep engine)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port; 0 picks a free one (default 8787)")
+    p.add_argument("--workers", "-j", type=int, default=2,
+                   help="persistent build worker processes (default 2)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed layout cache; warm keys are "
+                   "answered without touching the pool")
+    p.add_argument("--quota-rate", type=float, default=0.0, metavar="R",
+                   help="per-client tokens/second (X-Repro-Client "
+                   "header); 0 disables quotas (default)")
+    p.add_argument("--quota-burst", type=float, default=20.0, metavar="B",
+                   help="per-client bucket size (default 20)")
+    p.add_argument("--max-inflight", type=int, default=0, metavar="N",
+                   help="global concurrent-request cap; past it the "
+                   "server answers 503 (0 = unlimited)")
+    p.add_argument("--request-timeout", type=float, default=120.0,
+                   metavar="S",
+                   help="per-build deadline before a 504 (default 120)")
+    p.add_argument("--run-dir", metavar="DIR",
+                   help="keep serve telemetry (worker heartbeats, "
+                   "log.jsonl, manifest) in DIR for `repro watch`")
+    p.add_argument("--ready-file", metavar="FILE",
+                   help="write {host, port, pid} JSON once listening "
+                   "(scripts poll this to learn a --port 0 binding)")
+    p.add_argument("--no-validate", dest="validate", action="store_false",
+                   help="skip layout validation on cache misses")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = add_parser(
+        "loadgen",
+        help="replay a request trace against a server, report latency",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="port of the serve daemon under test")
+    p.add_argument("--trace-file", metavar="FILE",
+                   help="replay a save_trace JSONL of "
+                   "[network, layers, start] rows")
+    p.add_argument("--requests", "-n", type=int, default=50,
+                   help="synthetic request count when no --trace-file "
+                   "(default 50)")
+    p.add_argument("--networks", nargs="*", metavar="SPEC",
+                   help="network population for synthetic traces "
+                   "(default: ring:8 hypercube:3 kary:3,2)")
+    p.add_argument("--layers", "-L", type=int, nargs="*", default=[2, 4],
+                   help="layer choices for synthetic traces")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--concurrency", "-c", type=int, default=1,
+                   help="concurrent client connections (default 1)")
+    p.add_argument("--cycle-s", type=float, default=0.0, metavar="S",
+                   help="seconds per trace start-cycle; 0 = closed-loop "
+                   "replay (default)")
+    p.add_argument("--client", default="loadgen",
+                   help="client-id prefix for the X-Repro-Client header")
+    p.add_argument("--scheme", default="auto", choices=list(SCHEMES))
+    p.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                   help="per-request timeout (default 60)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry budget for 429/503 answers (default 3)")
+    p.add_argument("--save-trace", metavar="FILE",
+                   help="also write the replayed rows as a trace JSONL")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the full report document to FILE")
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = add_parser(
         "bench-diff",

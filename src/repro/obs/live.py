@@ -535,9 +535,12 @@ def watch_snapshot(
     elapsed = None
     if manifest and isinstance(manifest.get("time_unix"), (int, float)):
         elapsed = max(0.0, now_unix - manifest["time_unix"])
-    jobs_per_s = (
-        jobs_done / elapsed if elapsed and elapsed > 0 and jobs_done else None
-    )
+    # A snapshot taken in the same tick as manifest creation (or after
+    # a clock fallback) sees elapsed == 0.0: report rate and ETA as
+    # unknown rather than dividing by the zero delta.
+    jobs_per_s = None
+    if elapsed is not None and elapsed > 0 and jobs_done:
+        jobs_per_s = jobs_done / elapsed
     eta_s = None
     if jobs_per_s and jobs_total is not None and jobs_total > jobs_done:
         eta_s = (jobs_total - jobs_done) / jobs_per_s

@@ -112,14 +112,27 @@ class Histogram:
             if cum + n >= rank:
                 lo = self.bounds[i - 1] if i > 0 else self.min
                 hi = self.bounds[i] if i < len(self.bounds) else self.max
-                lo = max(lo, self.min)
-                hi = min(hi, self.max)
+                if lo is None:
+                    lo = 0.0
+                if hi is None:
+                    hi = float(lo)
+                # Project both edges into [min, max] *monotonically*
+                # (clamp each endpoint into the observed range, rather
+                # than lo=max(...) / hi=min(...) independently): after
+                # a merge widens the bucket edges, a deciding bucket
+                # can lie entirely outside [min, max], and the naive
+                # clamp then crosses the edges (lo > hi) and silently
+                # reports hi.  The projection keeps lo <= hi always.
+                lo = _clamp(lo, self.min, self.max)
+                hi = _clamp(hi, self.min, self.max)
                 if hi <= lo:
                     return float(hi)
                 frac = (rank - cum) / n
-                return float(lo + (hi - lo) * frac)
+                # The interpolation can overshoot hi by an ulp when
+                # frac rounds against a large hi-lo span; re-project.
+                return _clamp(lo + (hi - lo) * frac, lo, hi)
             cum += n
-        return float(self.max)
+        return float(self.max) if self.max is not None else 0.0
 
     @classmethod
     def from_dict(cls, data: dict) -> "Histogram":
@@ -203,6 +216,15 @@ class Histogram:
                     continue
                 mine = getattr(self, key)
                 setattr(self, key, v if mine is None else pick(mine, v))
+
+
+def _clamp(v: float, lo: float | None, hi: float | None) -> float:
+    """``v`` projected into ``[lo, hi]`` (either bound may be absent)."""
+    if lo is not None and v < lo:
+        v = lo
+    if hi is not None and v > hi:
+        v = hi
+    return float(v)
 
 
 def _parse_buckets(buckets: dict) -> tuple[tuple, list[int], int]:

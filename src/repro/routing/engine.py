@@ -534,15 +534,22 @@ def knee_point(rows: list[dict], *, factor: float = 2.0) -> float | None:
     delivered traffic).  Returns that row's ``rate``, or ``None`` when
     the curve never knees in the measured range -- both outcomes are
     meaningful bench results.
+
+    A degenerate curve -- empty, or with fewer than two rates that
+    delivered any traffic -- has no interval to compare against the
+    zero-load baseline, so it cleanly returns ``None`` instead of
+    manufacturing a knee from a single point (a one-element
+    ``--saturation`` list is the common way to get here).
     """
-    base = None
-    for row in rows:
-        if row["messages"] and row["avg_latency"] > 0:
-            base = row["avg_latency"]
-            break
-    if base is None:
+    delivered = [
+        row
+        for row in rows
+        if row.get("messages") and row.get("avg_latency", 0) > 0
+    ]
+    if len(delivered) < 2:
         return None
-    for row in rows:
-        if row["messages"] and row["avg_latency"] > factor * base:
+    base = delivered[0]["avg_latency"]
+    for row in delivered:
+        if row["avg_latency"] > factor * base:
             return row["rate"]
     return None

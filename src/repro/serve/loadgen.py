@@ -1,0 +1,288 @@
+"""Replay a request trace against a layout server, report percentiles.
+
+``python -m repro loadgen`` drives :mod:`repro.serve.server` the way
+the routing simulator drives a network: from a **trace**.  The file
+format is exactly :func:`repro.routing.traffic.save_trace`'s JSONL --
+one ``[a, b, start]`` row per line -- reinterpreted for serving as
+``[network_spec, layers, start_cycle]``::
+
+    ["hypercube:3", 2, 0]
+    ["ring:8", 4, 1]
+
+so traces are generated, saved, loaded, and versioned with the same
+tooling as routing workloads.  ``start_cycle`` maps to wall-clock via
+``--cycle-s`` (0 = closed-loop replay: every connection fires its
+next request the moment the previous answer lands).
+
+Latencies land in a :class:`repro.obs.metrics.Histogram`
+(``loadgen.latency_ms``), so the p50/p90/p99 in the report come from
+the same bucket-interpolated estimator as every other percentile in
+this repo -- and flow through ``--metrics-out`` / ``--trace-out``
+like any other run.  Requests answered 429/503 honor ``Retry-After``
+and are retried a bounded number of times; the *final* status of each
+row is what the report counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro import obs
+from repro.obs import logging as olog
+from repro.serve.protocol import CLIENT_HEADER, json_body, read_response
+
+__all__ = [
+    "LOADGEN_SCHEMA",
+    "run_loadgen",
+    "synth_rows",
+]
+
+LOADGEN_SCHEMA = "repro.loadgen/v1"
+
+#: Millisecond buckets fine enough that sub-ms cache hits and
+#: multi-second builds both resolve to meaningful percentiles.
+LATENCY_BOUNDS_MS = (
+    0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 125, 250, 500,
+    1000, 2000, 4000, 8000, 16000,
+)
+
+HIST_NAME = "loadgen.latency_ms"
+
+
+def synth_rows(
+    networks: list[str],
+    n: int,
+    *,
+    layers: tuple[int, ...] = (2, 4),
+    seed: int = 0,
+) -> list[tuple[str, int, int]]:
+    """``n`` synthetic request rows over ``networks`` x ``layers``.
+
+    Deterministic in ``seed``; repeated keys are the norm (that is the
+    point -- a serving workload re-asks popular questions, which is
+    what exercises the cache and the coalescer).
+    """
+    rng = random.Random(seed)
+    return [
+        (rng.choice(networks), rng.choice(list(layers)), i)
+        for i in range(n)
+    ]
+
+
+class _Conn:
+    """One persistent keep-alive connection, reopened on error."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def _ensure(self) -> None:
+        if self.writer is None or self.writer.is_closing():
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, path: str, body: dict, headers: dict
+    ) -> tuple[int, dict, bytes]:
+        await self._ensure()
+        assert self.reader is not None and self.writer is not None
+        payload = json_body(body)
+        head = [
+            f"POST {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+        ]
+        for name, value in headers.items():
+            head.append(f"{name}: {value}")
+        self.writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+        )
+        await self.writer.drain()
+        return await read_response(self.reader)
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.writer = None
+
+
+async def _replay(
+    host: str,
+    port: int,
+    rows: list,
+    *,
+    concurrency: int,
+    cycle_s: float,
+    client_id: str,
+    scheme: str,
+    timeout: float,
+    retries: int,
+) -> dict:
+    hist = obs.registry().histogram(HIST_NAME, LATENCY_BOUNDS_MS)
+    status_counts: dict[int, int] = {}
+    final: list[int] = []
+    retried = 0
+    queue: asyncio.Queue = asyncio.Queue()
+    for row in rows:
+        queue.put_nowait(row)
+    t0 = time.perf_counter()
+
+    async def slot(slot_id: int) -> None:
+        nonlocal retried
+        conn = _Conn(host, port)
+        headers = {CLIENT_HEADER: f"{client_id}-{slot_id}"}
+        try:
+            while True:
+                try:
+                    network, layers, start = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                if cycle_s > 0:
+                    due = t0 + float(start) * cycle_s
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                body = {
+                    "network": str(network),
+                    "scheme": scheme,
+                    "layers": int(layers),
+                }
+                status = 0
+                for attempt in range(retries + 1):
+                    sent = time.perf_counter()
+                    try:
+                        status, resp_headers, _ = await asyncio.wait_for(
+                            conn.request("/v1/layout", body, headers),
+                            timeout,
+                        )
+                    except (
+                        ConnectionError,
+                        asyncio.IncompleteReadError,
+                        asyncio.TimeoutError,
+                        OSError,
+                        ValueError,
+                    ) as exc:
+                        await conn.close()
+                        status = 0
+                        olog.warning(
+                            "loadgen.transport_error",
+                            slot=slot_id,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    status_counts[status] = (
+                        status_counts.get(status, 0) + 1
+                    )
+                    if status == 200:
+                        hist.observe(
+                            (time.perf_counter() - sent) * 1000.0
+                        )
+                        break
+                    if status in (429, 503) and attempt < retries:
+                        retried += 1
+                        try:
+                            backoff = float(
+                                resp_headers.get("retry-after", "0.1")
+                            )
+                        except ValueError:
+                            backoff = 0.1
+                        await asyncio.sleep(min(max(backoff, 0.05), 5.0))
+                        continue
+                    break
+                final.append(status)
+        finally:
+            await conn.close()
+
+    await asyncio.gather(
+        *(slot(i) for i in range(max(1, concurrency)))
+    )
+    elapsed = time.perf_counter() - t0
+    ok = sum(1 for s in final if s == 200)
+    five_xx = sum(1 for s in final if s >= 500)
+    latency = {
+        "count": hist.count,
+        "p50": round(hist.percentile(0.50), 3) if hist.count else None,
+        "p90": round(hist.percentile(0.90), 3) if hist.count else None,
+        "p99": round(hist.percentile(0.99), 3) if hist.count else None,
+        "mean": (
+            round(hist.total / hist.count, 3) if hist.count else None
+        ),
+        "min": round(hist.min, 3) if hist.min is not None else None,
+        "max": round(hist.max, 3) if hist.max is not None else None,
+    }
+    return {
+        "schema": LOADGEN_SCHEMA,
+        "target": f"{host}:{port}",
+        "requests": len(rows),
+        "completed": len(final),
+        "ok": ok,
+        "five_xx": five_xx,
+        "retried": retried,
+        "status": {
+            str(k): v for k, v in sorted(status_counts.items())
+        },
+        "concurrency": max(1, concurrency),
+        "latency_ms": latency,
+        "elapsed_s": round(elapsed, 4),
+        "rps": round(len(final) / elapsed, 2) if elapsed > 0 else None,
+    }
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    rows: list,
+    *,
+    concurrency: int = 1,
+    cycle_s: float = 0.0,
+    client_id: str = "loadgen",
+    scheme: str = "auto",
+    timeout: float = 60.0,
+    retries: int = 3,
+) -> dict:
+    """Replay ``rows`` and return the latency/status report document.
+
+    Enables :mod:`repro.obs` collection for the replay if it is not
+    already on, so the ``loadgen.latency_ms`` histogram always exists
+    for the report (and for ``--metrics-out``).
+    """
+    enabled_here = not obs.enabled()
+    if enabled_here:
+        obs.enable()
+    try:
+        report = asyncio.run(
+            _replay(
+                host,
+                port,
+                list(rows),
+                concurrency=concurrency,
+                cycle_s=cycle_s,
+                client_id=client_id,
+                scheme=scheme,
+                timeout=timeout,
+                retries=retries,
+            )
+        )
+    finally:
+        if enabled_here:
+            # Leave the registry intact (the caller may export it);
+            # just stop collecting.
+            obs.disable()
+    olog.info(
+        "loadgen.done",
+        requests=report["requests"],
+        ok=report["ok"],
+        five_xx=report["five_xx"],
+        p99_ms=report["latency_ms"]["p99"],
+    )
+    return report

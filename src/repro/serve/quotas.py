@@ -1,0 +1,158 @@
+"""Admission control for the layout server: quotas + in-flight gate.
+
+Two independent mechanisms guard the daemon:
+
+* :class:`QuotaManager` -- one :class:`TokenBucket` per client id
+  (the ``X-Repro-Client`` request header), refilled continuously at
+  ``rate`` tokens/second up to ``burst``.  A layout request costs one
+  token; a sweep request costs one token **per expanded job**, so a
+  client cannot smuggle a thousand builds inside one HTTP request.
+  Exhausted buckets answer 429 with a ``Retry-After`` hint.
+* :class:`AdmissionGate` -- a global cap on concurrently admitted
+  requests.  Past the cap the server answers 503 immediately instead
+  of queueing unboundedly; the client is expected to back off and
+  retry (the load generator does).
+
+Both take an injectable monotonic clock so tests drive time instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["AdmissionGate", "QuotaManager", "TokenBucket"]
+
+#: Buckets for clients idle longer than this are pruned (their bucket
+#: would have refilled to burst anyway, so forgetting them is exact).
+PRUNE_AFTER_S = 300.0
+
+
+class TokenBucket:
+    """A continuously refilled token bucket."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, *, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        delta = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + delta * self.rate)
+
+    def try_take(self, n: float, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float) -> float:
+        """Seconds until ``n`` tokens will be available (0 if now)."""
+        deficit = n - self.tokens
+        if deficit <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return deficit / self.rate
+
+
+class QuotaManager:
+    """Per-client token buckets keyed by client id.
+
+    ``rate <= 0`` disables quota enforcement entirely (every
+    :meth:`admit` succeeds) -- the default for ad-hoc local servers.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 0.0,
+        burst: float = 10.0,
+        clock=time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client_id: str, cost: float = 1.0) -> tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request of ``cost``.
+
+        A cost above ``burst`` can never be admitted; it is reported
+        with an infinite retry hint so the caller can reject it as
+        oversized rather than telling the client to retry.
+        """
+        if not self.enabled:
+            return True, 0.0
+        if cost > self.burst:
+            return False, float("inf")
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                if len(self._buckets) > 1024:
+                    self._prune(now)
+                bucket = TokenBucket(self.rate, self.burst, now=now)
+                self._buckets[client_id] = bucket
+            if bucket.try_take(cost, now):
+                return True, 0.0
+            return False, bucket.retry_after(cost)
+
+    def _prune(self, now: float) -> None:
+        stale = [
+            cid
+            for cid, b in self._buckets.items()
+            if now - b.stamp > PRUNE_AFTER_S
+        ]
+        for cid in stale:
+            del self._buckets[cid]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+            }
+
+
+class AdmissionGate:
+    """A max-in-flight counter; 0 or negative means unlimited."""
+
+    def __init__(self, limit: int = 0):
+        self.limit = int(limit)
+        self._lock = threading.Lock()
+        self.active = 0
+        self.rejected = 0
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self.limit > 0 and self.active >= self.limit:
+                self.rejected += 1
+                return False
+            self.active += 1
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self.active = max(0, self.active - 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "active": self.active,
+                "rejected": self.rejected,
+            }

@@ -152,6 +152,125 @@ class TestCorruption:
         assert cache.stats.corrupt == 1
 
 
+class TestSingleFlight:
+    """The duplicate-build race: concurrent getters of one cold key."""
+
+    def _inputs(self, cache, net):
+        lay = layout_network(net, layers=2)
+        key, doc = cache.key_for(net, scheme="auto", layers=2)
+        return key, doc, layout_to_json(lay), measure(lay).as_dict()
+
+    def test_racing_getters_build_exactly_once(self, cache):
+        """Two threads racing a cold key: one ``cache.build`` log
+        event, one ``build()`` call, the loser reports coalesced."""
+        import io
+        import threading
+
+        from repro.obs import logging as olog
+
+        key, doc, payload, metrics = self._inputs(cache, Ring(6))
+        sink = io.StringIO()
+        olog.configure(stream=sink, level="debug")
+        follower_arrived = threading.Event()
+        builds = []
+
+        def build():
+            builds.append(threading.get_ident())
+            # Hold the key in flight until the follower has committed
+            # to get_or_build, then a beat longer so it lands in the
+            # in-flight map rather than after the pop.
+            follower_arrived.wait(timeout=5.0)
+            import time
+
+            time.sleep(0.2)
+            return payload, metrics
+
+        results = {}
+
+        def leader():
+            results["leader"] = cache.get_or_build(key, doc, build)
+
+        def follower():
+            follower_arrived.set()
+            results["follower"] = cache.get_or_build(key, doc, build)
+
+        try:
+            t1 = threading.Thread(target=leader)
+            t1.start()
+            t2 = threading.Thread(target=follower)
+            t2.start()
+            t1.join(timeout=10)
+            t2.join(timeout=10)
+        finally:
+            records = [
+                json.loads(line)
+                for line in sink.getvalue().splitlines()
+                if line
+            ]
+            olog.close()
+        assert len(builds) == 1
+        build_events = [
+            r for r in records if r["event"] == "cache.build"
+        ]
+        assert len(build_events) == 1
+        sources = sorted(src for _, src in results.values())
+        assert sources == ["built", "coalesced"]
+        for entry, _ in results.values():
+            assert entry.metrics == metrics
+            assert entry.layout_json == payload
+        assert cache.stats.coalesced == 1
+        assert cache.stats.writes == 1
+
+    def test_leader_reprobes_after_winning(self, cache):
+        """A key stored between probe and flight entry is a hit, not a
+        rebuild."""
+        key, doc, payload, metrics = self._inputs(cache, Ring(6))
+        cache.put(key, doc, payload, metrics)
+        entry, source = cache.get_or_build(
+            key, doc, lambda: (_ for _ in ()).throw(AssertionError)
+        )
+        assert source == "cache"
+        assert entry.metrics == metrics
+
+    def test_failed_build_propagates_to_followers(self, cache):
+        import threading
+
+        key, doc, _, _ = self._inputs(cache, Ring(6))
+        follower_arrived = threading.Event()
+
+        def build():
+            follower_arrived.wait(timeout=5.0)
+            import time
+
+            time.sleep(0.1)
+            raise ValueError("boom")
+
+        errors = []
+
+        def run(set_event):
+            if set_event:
+                follower_arrived.set()
+            try:
+                cache.get_or_build(key, doc, build)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        t1 = threading.Thread(target=run, args=(False,))
+        t1.start()
+        t2 = threading.Thread(target=run, args=(True,))
+        t2.start()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert errors.count("boom") == 2
+        # The flight is gone: the key is retryable afterwards.
+        lay = layout_network(Ring(6), layers=2)
+        entry, source = cache.get_or_build(
+            key, doc,
+            lambda: (layout_to_json(lay), measure(lay).as_dict()),
+        )
+        assert source == "built"
+
+
 class TestReadonly:
     def test_readonly_never_writes_or_deletes(self, tmp_path):
         rw = LayoutCache(tmp_path / "c")

@@ -235,3 +235,82 @@ class TestReportsAcrossCommands:
         doc = json.loads(report.read_text())
         validate_report(doc)
         assert doc["name"] == args[0]
+
+
+class TestSaturationDegenerate:
+    def test_single_rate_sweep_exits_zero_with_message(self):
+        """`--saturation` with one rate cannot bracket a knee: the CLI
+        must say so and report knee=none instead of tracebacking."""
+        p = run_cli(
+            "simulate", "ring:6", "--saturation", "0.2",
+            "--duration", "8",
+        )
+        assert p.returncode == 0, p.stderr
+        assert "knee detection needs >= 2 rates" in p.stdout
+        assert "knee at none in range" in p.stdout
+        assert "Traceback" not in p.stderr
+
+    def test_two_rates_no_message(self):
+        p = run_cli(
+            "simulate", "ring:6", "--saturation", "0.05", "0.2",
+            "--duration", "8",
+        )
+        assert p.returncode == 0, p.stderr
+        assert "knee detection needs" not in p.stdout
+
+
+class TestServeLoadgenCli:
+    """The daemon + load generator as real processes, like CI runs them."""
+
+    def test_serve_then_loadgen_reports_percentiles(self, tmp_path):
+        import time
+
+        ready = tmp_path / "ready.json"
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--ready-file", str(ready),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 30
+            while not ready.exists() and time.time() < deadline:
+                assert server.poll() is None, server.stderr.read()
+                time.sleep(0.1)
+            port = json.loads(ready.read_text())["port"]
+            p = run_cli(
+                "loadgen", "--port", str(port), "-n", "20", "-c", "2",
+                "--networks", "ring:6", "hypercube:3",
+                "--json", str(report_path),
+                "--save-trace", str(trace_path),
+            )
+            assert p.returncode == 0, p.stderr
+            report = json.loads(report_path.read_text())
+            assert report["ok"] == 20 and report["five_xx"] == 0
+            lat = report["latency_ms"]
+            assert lat["p50"] is not None
+            assert lat["p50"] <= lat["p90"] <= lat["p99"]
+            # Replay of the saved trace is all warm now.
+            p = run_cli(
+                "loadgen", "--port", str(port),
+                "--trace-file", str(trace_path),
+            )
+            assert p.returncode == 0, p.stderr
+            assert "20/20 ok" in p.stdout
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=10)

@@ -299,6 +299,33 @@ class TestWatchSnapshot:
         assert totals["cache_hits"] == 6 and totals["cache_misses"] == 2
         assert totals["cache_hit_rate"] == pytest.approx(0.75)
 
+    def test_same_tick_snapshot_reports_unknown_rate(self, tmp_path):
+        """A snapshot in the manifest's creation tick must not divide
+        by the zero elapsed: jobs/sec and the ETA read unknown."""
+        now = time.time()
+        live.write_run_manifest(
+            tmp_path, kind="sweep", jobs_total=8, state="running"
+        )
+        live.update_run_manifest(tmp_path, time_unix=now + 3600)
+        # Wall clock appears *behind* the manifest stamp (clock skew /
+        # same-tick write): elapsed clamps to 0.0.
+        live.write_json_atomic(
+            tmp_path / "heartbeat-0.json",
+            {
+                "pid": os.getpid(),
+                "state": "running",
+                "mono": time.monotonic(),
+                "time_unix": now,
+                "jobs_done": 3,
+                "jobs_total": 8,
+            },
+        )
+        totals = live.watch_snapshot(tmp_path)["totals"]
+        assert totals["elapsed_s"] == 0.0
+        assert totals["jobs_done"] == 3
+        assert totals["jobs_per_s"] is None
+        assert totals["eta_s"] is None
+
     def test_jobs_total_falls_back_to_manifest(self, tmp_path):
         live.write_run_manifest(tmp_path, jobs_total=12)
         live.write_json_atomic(

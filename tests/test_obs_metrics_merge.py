@@ -1,0 +1,104 @@
+"""Merged histograms must keep percentile estimates sane.
+
+Pins the ``lo > hi`` clamp bug: merging histograms with different
+bucket bounds widens both sides to the union of edges, after which a
+deciding bucket's ``(lo, hi]`` value range can lie entirely outside
+the merged ``[min, max]``.  The naive two-sided clamp then *crossed*
+the edges and interpolation ran backwards.  The property here is the
+contract every caller assumes: any percentile of any merged histogram
+lies within ``[min, max]`` and is monotone in ``q``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+_values = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_bounds = st.lists(
+    st.sampled_from([1, 2, 3, 5, 8, 16, 50, 64, 100, 512, 1000, 4096]),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(lambda edges: tuple(sorted(edges)))
+
+
+def _hist(bounds, values):
+    h = Histogram(bounds)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+class TestMergedPercentiles:
+    @given(a=_values, b=_values, ba=_bounds, bb=_bounds)
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_within_min_max_and_monotone(self, a, b, ba, bb):
+        merged = _hist(ba, a)
+        merged.merge_dict(_hist(bb, b).as_dict())
+        assert merged.count == len(a) + len(b)
+        lo, hi = min(a + b), max(a + b)
+        assert merged.min == lo and merged.max == hi
+        qs = [0.01, 0.25, 0.50, 0.90, 0.99, 1.0]
+        ps = [merged.percentile(q) for q in qs]
+        for p in ps:
+            assert lo <= p <= hi
+        assert ps == sorted(ps)
+
+    @given(a=_values, ba=_bounds, bb=_bounds)
+    @settings(max_examples=100, deadline=None)
+    def test_registry_merge_matches_direct_merge(self, a, ba, bb):
+        """merge() through a registry snapshot equals merge_dict."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h", ba)
+        for v in a:
+            h.observe(v)
+        other = MetricsRegistry()
+        oh = other.histogram("h", bb)
+        for v in a:
+            oh.observe(v)
+        reg.merge(other.snapshot())
+        direct = _hist(ba, a)
+        direct.merge_dict(_hist(bb, a).as_dict())
+        for q in (0.5, 0.9, 0.99):
+            assert reg.histogram("h").percentile(q) == direct.percentile(q)
+
+    def test_regression_deciding_bucket_outside_min_max(self):
+        """The concrete failing shape: after widening, the deciding
+        bucket's edges both exceed max, the old clamp made lo > hi."""
+        a = Histogram((100,))
+        a.observe(5.0)  # le_100 bucket, min=max=5
+        b = Histogram((2, 100))
+        b.observe(1.0)  # le_2 bucket
+        a.merge_dict(b.as_dict())
+        # a's single observation now sits in the (2, 100] bucket while
+        # max == 5: lo=2 < max but plain clamping used to cross.
+        for q in (0.5, 0.75, 0.99, 1.0):
+            p = a.percentile(q)
+            assert 1.0 <= p <= 5.0
+
+    def test_single_value_exact_after_merge(self):
+        a = Histogram((8,))
+        b = Histogram((2, 8))
+        for _ in range(3):
+            a.observe(4.0)
+            b.observe(4.0)
+        a.merge_dict(b.as_dict())
+        assert a.percentile(0.5) == 4.0
+        assert a.percentile(0.99) == 4.0
+
+    def test_empty_histogram_percentile_is_zero(self):
+        h = Histogram()
+        assert h.percentile(0.5) == 0.0
+        h.merge_dict(Histogram((2, 4)).as_dict())
+        assert h.percentile(0.99) == 0.0

@@ -1,0 +1,152 @@
+"""The load generator against a live server: reports, traces, retries.
+
+``run_loadgen`` drives its own event loop, so the server under test
+runs on a background thread's loop -- the same process-topology as
+the CLI pair (`repro serve` + `repro loadgen`), minus the fork.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import obs
+from repro.routing.traffic import load_trace, save_trace
+from repro.serve import LayoutServer, ServeConfig, run_loadgen, synth_rows
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    """A real daemon on a background loop; yields its port."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    async def boot():
+        cfg = ServeConfig(
+            port=0, workers=2, cache_dir=str(tmp_path / "cache")
+        )
+        return await LayoutServer(cfg).start()
+
+    server = asyncio.run_coroutine_threadsafe(boot(), loop).result(
+        timeout=30
+    )
+    try:
+        yield server.port
+    finally:
+        asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(
+            timeout=30
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+
+
+class TestSynthRows:
+    def test_deterministic_in_seed(self):
+        a = synth_rows(["ring:4", "ring:6"], 20, seed=7)
+        b = synth_rows(["ring:4", "ring:6"], 20, seed=7)
+        c = synth_rows(["ring:4", "ring:6"], 20, seed=8)
+        assert a == b
+        assert a != c
+        assert [row[2] for row in a] == list(range(20))
+
+    def test_trace_roundtrip(self, tmp_path):
+        rows = synth_rows(["hypercube:3", "kary:3,2"], 12, seed=1)
+        path = tmp_path / "req.jsonl"
+        assert save_trace(path, rows) == 12
+        back = load_trace(path)
+        assert [tuple(r) for r in back] == [tuple(r) for r in rows]
+
+
+class TestLoadgen:
+    def test_report_shape_and_percentiles(self, live_server):
+        rows = synth_rows(
+            ["ring:4", "ring:6", "hypercube:3"], 30, seed=3
+        )
+        report = run_loadgen(
+            "127.0.0.1", live_server, rows, concurrency=4
+        )
+        assert report["schema"] == "repro.loadgen/v1"
+        assert report["requests"] == 30
+        assert report["completed"] == 30
+        assert report["ok"] == 30
+        assert report["five_xx"] == 0
+        assert report["status"] == {"200": 30}
+        lat = report["latency_ms"]
+        assert lat["count"] == 30
+        # Percentiles exist, are ordered, and bracket min/max.
+        assert lat["min"] <= lat["p50"] <= lat["p90"] <= lat["p99"]
+        assert lat["p99"] <= lat["max"] + 1e-9
+        assert report["rps"] > 0
+
+    def test_percentiles_come_from_obs_histogram(self, live_server):
+        """The reported numbers are the repro.obs estimator's."""
+        from repro.serve.loadgen import HIST_NAME
+
+        rows = synth_rows(["ring:4"], 10, seed=0)
+        report = run_loadgen("127.0.0.1", live_server, rows)
+        hist = obs.registry().histogram(HIST_NAME)
+        assert hist.count == 10
+        assert report["latency_ms"]["p99"] == pytest.approx(
+            hist.percentile(0.99), abs=0.001
+        )
+
+    def test_quota_exhaustion_shows_as_429_after_retries(self, tmp_path):
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+
+        async def boot():
+            cfg = ServeConfig(
+                port=0,
+                workers=1,
+                cache_dir=str(tmp_path / "c"),
+                quota_rate=0.01,
+                quota_burst=2.0,
+            )
+            return await LayoutServer(cfg).start()
+
+        server = asyncio.run_coroutine_threadsafe(boot(), loop).result(
+            timeout=30
+        )
+        try:
+            rows = synth_rows(["ring:4"], 5, seed=0)
+            report = run_loadgen(
+                "127.0.0.1",
+                server.port,
+                rows,
+                concurrency=1,
+                retries=0,
+            )
+            assert report["ok"] == 2  # burst
+            assert report["status"].get("429") == 3
+            assert report["five_xx"] == 0  # 429 is the client's fault
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                server.aclose(), loop
+            ).result(timeout=30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+
+    def test_cycle_pacing_spreads_requests(self, live_server):
+        import time
+
+        rows = [("ring:4", 2, i) for i in range(4)]
+        t0 = time.perf_counter()
+        report = run_loadgen(
+            "127.0.0.1", live_server, rows, cycle_s=0.05
+        )
+        elapsed = time.perf_counter() - t0
+        assert report["ok"] == 4
+        # Last request is due at 3 * 0.05s; closed-loop would finish
+        # far sooner on an all-warm cache.
+        assert elapsed >= 0.15
