@@ -430,3 +430,162 @@ def test_wiretable_memory(report):
     assert gate_ratio is not None and gate_ratio >= 2.0, (
         f"WireTable only {gate_ratio:.1f}x smaller than the object graph"
     )
+
+
+# ---------------------------------------------------------------------------
+# E7i/E7j/E7k: the accel kernel registry and incremental revalidation.
+# The "before" for E7i is the validator's own scalar battery (still the
+# diagnosis path, so it cannot rot); for E7j it is a full revalidation
+# after each edit.
+
+
+def test_validator_kernels(report):
+    """E7i gate: the kernelized validator >= 5x the scalar battery on
+    the 10-cube at L=4 (numpy backend; reported-only on pure)."""
+    from repro import accel
+    from repro.grid.validate import (
+        _validate_scalar_reference,
+        validate_layout,
+    )
+
+    lay = layout_hypercube(10, layers=4, node_side="min")
+
+    # Both paths must accept; the parity suite pins the error messages.
+    scalar_s = timed_median(lambda: _validate_scalar_reference(lay))
+    kernel_s = timed_median(lambda: validate_layout(lay))
+
+    speedup = scalar_s / kernel_s
+    backend = accel.active_backend()
+    report(
+        f"E7i: full validation battery on the 10-cube at L=4, median "
+        f"of 3 ({len(lay.wires)} wires; accel backend: {backend})",
+        ["implementation", "seconds", "speedup"],
+        [
+            ["scalar sweeps", f"{scalar_s:.4f}", "1.00x"],
+            [f"accel kernels ({backend})", f"{kernel_s:.4f}",
+             f"{speedup:.1f}x"],
+        ],
+    )
+    if backend == "numpy":
+        assert speedup >= 5.0, (
+            f"kernelized validator only {speedup:.1f}x faster"
+        )
+    else:
+        assert kernel_s <= scalar_s * 1.5, (
+            f"pure kernels regress plain validation: {kernel_s:.4f}s vs "
+            f"{scalar_s:.4f}s"
+        )
+
+
+def test_incremental_revalidation(report):
+    """E7j gate: single-wire edit + incremental revalidation >= 10x an
+    edit + full revalidation on the 10-cube at L=4 (>= 3x on pure)."""
+    from repro import accel
+    from repro.grid.validate import validate_layout
+    from repro.grid.wire import Wire
+
+    lay = layout_hypercube(10, layers=4, node_side="min")
+    validate_layout(lay, incremental=True)  # attach + arm the tracker
+
+    edit_idx = [
+        i for i, w in enumerate(lay.wires) if w.riser is None
+    ][:8]
+
+    def clone_wire(i):
+        w = lay.wires[i]
+        return Wire(w.u, w.v, list(w.segments), edge_key=w.edge_key)
+
+    state = {"k": 0}
+
+    def edit_and_full():
+        i = edit_idx[state["k"] % len(edit_idx)]
+        state["k"] += 1
+        lay.replace_wire(i, clone_wire(i))
+        validate_layout(lay)
+
+    def edit_and_incremental():
+        i = edit_idx[state["k"] % len(edit_idx)]
+        state["k"] += 1
+        lay.replace_wire(i, clone_wire(i))
+        validate_layout(lay, incremental=True)
+
+    full_s = timed_median(edit_and_full)
+    inc_s = timed_median(edit_and_incremental)
+
+    speedup = full_s / inc_s
+    backend = accel.active_backend()
+    report(
+        f"E7j: single-wire edit + revalidation on the 10-cube at L=4, "
+        f"median of 3 ({len(lay.wires)} wires; accel backend: {backend})",
+        ["implementation", "seconds", "speedup"],
+        [
+            ["edit + full sweep", f"{full_s:.4f}", "1.00x"],
+            ["edit + dirty bands", f"{inc_s:.4f}", f"{speedup:.1f}x"],
+        ],
+    )
+    floor = 10.0 if backend == "numpy" else 3.0
+    assert speedup >= floor, (
+        f"incremental revalidation only {speedup:.1f}x faster "
+        f"(gate {floor:.0f}x on {backend})"
+    )
+
+
+def test_engine_classify_kernel(report):
+    """E7k row: the vectorized bucket-classification kernel never loses
+    to the pure mirror on a large bucket, and their outputs agree."""
+    import random as _random
+
+    import pytest as _pytest
+
+    from repro import accel
+
+    if not accel.HAVE_NUMPY:
+        _pytest.skip("numpy not importable: no vector kernel to compare")
+    import numpy as _np
+
+    rng = _random.Random(42)
+    n_msgs = 4096
+    nhops = [rng.randint(1, 6) for _ in range(n_msgs)]
+    flat: list[int] = []
+    offsets = [0]
+    for h in nhops:
+        flat.extend(rng.randrange(512) for _ in range(h))
+        offsets.append(len(flat))
+    starts = [rng.randint(0, 8) for _ in range(n_msgs)]
+    hop = [rng.randint(0, nhops[i]) for i in range(n_msgs)]
+    movers = list(range(n_msgs))
+    nhops_a = _np.asarray(nhops, dtype=_np.int64)
+    rs_a = _np.asarray(offsets[:-1], dtype=_np.int64)
+    flat_a = _np.asarray(flat, dtype=_np.int64)
+    starts_a = _np.asarray(starts, dtype=_np.int64)
+
+    pure = accel.get_backend("pure")
+    vec = accel.get_backend("numpy")
+    p = pure.classify_bucket(
+        movers, hop, 100, 3, nhops, offsets[:-1], flat, starts
+    )
+    v = vec.classify_bucket(
+        movers, hop, 100, 3, nhops_a, rs_a, flat_a, starts_a
+    )
+    assert p == v, "classify_bucket outputs diverge"
+
+    pure_s = timed_median(lambda: pure.classify_bucket(
+        movers, hop, 100, 3, nhops, offsets[:-1], flat, starts
+    ))
+    vec_s = timed_median(lambda: vec.classify_bucket(
+        movers, hop, 100, 3, nhops_a, rs_a, flat_a, starts_a
+    ))
+    speedup = pure_s / vec_s
+    report(
+        f"E7k: engine bucket classification, {n_msgs} movers, median "
+        "of 3 (outputs identical)",
+        ["implementation", "seconds", "speedup"],
+        [
+            ["pure mirror", f"{pure_s:.4f}", "1.00x"],
+            ["vector kernel", f"{vec_s:.4f}", f"{speedup:.1f}x"],
+        ],
+    )
+    assert vec_s <= pure_s, (
+        f"vector kernel lost to the pure mirror: {vec_s:.4f}s vs "
+        f"{pure_s:.4f}s"
+    )

@@ -34,6 +34,11 @@ SUMMARY_SCHEMA = "repro.bench-summary/v1"
 # flushed to JSON at session end.
 _SESSION: dict[str, dict] = {}
 
+# Modules whose .txt report has been truncated this session: each
+# module restarts its own report on first write, but other modules'
+# reports (from earlier partial runs) are left alone.
+_TXT_RESET: set[str] = set()
+
 
 def _module_record(module: str) -> dict:
     rec = _SESSION.get(module)
@@ -57,6 +62,9 @@ def report(request):
     RESULTS.mkdir(exist_ok=True)
     module = request.node.module.__name__
     out_file = RESULTS / f"{module}.txt"
+    if module not in _TXT_RESET:
+        _TXT_RESET.add(module)
+        out_file.unlink(missing_ok=True)
     rec = _module_record(module)
 
     def _report(title: str, headers, rows) -> None:
@@ -91,8 +99,10 @@ def _bench_timer(request):
 
 
 def _flush_json_results() -> None:
+    if not _SESSION:
+        return
     env = _environment()
-    benches = []
+    RESULTS.mkdir(exist_ok=True)
     for module in sorted(_SESSION):
         rec = _SESSION[module]
         out = {
@@ -104,18 +114,50 @@ def _flush_json_results() -> None:
         with path.open("w") as fh:
             json.dump(out, fh, indent=2, sort_keys=True)
             fh.write("\n")
+
+    # The summary merges EVERY per-bench result on disk, not just this
+    # session's: a partial run (``pytest benchmarks/bench_kary.py``)
+    # used to overwrite BENCH_summary.json with a one-bench document,
+    # making it look like every other bench had vanished.  Results from
+    # earlier sessions keep their own (older) environment stamp in the
+    # per-bench file; the merge flags them as stale below.
+    benches = []
+    stale = []
+    for path in sorted(RESULTS.glob("*.json")):
+        try:
+            with path.open() as fh:
+                rec = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if rec.get("schema") != "repro.bench-result/v1":
+            continue
+        module = rec.get("bench", path.stem)
+        tests = rec.get("tests", [])
+        timestamp = rec.get("environment", {}).get("timestamp")
+        if module not in _SESSION:
+            stale.append((module, timestamp))
         benches.append(
             {
                 "bench": module,
-                "tests": len(rec["tests"]),
-                "tables": len(rec["tables"]),
-                "seconds": round(sum(t["seconds"] for t in rec["tests"]), 4),
-                "titles": [t["title"] for t in rec["tables"]],
+                "tests": len(tests),
+                "tables": len(rec.get("tables", [])),
+                "seconds": round(
+                    sum(t.get("seconds", 0.0) for t in tests), 4
+                ),
+                "titles": [t["title"] for t in rec.get("tables", [])],
                 "results_file": str(path.relative_to(REPO_ROOT)),
+                "timestamp": timestamp,
             }
         )
-    if not benches:
-        return
+    benches.sort(key=lambda b: b["bench"])
+    if stale:
+        names = ", ".join(
+            f"{m} (from {ts or 'unknown time'})" for m, ts in stale
+        )
+        print(
+            f"\n[bench] BENCH_summary.json merges {len(stale)} stale "
+            f"result(s) not re-run this session: {names}"
+        )
     summary = {
         "schema": SUMMARY_SCHEMA,
         "environment": env,
@@ -157,9 +199,12 @@ def _append_trajectory(summary: dict) -> None:
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results():
-    """Start each bench session clean; flush JSON results at the end."""
-    if RESULTS.exists():
-        for f in list(RESULTS.glob("*.txt")) + list(RESULTS.glob("*.json")):
-            f.unlink()
+    """Flush JSON results at session end.
+
+    Individual modules truncate their own .txt report on first write
+    (see the ``report`` fixture); results of benches *not* run this
+    session stay on disk and are merged -- marked stale -- into the
+    summary, so partial runs never masquerade as full ones.
+    """
     yield
     _flush_json_results()

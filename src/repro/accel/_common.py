@@ -1,0 +1,41 @@
+"""Backend-independent helpers shared by the accel kernel backends.
+
+Kept out of ``repro.accel.__init__`` so the backend modules can import
+them without touching the registry mid-initialization, and out of the
+domain modules (``collinear.cutwidth`` re-exports ``edge_weights`` /
+``bit_adjacency`` from here) to avoid import cycles: this module
+depends on nothing inside ``repro``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INF", "BASE_BITS", "bit_adjacency", "edge_weights"]
+
+INF = 1 << 60
+
+# Block size (in bits) below which the pure DP's carry recursion
+# switches to the plain per-state scan; 6 keeps the Python-level inner
+# loop to <= 6 candidates while the 2^(n-6) block recursion stays
+# negligible.
+BASE_BITS = 6
+
+
+def bit_adjacency(network) -> list[int]:
+    """Bitmask adjacency rows over ``network.index`` node numbering."""
+    index = network.index
+    adj = [0] * network.num_nodes
+    for u, v in network.edges:
+        iu, iv = index[u], index[v]
+        adj[iu] |= 1 << iv
+        adj[iv] |= 1 << iu
+    return adj
+
+
+def edge_weights(network) -> dict[tuple[int, int], int]:
+    """Multigraph support: parallel edges each count toward the cut."""
+    index = network.index
+    weights: dict[tuple[int, int], int] = {}
+    for u, v in network.edges:
+        iu, iv = sorted((index[u], index[v]))
+        weights[(iu, iv)] = weights.get((iu, iv), 0) + 1
+    return weights

@@ -1,0 +1,550 @@
+"""Pure-python reference implementations of the accel kernels.
+
+Every kernel here defines the *semantics* the numpy backend
+(:mod:`repro.accel.vector`) must reproduce exactly; the parity suite
+(``tests/test_accel.py``) compares the two over the network zoo and the
+fuzz corpus, legal and corrupted layouts alike.
+
+Validator kernels operate on :class:`repro.grid.table.WireTable` arrays
+and return *clean verdicts*, not error messages: ``True`` means the
+corresponding scalar check in :mod:`repro.grid.validate` provably
+accepts; ``False`` means "suspicious" and the caller re-runs the scalar
+check, which either raises its usual byte-identical :class:`LayoutError`
+or (for the deliberately conservative wire-blind kernels ``bend_clean``
+and ``via_clean``-free cases) accepts after all.  A kernel must never
+return ``True`` when the scalar check would raise.
+
+Cross-backend exactness notes:
+
+* ``edge_sweep`` / ``via_clean`` / ``pins_clean`` are exact: their
+  verdict matches the scalar check precisely.
+* ``bend_clean`` is wire-blind: overlapping layer intervals claimed at
+  one point by the *same* wire (legal) also report suspicion.
+* ``node_sweep_clean`` assumes node squares are interior-disjoint per
+  layer (the scalar node-overlap check runs first); under that
+  assumption it is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.accel._common import BASE_BITS, INF, bit_adjacency, edge_weights
+
+__all__ = [
+    "edge_sweep",
+    "self_consistency_clean",
+    "layer_budget_clean",
+    "parity_clean",
+    "bend_clean",
+    "via_clean",
+    "node_overlap_clean",
+    "node_sweep_clean",
+    "pins_clean",
+    "wire_extents",
+    "cut_profile",
+    "cutwidth_dp",
+    "classify_bucket",
+]
+
+
+# ---------------------------------------------------------------------------
+# Validator kernels
+
+
+def edge_sweep(table) -> tuple[int, bool]:
+    """``(total_segments, clean)`` for the edge-disjointness rule.
+
+    Exact: ``clean`` is ``False`` iff two spans on one (orientation,
+    layer, grid line) properly overlap -- the scalar sweep's raise
+    condition, same-wire overlaps included.
+    """
+    S = table.num_segments
+    if S == 0:
+        return 0, True
+    x1, y1 = table.seg_x1, table.seg_y1
+    x2, y2 = table.seg_x2, table.seg_y2
+    lay = table.seg_layer
+    lines: dict[tuple, list[tuple[int, int]]] = {}
+    for i in range(S):
+        if y1[i] == y2[i]:
+            key = (1, lay[i], y1[i])
+            span = (x1[i], x2[i])
+        else:
+            key = (0, lay[i], x1[i])
+            span = (y1[i], y2[i])
+        b = lines.get(key)
+        if b is None:
+            lines[key] = [span]
+        else:
+            b.append(span)
+    for spans in lines.values():
+        if len(spans) < 2:
+            continue
+        spans.sort()
+        max_hi = spans[0][1]
+        for lo, hi in spans[1:]:
+            if lo < max_hi:
+                return S, False
+            if hi > max_hi:
+                max_hi = hi
+    return S, True
+
+
+def self_consistency_clean(table) -> bool:
+    """No consecutive same-layer, same-orientation segments (exact)."""
+    starts = table.wire_seg_start
+    y1, y2, lay = table.seg_y1, table.seg_y2, table.seg_layer
+    for wi in range(table.num_wires):
+        for i in range(starts[wi], starts[wi + 1] - 1):
+            if lay[i] == lay[i + 1] and (
+                (y1[i] == y2[i]) == (y1[i + 1] == y2[i + 1])
+            ):
+                return False
+    return True
+
+
+def layer_budget_clean(table, layers: int) -> bool:
+    """Every segment layer and riser z-span inside ``1..layers`` (exact)."""
+    if table.num_segments:
+        lay = table.seg_layer
+        if min(lay) < 1 or max(lay) > layers:
+            return False
+    zstarts = table.wire_zrun_start
+    for wi in range(table.num_wires):
+        if table.wire_is_riser[wi]:
+            z = zstarts[wi]
+            if table.zrun_lo[z] < 1 or table.zrun_hi[z] > layers:
+                return False
+    return True
+
+
+def parity_clean(table) -> bool:
+    """Scheme convention: horizontal odd layers, vertical even (exact)."""
+    y1, y2, lay = table.seg_y1, table.seg_y2, table.seg_layer
+    for i in range(table.num_segments):
+        if (y1[i] == y2[i]) != (lay[i] % 2 == 1):
+            return False
+    return True
+
+
+def bend_clean(table) -> bool:
+    """No two bend/via layer intervals overlap at one planar point.
+
+    Wire-blind (conservative): same-wire interval overlaps at a point
+    -- which the scalar check permits -- also report suspicion.
+    """
+    occupied: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    def claim(x, y, lo, hi) -> bool:
+        lst = occupied.get((x, y))
+        if lst is None:
+            occupied[(x, y)] = [(lo, hi)]
+            return True
+        for plo, phi in lst:
+            if lo <= phi and plo <= hi:
+                return False
+        lst.append((lo, hi))
+        return True
+
+    starts = table.wire_seg_start
+    zstarts = table.wire_zrun_start
+    x1, y1 = table.seg_x1, table.seg_y1
+    x2, y2 = table.seg_x2, table.seg_y2
+    lay, rev = table.seg_layer, table.seg_rev
+    for wi in range(table.num_wires):
+        if table.wire_is_riser[wi]:
+            z = zstarts[wi]
+            if not claim(
+                table.zrun_x[z], table.zrun_y[z],
+                table.zrun_lo[z], table.zrun_hi[z],
+            ):
+                return False
+            continue
+        for i in range(starts[wi], starts[wi + 1] - 1):
+            # The junction is segment i's path end.
+            if rev[i]:
+                jx, jy = x1[i], y1[i]
+            else:
+                jx, jy = x2[i], y2[i]
+            la, lb = lay[i], lay[i + 1]
+            if la > lb:
+                la, lb = lb, la
+            if not claim(jx, jy, la, lb):
+                return False
+    return True
+
+
+def via_clean(table) -> bool:
+    """No segment pierces another wire's via interior (exact).
+
+    Mirrors the scalar check wire-aware: a wire's own segments may
+    cover its via interiors.
+    """
+    Z = table.num_zruns
+    if Z == 0:
+        return True
+    zlo, zhi = table.zrun_lo, table.zrun_hi
+    zstarts = table.wire_zrun_start
+
+    runs: list[tuple[int, int, int, int, int]] = []
+    interior: set[int] = set()
+    wi = 0
+    for z in range(Z):
+        while zstarts[wi + 1] <= z:
+            wi += 1
+        if zhi[z] - zlo[z] >= 2:
+            runs.append((wi, table.zrun_x[z], table.zrun_y[z], zlo[z], zhi[z]))
+            interior.update(range(zlo[z] + 1, zhi[z]))
+    if not runs:
+        return True
+
+    x1, y1 = table.seg_x1, table.seg_y1
+    x2, y2 = table.seg_x2, table.seg_y2
+    lay = table.seg_layer
+    starts = table.wire_seg_start
+    lines: dict[tuple, list[tuple[int, int, int]]] = {}
+    swi = 0
+    for i in range(table.num_segments):
+        while starts[swi + 1] <= i:
+            swi += 1
+        if lay[i] not in interior:
+            continue
+        if y1[i] == y2[i]:
+            key = (1, lay[i], y1[i])
+            row = (x1[i], x2[i], swi)
+        else:
+            key = (0, lay[i], x1[i])
+            row = (y1[i], y2[i], swi)
+        b = lines.get(key)
+        if b is None:
+            lines[key] = [row]
+        else:
+            b.append(row)
+    index: dict[tuple, tuple[list[int], list[int]]] = {}
+    for key, spans in lines.items():
+        spans.sort()
+        prefix_max_hi: list[int] = []
+        top = spans[0][1]
+        for _, hi, _ in spans:
+            if hi > top:
+                top = hi
+            prefix_max_hi.append(top)
+        index[key] = ([lo for lo, _, _ in spans], prefix_max_hi)
+
+    def covered(key, coord, self_wire) -> bool:
+        spans = lines.get(key)
+        if not spans:
+            return False
+        los, prefix_max_hi = index[key]
+        i = bisect_right(los, coord) - 1
+        while i >= 0 and prefix_max_hi[i] > coord:
+            lo, hi, owner = spans[i]
+            if lo < coord < hi and owner != self_wire:
+                return True
+            i -= 1
+        return False
+
+    for owner, x, y, lo, hi in runs:
+        for layer in range(lo + 1, hi):
+            if covered((1, layer, y), x, owner):
+                return False
+            if covered((0, layer, x), y, owner):
+                return False
+    return True
+
+
+def _node_bands(table):
+    """Per-layer y-bands of positive-area node rects.
+
+    Returns ``{layer: [(y0, y1, xs0, xs1), ...]}`` where within one
+    band (same y-extent) the rects are sorted by ``(x0, x1)``.
+    """
+    bands: dict[tuple[int, int, int], list[tuple[int, int]]] = {}
+    nx0, ny0 = table.node_x0, table.node_y0
+    nx1, ny1 = table.node_x1, table.node_y1
+    nlay = table.node_layer
+    for r in range(len(nx0)):
+        if nx1[r] > nx0[r] and ny1[r] > ny0[r]:
+            key = (nlay[r], ny0[r], ny1[r])
+            b = bands.get(key)
+            if b is None:
+                bands[key] = [(nx0[r], nx1[r])]
+            else:
+                b.append((nx0[r], nx1[r]))
+    by_layer: dict[int, list[tuple[int, int, list[int], list[int]]]] = {}
+    for (layer, y0, y1), rects in bands.items():
+        rects.sort()
+        by_layer.setdefault(layer, []).append(
+            (y0, y1, [x0 for x0, _ in rects], [x1 for _, x1 in rects])
+        )
+    return by_layer
+
+
+def node_overlap_clean(table) -> bool:
+    """Positive-area node rects are interior-disjoint (banded accept).
+
+    Within a band (same layer and y-extent) the x-sorted intervals
+    decide exactly: interiors overlap iff some ``x0`` undercuts its
+    predecessor's ``x1``.  Bands whose *y*-extents overlap on a shared
+    layer are merely *suspicious* -- cross-band pairs are not compared,
+    so the verdict stays conservative and the scalar sweep diagnoses.
+    Zero-extent rects have no interior and are exempt throughout.
+    """
+    if len(table.node_x0) == 0:
+        return True
+    for bands in _node_bands(table).values():
+        bands.sort(key=lambda b: (b[0], b[1]))
+        max_y1 = None
+        for y0, y1, xs0, xs1 in bands:
+            if max_y1 is not None and y0 < max_y1:
+                return False
+            max_y1 = y1 if max_y1 is None else max(max_y1, y1)
+            for j in range(1, len(xs0)):
+                if xs0[j] < xs1[j - 1]:
+                    return False
+    return True
+
+
+def node_sweep_clean(table) -> bool:
+    """No segment crosses a node interior on the node's layer.
+
+    Assumes node rects are interior-disjoint within each band (the
+    scalar node-overlap check establishes this before the kernel runs);
+    under that assumption a single ``bisect`` candidate per band
+    decides, exactly as the numpy backend does.
+    """
+    if table.num_segments == 0 or len(table.node_x0) == 0:
+        return True
+    by_layer = _node_bands(table)
+    if not by_layer:
+        return True
+    x1, y1 = table.seg_x1, table.seg_y1
+    x2, y2 = table.seg_x2, table.seg_y2
+    lay = table.seg_layer
+    for i in range(table.num_segments):
+        bands = by_layer.get(lay[i])
+        if not bands:
+            continue
+        sx_lo, sx_hi = x1[i], x2[i]
+        sy_lo, sy_hi = y1[i], y2[i]
+        for y0, yb1, xs0, xs1 in bands:
+            if sy_hi <= y0 or sy_lo >= yb1:
+                continue
+            j = bisect_right(xs0, sx_hi - 1) - 1
+            if j >= 0 and xs1[j] > sx_lo:
+                return False
+    return True
+
+
+def pins_clean(table, u_rows, v_rows) -> bool:
+    """Wire endpoints on their nodes' perimeters, uniquely (exact).
+
+    ``u_rows[i]`` / ``v_rows[i]`` are the placement-row indices of wire
+    ``i``'s endpoint nodes (callers resolve labels; an unresolvable
+    label means falling back to the scalar check instead).
+    """
+    W = table.num_wires
+    if W == 0:
+        return True
+    sx, sy, ex, ey = table.wire_endpoints()
+    nx0, ny0 = table.node_x0, table.node_y0
+    nx1, ny1 = table.node_x1, table.node_y1
+
+    def perim(px, py, r) -> bool:
+        inside = nx0[r] <= px <= nx1[r] and ny0[r] <= py <= ny1[r]
+        strict = nx0[r] < px < nx1[r] and ny0[r] < py < ny1[r]
+        return inside and not strict
+
+    owner: dict[tuple, int] = {}
+    for wi in range(W):
+        ur, vr = u_rows[wi], v_rows[wi]
+        s = (sx[wi], sy[wi])
+        e = (ex[wi], ey[wi])
+        if perim(s[0], s[1], ur) and perim(e[0], e[1], vr):
+            pairs = ((ur, s), (vr, e))
+        elif perim(e[0], e[1], ur) and perim(s[0], s[1], vr):
+            pairs = ((ur, e), (vr, s))
+        else:
+            return False
+        for node_row, pt in pairs:
+            key = (node_row, pt)
+            prev = owner.get(key)
+            if prev is not None and prev != wi:
+                return False
+            owner[key] = wi
+    return True
+
+
+def wire_extents(table):
+    """Per-wire ``(ymin, ymax, lmin, lmax)`` lists for dirty tracking.
+
+    Y extent over segment endpoints (a riser's planar point); layer
+    extent over segment layers (a riser's z-span).  Via interiors lie
+    between the adjacent segments' layers, so the segment layer range
+    covers them.
+    """
+    W = table.num_wires
+    ymin = [0] * W
+    ymax = [0] * W
+    lmin = [0] * W
+    lmax = [0] * W
+    starts = table.wire_seg_start
+    zstarts = table.wire_zrun_start
+    y1, y2, lay = table.seg_y1, table.seg_y2, table.seg_layer
+    for wi in range(W):
+        if table.wire_is_riser[wi]:
+            z = zstarts[wi]
+            ymin[wi] = ymax[wi] = int(table.zrun_y[z])
+            lmin[wi] = int(table.zrun_lo[z])
+            lmax[wi] = int(table.zrun_hi[z])
+            continue
+        a, b = starts[wi], starts[wi + 1]
+        ymin[wi] = int(min(y1[i] for i in range(a, b)))
+        ymax[wi] = int(max(y2[i] for i in range(a, b)))
+        lmin[wi] = int(min(lay[i] for i in range(a, b)))
+        lmax[wi] = int(max(lay[i] for i in range(a, b)))
+    return ymin, ymax, lmin, lmax
+
+
+# ---------------------------------------------------------------------------
+# Cutwidth kernels
+
+
+def cut_profile(n: int, pairs) -> int:
+    """Max prefix-gap cut of an order: ``pairs`` are normalized
+    ``(pu, pv)`` position pairs with ``pu < pv``; each contributes +1
+    to every gap it spans (difference array + prefix sum)."""
+    diff = [0] * (n + 1)
+    for pu, pv in pairs:
+        diff[pu] += 1
+        diff[pv] -= 1
+    best = 0
+    running = 0
+    for d in diff[:-1]:
+        running += d
+        if running > best:
+            best = running
+    return best
+
+
+def _cut_table(network, n: int) -> list[int]:
+    """``cut[S]`` (weighted edges between S and its complement) for all
+    2^n subsets, by the lowest-set-bit recurrence::
+
+        cut(S) = cut(S \\ v) + deg(v) - 2 * deg(v, S \\ v),  v = lowbit(S)
+    """
+    size = 1 << n
+    cut = [0] * size
+    weights = edge_weights(network)
+    if all(wt == 1 for wt in weights.values()):
+        # Simple graph: deg(v, prev) is a popcount of masked adjacency.
+        adj = bit_adjacency(network)
+        deg = [m.bit_count() for m in adj]
+        for s in range(1, size):
+            v = (s & -s).bit_length() - 1
+            prev = s & (s - 1)
+            cut[s] = cut[prev] + deg[v] - 2 * (adj[v] & prev).bit_count()
+    else:
+        wadj: list[dict[int, int]] = [dict() for _ in range(n)]
+        for (iu, iv), wt in weights.items():
+            wadj[iu][iv] = wt
+            wadj[iv][iu] = wt
+        for s in range(1, size):
+            v = (s & -s).bit_length() - 1
+            prev = s & (s - 1)
+            delta = 0
+            for w, wt in wadj[v].items():
+                delta += -wt if (prev >> w) & 1 else wt
+            cut[s] = cut[prev] + delta
+    return cut
+
+
+def _fill_block(
+    dp: list[int], cut: list[int], base: int, k: int, carry: list[int]
+) -> None:
+    """Fill ``dp[base : base + 2^k]`` given the offset-bit carry.
+
+    ``carry[r]`` is the min of ``dp`` over the states reached from
+    ``base + r`` by removing one of the bits of ``base`` (the already
+    recursed-past "offset" bits); removals of bits inside ``r`` are
+    resolved here, high bit by elementwise min, low bits by the base
+    scan.
+    """
+    while k > BASE_BITS:
+        k -= 1
+        half = 1 << k
+        _fill_block(dp, cut, base, k, carry[:half])
+        # States in the upper half may also drop the block's top bit,
+        # landing on the just-filled lower half: fold it into the carry.
+        carry = list(map(min, carry[half:], dp[base:base + half]))
+        base += half
+    for r in range(1 << k):
+        s = base + r
+        if not s:
+            continue  # dp[0] = 0, set by the caller
+        cs = cut[s]
+        best = carry[r]
+        if best > cs:
+            t = r
+            while t:
+                b = t & -t
+                t -= b
+                cand = dp[s - b]
+                if cand < best:
+                    if cand <= cs:
+                        best = cs
+                        break
+                    best = cand
+        dp[s] = cs if best < cs else best
+
+
+def cutwidth_dp(network, n: int) -> tuple[list[int], list[int]]:
+    """The full ``(dp, cut)`` tables over all 2^n vertex subsets,
+    by the lowest-set-bit carry recurrence (interpreted inner loop
+    bounded by ``BASE_BITS`` candidates per state)."""
+    size = 1 << n
+    cut = _cut_table(network, n)
+    dp = [0] * size
+    _fill_block(dp, cut, 0, n, [INF] * size)
+    dp[0] = 0
+    return dp, cut
+
+
+# ---------------------------------------------------------------------------
+# Fast-engine kernel
+
+
+def classify_bucket(movers_raw, hop, t_now, tail, nhops, route_start, flat, starts):
+    """Classify one calendar-queue time bucket's movers.
+
+    ``movers_raw`` comes sorted ascending.  Returns
+    ``(n_done, top, done_lats, groups)``: the arrival count, the max
+    arrival completion time, their latencies (mover order), and the
+    non-arrived movers grouped by contended link as
+    ``[(link_id, [mover, ...]), ...]`` in ascending link id with
+    members in ascending message index -- exactly the order the fast
+    engine's scalar arbitration consumes.
+    """
+    n_done = 0
+    top = 0
+    done_lats: list[int] = []
+    move_links: list[tuple[int, int]] = []
+    for i in movers_raw:
+        hp = hop[i]
+        if hp >= nhops[i]:
+            done = t_now + (tail if nhops[i] > 0 else 0)
+            if done > top:
+                top = done
+            done_lats.append(done - starts[i])
+            n_done += 1
+        else:
+            move_links.append((flat[route_start[i] + hp], i))
+    move_links.sort(key=lambda p: p[0])
+    groups: list[tuple[int, list[int]]] = []
+    for li, i in move_links:
+        if groups and groups[-1][0] == li:
+            groups[-1][1].append(i)
+        else:
+            groups.append((li, [i]))
+    return n_done, top, done_lats, groups

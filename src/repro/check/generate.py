@@ -299,7 +299,10 @@ def mutate_layout(lay: GridLayout, rng: random.Random) -> bool:
                 segs[si] = Segment.make(
                     s.x1, s.y1, s.x2, s.y2 + delta, s.layer
                 )
-        lay.wires[wi] = Wire(w.u, w.v, segs, edge_key=w.edge_key)
+        # Through replace_wire, not ``lay.wires[wi] = ...``: mutated
+        # layouts feed the dirty-region stage, whose incremental
+        # revalidation needs every edit recorded by the tracker.
+        lay.replace_wire(wi, Wire(w.u, w.v, segs, edge_key=w.edge_key))
         return True
     except (WirePathError, ValueError):
         return False  # mutation produced a non-path; skip

@@ -210,6 +210,18 @@ def _cmd_stats(args) -> int:
     """Run the zoo with tracing on; print the phase timing breakdown."""
     import time as _time
 
+    from repro.accel import backend_info
+
+    info = backend_info()
+    print(
+        f"backends: accel={info['accel']} table={info['table']} "
+        f"engine={info['engine']}"
+        + (
+            f" (REPRO_ACCEL_BACKEND={info['accel_env']})"
+            if info["accel_env"]
+            else ""
+        )
+    )
     if getattr(args, "mem", False):
         return _cmd_stats_mem(args)
     cache = None

@@ -17,26 +17,24 @@ instances needed to certify the paper's orders:
 * the left-edge GHC(4,4) layout (18 tracks, beating the paper's
   recurrence value of 20) is certified optimal too.
 
-The DP is the measured hot path of the differential fuzzer and the
-optimality benchmarks, so the inner minimization is organized around a
-lowest-set-bit carry recurrence: the min of ``dp`` over a state's
-immediate subsets splits into "remove a high (offset) bit", maintained
-as an elementwise-min *carry* array combined at C speed with
-``map(min, ...)`` over contiguous dp rows, plus "remove a low bit",
-scanned only over a small base block (with an early exit once the min
-can no longer exceed ``cut(S)``).  Unweighted cuts fold into a single
-``int.bit_count`` per state.
+The DP kernels themselves -- the lowest-set-bit carry recurrence of
+the pure backend and the popcount-layer gather of the numpy backend --
+live in the :mod:`repro.accel` backend registry (``cutwidth_dp`` /
+``cut_profile``); this module keeps the public API, the node-limit
+policy and the backtracking, and dispatches to whichever backend the
+registry selected (``REPRO_ACCEL_BACKEND`` overrides).
 """
 
 from __future__ import annotations
 
+from repro import accel as _accel
 from repro import obs
-from repro.topology.base import Network
 
-try:  # vectorized DP path; the pure-Python recurrence is the fallback
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is a declared dependency
-    _np = None
+# Shared bitmask/multigraph helpers now live in the accel package;
+# the old private names stay importable for callers and benches.
+from repro.accel import bit_adjacency as _bit_adjacency  # noqa: F401
+from repro.accel import edge_weights as _edge_weights  # noqa: F401
+from repro.topology.base import Network
 
 __all__ = [
     "DP_NODE_LIMIT",
@@ -54,13 +52,6 @@ __all__ = [
 #: to differ.
 DP_NODE_LIMIT = 20
 
-_INF = 1 << 60
-
-# Block size (in bits) below which the carry recursion switches to the
-# plain per-state scan; 6 keeps the Python-level inner loop to <= 6
-# candidates while the 2^(n-6) block recursion stays negligible.
-_BASE_BITS = 6
-
 
 def _check_limit(fn_name: str, n: int, limit: int) -> None:
     if n > limit:
@@ -70,148 +61,14 @@ def _check_limit(fn_name: str, n: int, limit: int) -> None:
         )
 
 
-def _bit_adjacency(network: Network) -> list[int]:
-    index = network.index
-    adj = [0] * network.num_nodes
-    for u, v in network.edges:
-        iu, iv = index[u], index[v]
-        adj[iu] |= 1 << iv
-        adj[iv] |= 1 << iu
-    return adj
-
-
-def _edge_weights(network: Network) -> dict[tuple[int, int], int]:
-    """Multigraph support: parallel edges each count toward the cut."""
-    index = network.index
-    weights: dict[tuple[int, int], int] = {}
-    for u, v in network.edges:
-        iu, iv = sorted((index[u], index[v]))
-        weights[(iu, iv)] = weights.get((iu, iv), 0) + 1
-    return weights
-
-
-def _cut_table(network: Network, n: int) -> list[int]:
-    """``cut[S]`` (weighted edges between S and its complement) for all
-    2^n subsets, by the lowest-set-bit recurrence::
-
-        cut(S) = cut(S \\ v) + deg(v) - 2 * deg(v, S \\ v),  v = lowbit(S)
-    """
-    size = 1 << n
-    cut = [0] * size
-    weights = _edge_weights(network)
-    if all(wt == 1 for wt in weights.values()):
-        # Simple graph: deg(v, prev) is a popcount of masked adjacency.
-        adj = _bit_adjacency(network)
-        deg = [m.bit_count() for m in adj]
-        for s in range(1, size):
-            v = (s & -s).bit_length() - 1
-            prev = s & (s - 1)
-            cut[s] = cut[prev] + deg[v] - 2 * (adj[v] & prev).bit_count()
-    else:
-        wadj: list[dict[int, int]] = [dict() for _ in range(n)]
-        for (iu, iv), wt in weights.items():
-            wadj[iu][iv] = wt
-            wadj[iv][iu] = wt
-        for s in range(1, size):
-            v = (s & -s).bit_length() - 1
-            prev = s & (s - 1)
-            delta = 0
-            for w, wt in wadj[v].items():
-                delta += -wt if (prev >> w) & 1 else wt
-            cut[s] = cut[prev] + delta
-    return cut
-
-
-def _fill_block(
-    dp: list[int], cut: list[int], base: int, k: int, carry: list[int]
-) -> None:
-    """Fill ``dp[base : base + 2^k]`` given the offset-bit carry.
-
-    ``carry[r]`` is the min of ``dp`` over the states reached from
-    ``base + r`` by removing one of the bits of ``base`` (the already
-    recursed-past "offset" bits); removals of bits inside ``r`` are
-    resolved here, high bit by elementwise min, low bits by the base
-    scan.
-    """
-    while k > _BASE_BITS:
-        k -= 1
-        half = 1 << k
-        _fill_block(dp, cut, base, k, carry[:half])
-        # States in the upper half may also drop the block's top bit,
-        # landing on the just-filled lower half: fold it into the carry.
-        carry = list(map(min, carry[half:], dp[base:base + half]))
-        base += half
-    for r in range(1 << k):
-        s = base + r
-        if not s:
-            continue  # dp[0] = 0, set by the caller
-        cs = cut[s]
-        best = carry[r]
-        if best > cs:
-            t = r
-            while t:
-                b = t & -t
-                t -= b
-                cand = dp[s - b]
-                if cand < best:
-                    if cand <= cs:
-                        best = cs
-                        break
-                    best = cand
-        dp[s] = cs if best < cs else best
-
-
-def _cutwidth_dp_python(network: Network, n: int) -> tuple[list[int], list[int]]:
-    size = 1 << n
-    cut = _cut_table(network, n)
-    dp = [0] * size
-    _fill_block(dp, cut, 0, n, [_INF] * size)
-    dp[0] = 0
-    return dp, cut
-
-
-def _cutwidth_dp_numpy(network: Network, n: int):
-    """Vectorized DP: popcount layers, gather-min over bit removals.
-
-    ``dp`` at popcount k depends only on popcount k-1, so each layer is
-    one fancy-indexed gather per bit position -- O(2^n n) element ops
-    all at C speed instead of an interpreted inner loop.
-    """
-    size = 1 << n
-    states = _np.arange(size, dtype=_np.int64)
-    cut = _np.zeros(size, dtype=_np.int64)
-    for (iu, iv), wt in _edge_weights(network).items():
-        differs = ((states >> iu) ^ (states >> iv)) & 1
-        cut += wt * differs
-    pc = _np.zeros(size, dtype=_np.int64)
-    for u in range(n):
-        pc += (states >> u) & 1
-    order = _np.argsort(pc, kind="stable")
-    bounds = _np.searchsorted(pc[order], _np.arange(n + 2))
-    dp = _np.zeros(size, dtype=_np.int64)
-    for k in range(1, n + 1):
-        layer = order[bounds[k]:bounds[k + 1]]
-        best = _np.full(len(layer), _INF, dtype=_np.int64)
-        for u in range(n):
-            bit = 1 << u
-            has = (layer & bit) != 0
-            if not has.any():
-                continue
-            members = layer[has]
-            best[has] = _np.minimum(best[has], dp[members ^ bit])
-        dp[layer] = _np.maximum(cut[layer], best)
-    return dp, cut
-
-
 def _cutwidth_dp(network: Network, n: int):
     """The full ``(dp, cut)`` tables over all 2^n vertex subsets.
 
-    Both tables index by subset bitmask; the numpy path returns ndarray
-    rows, the fallback plain lists -- callers only index and compare.
+    Both tables index by subset bitmask; the numpy backend returns
+    ndarray rows, the pure backend plain lists -- callers only index
+    and compare.
     """
-    if _np is not None:
-        return _cutwidth_dp_numpy(network, n)
-    return _cutwidth_dp_python(network, n)
+    return _accel.get_backend().cutwidth_dp(network, n)
 
 
 def exact_cutwidth(network: Network, *, limit: int = DP_NODE_LIMIT) -> int:
@@ -250,24 +107,19 @@ def cutwidth_certificate(
         return 0, order
     # The order's max cut IS the cutwidth (backtracking preserves the
     # dp optimum); recompute it directly instead of re-running the DP.
-    # Each edge contributes +1 to every gap it spans: accumulate the
-    # cut profile as a difference array and prefix-sum it, O(E + n)
-    # instead of the O(E * span) of walking every gap per edge.
+    # Each edge contributes +1 to every gap it spans: the backend's
+    # ``cut_profile`` kernel accumulates a difference array and
+    # prefix-sums it, O(E + n) instead of the O(E * span) of walking
+    # every gap per edge.
     pos = {v: p for p, v in enumerate(order)}
-    diff = [0] * (len(order) + 1)
+    pairs = []
     for u, v in network.edges:
         pu, pv = pos[u], pos[v]
         if pu > pv:
             pu, pv = pv, pu
-        diff[pu] += 1
-        diff[pv] -= 1
-    best = 0
-    running = 0
-    for d in diff[:-1]:
-        running += d
-        if running > best:
-            best = running
-    return best, order
+        pairs.append((pu, pv))
+    best = _accel.get_backend().cut_profile(len(order), pairs)
+    return int(best), order
 
 
 def optimal_order(network: Network, *, limit: int = DP_NODE_LIMIT) -> list:

@@ -58,6 +58,10 @@ class GridLayout:
     meta: dict = field(default_factory=dict)
     _table: object = field(default=None, repr=False, compare=False)
     _table_stamp: tuple = field(default=(), repr=False, compare=False)
+    #: Lazily attached :class:`repro.grid.dirty.DirtyTracker`; ``None``
+    #: until the first ``validate_layout(..., incremental=True)`` call
+    #: opts this layout into dirty-region bookkeeping.
+    _dirty: object = field(default=None, repr=False, compare=False)
 
     # -- construction ---------------------------------------------------
 
@@ -65,35 +69,71 @@ class GridLayout:
         if node in self.placements:
             raise ValueError(f"node placed twice: {node!r}")
         self.placements[node] = Placement(node, rect, layer)
+        self._table = None
+        if self._dirty is not None:
+            self._dirty.on_place(rect, layer)
 
     def add_wire(self, wire: Wire) -> None:
         self.wires.append(wire)
+        self._table = None
+        if self._dirty is not None:
+            self._dirty.on_add(wire)
+
+    def replace_wire(self, i: int, wire: Wire) -> None:
+        """Swap wire ``i`` for a new object, recording dirty regions.
+
+        The canonical mutation: wires are immutable by convention, so
+        edits replace whole :class:`Wire` objects.  Equivalent to
+        ``layout.wires[i] = wire`` (the table stamp catches either),
+        but this entry point also tells the attached dirty tracker, so
+        incremental revalidation stays sound.
+        """
+        self.wires[i] = wire
+        self._table = None
+        if self._dirty is not None:
+            self._dirty.on_replace(i, wire)
 
     # -- geometry kernel ------------------------------------------------
 
     def wire_table(self):
         """The layout's structure-of-arrays geometry kernel, cached.
 
-        The cache is validated against an identity stamp (placement
-        count + the ``id()`` of every wire), so appending a wire,
-        placing a node, or replacing a wire object rebuilds the table;
-        transforms that construct new layouts (``clone_layout``,
-        folding, 3-D stacking) get fresh tables for free.  Mutating a
-        ``Wire``'s own ``segments`` list in place is not detected --
-        wires are immutable by convention; replace them instead.
+        The mutation API (``place``, ``add_wire``, ``replace_wire``)
+        drops the cache directly; direct ``wires[i] = ...`` assignment
+        is caught by an identity stamp -- placement count plus the wire
+        objects themselves, compared by ``is``.  The stamp holds strong
+        references, so a replaced wire cannot be freed and have its
+        ``id()`` recycled by a lookalike while the cache is alive (the
+        allocator reuses addresses eagerly; comparing stored ``id()``
+        ints alone served stale tables under exactly that reuse).
+        Mutating a ``Wire``'s own ``segments`` list in place is still
+        not detected -- wires are immutable by convention; replace
+        them instead, or call ``invalidate_table()``.
         """
         from repro.grid.table import WireTable
 
-        stamp = (len(self.placements), tuple(map(id, self.wires)))
-        if self._table is None or self._table_stamp != stamp:
+        stamp = self._table_stamp
+        if (
+            self._table is None
+            or stamp[0] != len(self.placements)
+            or len(stamp[1]) != len(self.wires)
+            or any(a is not b for a, b in zip(stamp[1], self.wires))
+        ):
             self._table = WireTable.from_layout(self)
-            self._table_stamp = stamp
+            self._table_stamp = (len(self.placements), tuple(self.wires))
         return self._table
 
     def invalidate_table(self) -> None:
-        """Drop the cached :class:`WireTable` (rebuilt on next use)."""
+        """Drop the cached :class:`WireTable` (rebuilt on next use).
+
+        Also poisons any attached dirty tracker: an explicit
+        invalidation signals out-of-band mutation, so the next
+        incremental validation falls back to a full sweep.
+        """
         self._table = None
         self._table_stamp = ()
+        if self._dirty is not None:
+            self._dirty.mark_all()
 
     # -- measurement ----------------------------------------------------
 

@@ -61,6 +61,13 @@ def _freeze(values: list[int], use_numpy: bool):
     return _stdarray("q", values)
 
 
+def _freeze8(values: list[int], use_numpy: bool):
+    """Like :func:`_freeze` but one byte per entry (small flag arrays)."""
+    if use_numpy:
+        return _np.asarray(values, dtype=_np.int8)
+    return _stdarray("b", values)
+
+
 class WireTable:
     """Flat-array view of one layout's wires.
 
@@ -70,6 +77,14 @@ class WireTable:
         One entry per segment, in wire-major path order (exactly the
         order ``layout.wires[i].segments`` stores them), endpoints
         normalized as ``Segment`` stores them.
+    ``seg_rev``
+        int8 flag per segment: 1 when the wire's path traverses the
+        segment from ``(x2, y2)`` to ``(x1, y1)`` (i.e. against the
+        normalized endpoint order), else 0.  Together with the
+        normalized endpoints this recovers the oriented path: the
+        junction between consecutive segments ``i`` and ``i + 1`` is
+        segment ``i``'s path *end*, ``(x1, y1)`` if ``seg_rev[i]``
+        else ``(x2, y2)``.
     ``wire_seg_start``
         CSR offsets, length ``W + 1``: wire ``i``'s segments occupy
         rows ``wire_seg_start[i] : wire_seg_start[i + 1]``.
@@ -82,19 +97,21 @@ class WireTable:
         z-extent).
     ``wire_is_riser``
         1 for riser wires, else 0.
-    ``node_x0, node_y0, node_x1, node_y1``
-        Placement rectangle corners, in ``layout.placements`` order
-        (bounding-box input; node identity stays on the layout).
+    ``node_x0, node_y0, node_x1, node_y1, node_layer``
+        Placement rectangle corners and active layer, in
+        ``layout.placements`` order (bounding-box input; node identity
+        stays on the layout).
     """
 
     __slots__ = (
         "num_wires", "num_segments", "num_zruns", "uses_numpy",
-        "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer",
+        "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer", "seg_rev",
         "wire_seg_start",
         "zrun_x", "zrun_y", "zrun_lo", "zrun_hi", "wire_zrun_start",
         "wire_length", "wire_is_riser",
-        "node_x0", "node_y0", "node_x1", "node_y1",
+        "node_x0", "node_y0", "node_x1", "node_y1", "node_layer",
         "_seg_rows", "_zrun_rows", "_lengths_list", "_units",
+        "_endpoints",
     )
 
     def __init__(self, layout: "GridLayout", *, use_numpy: bool | None = None):
@@ -111,6 +128,7 @@ class WireTable:
         sx2: list[int] = []
         sy2: list[int] = []
         slay: list[int] = []
+        srev: list[int] = []
         seg_start = [0]
         zx: list[int] = []
         zy: list[int] = []
@@ -139,6 +157,7 @@ class WireTable:
                     sx2.append(s.x2)
                     sy2.append(s.y2)
                     slay.append(s.layer)
+                    srev.append(1 if end == (s.x1, s.y1) else 0)
                     length += (s.x2 - s.x1) + (s.y2 - s.y1)
                     if prev_layer is not None and prev_layer != s.layer:
                         # The junction is the *start* of this segment
@@ -158,11 +177,13 @@ class WireTable:
         ny0: list[int] = []
         nx1: list[int] = []
         ny1: list[int] = []
+        nlay: list[int] = []
         for p in layout.placements.values():
             nx0.append(p.rect.x0)
             ny0.append(p.rect.y0)
             nx1.append(p.rect.x1)
             ny1.append(p.rect.y1)
+            nlay.append(p.layer)
 
         self.num_wires = len(layout.wires)
         self.num_segments = len(sx1)
@@ -172,6 +193,7 @@ class WireTable:
         self.seg_x2 = _freeze(sx2, use_numpy)
         self.seg_y2 = _freeze(sy2, use_numpy)
         self.seg_layer = _freeze(slay, use_numpy)
+        self.seg_rev = _freeze8(srev, use_numpy)
         self.wire_seg_start = _freeze(seg_start, use_numpy)
         self.zrun_x = _freeze(zx, use_numpy)
         self.zrun_y = _freeze(zy, use_numpy)
@@ -184,10 +206,12 @@ class WireTable:
         self.node_y0 = _freeze(ny0, use_numpy)
         self.node_x1 = _freeze(nx1, use_numpy)
         self.node_y1 = _freeze(ny1, use_numpy)
+        self.node_layer = _freeze(nlay, use_numpy)
         self._seg_rows = None
         self._zrun_rows = None
         self._lengths_list = None
         self._units = None
+        self._endpoints = None
 
     @classmethod
     def from_layout(
@@ -318,6 +342,83 @@ class WireTable:
         """Planar via positions of wire ``wi`` (``Wire.vias``)."""
         return [pt for pt, _, _ in self.wire_zruns(wi)]
 
+    def wire_endpoints(self):
+        """Per-wire planar path pins ``(sx, sy, ex, ey)``, cached.
+
+        ``(sx[i], sy[i])`` is wire ``i``'s path start (``Wire.start``)
+        and ``(ex[i], ey[i])`` its path end (``Wire.end``), recovered
+        from ``seg_rev``; a riser's start and end share its planar
+        point.  Backing storage matches the table's (numpy arrays or
+        stdlib ``array``).
+        """
+        if self._endpoints is not None:
+            return self._endpoints
+        W = self.num_wires
+        if self.uses_numpy:
+            if W == 0:
+                empty = _np.empty(0, dtype=_np.int64)
+                self._endpoints = (empty, empty, empty, empty)
+                return self._endpoints
+            starts = self.wire_seg_start
+            first = starts[:-1]
+            last = starts[1:] - 1
+            riser = self.wire_is_riser.astype(bool)
+            if self.num_segments:
+                f = _np.clip(first, 0, self.num_segments - 1)
+                l = _np.clip(last, 0, self.num_segments - 1)
+                revf = self.seg_rev[f].astype(bool)
+                revl = self.seg_rev[l].astype(bool)
+                sx = _np.where(revf, self.seg_x2[f], self.seg_x1[f])
+                sy = _np.where(revf, self.seg_y2[f], self.seg_y1[f])
+                ex = _np.where(revl, self.seg_x1[l], self.seg_x2[l])
+                ey = _np.where(revl, self.seg_y1[l], self.seg_y2[l])
+            else:
+                sx = _np.zeros(W, dtype=_np.int64)
+                sy = _np.zeros(W, dtype=_np.int64)
+                ex = _np.zeros(W, dtype=_np.int64)
+                ey = _np.zeros(W, dtype=_np.int64)
+            if riser.any():
+                zi = self.wire_zrun_start[:-1][riser]
+                sx[riser] = self.zrun_x[zi]
+                sy[riser] = self.zrun_y[zi]
+                ex[riser] = self.zrun_x[zi]
+                ey[riser] = self.zrun_y[zi]
+            self._endpoints = (sx, sy, ex, ey)
+            return self._endpoints
+        sx_l: list[int] = []
+        sy_l: list[int] = []
+        ex_l: list[int] = []
+        ey_l: list[int] = []
+        starts = self.wire_seg_start
+        zstarts = self.wire_zrun_start
+        for wi in range(W):
+            if self.wire_is_riser[wi]:
+                z = zstarts[wi]
+                sx_l.append(self.zrun_x[z])
+                sy_l.append(self.zrun_y[z])
+                ex_l.append(self.zrun_x[z])
+                ey_l.append(self.zrun_y[z])
+                continue
+            f = starts[wi]
+            l = starts[wi + 1] - 1
+            if self.seg_rev[f]:
+                sx_l.append(self.seg_x2[f])
+                sy_l.append(self.seg_y2[f])
+            else:
+                sx_l.append(self.seg_x1[f])
+                sy_l.append(self.seg_y1[f])
+            if self.seg_rev[l]:
+                ex_l.append(self.seg_x1[l])
+                ey_l.append(self.seg_y1[l])
+            else:
+                ex_l.append(self.seg_x2[l])
+                ey_l.append(self.seg_y2[l])
+        self._endpoints = (
+            _freeze(sx_l, False), _freeze(sy_l, False),
+            _freeze(ex_l, False), _freeze(ey_l, False),
+        )
+        return self._endpoints
+
     # -- occupancy expansion (oracle) -----------------------------------
 
     def _unit_expansion(self):
@@ -416,10 +517,10 @@ class WireTable:
         representation)."""
         total = 0
         for name in (
-            "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer",
+            "seg_x1", "seg_y1", "seg_x2", "seg_y2", "seg_layer", "seg_rev",
             "wire_seg_start", "zrun_x", "zrun_y", "zrun_lo", "zrun_hi",
             "wire_zrun_start", "wire_length", "wire_is_riser",
-            "node_x0", "node_y0", "node_x1", "node_y1",
+            "node_x0", "node_y0", "node_x1", "node_y1", "node_layer",
         ):
             arr = getattr(self, name)
             if self.uses_numpy:

@@ -24,6 +24,28 @@ The checks implement Section 2's rules:
 
 ``validate_layout`` raises :class:`LayoutError` with a precise message
 on the first violation, or returns a small report on success.
+
+Execution strategy (fast accept, scalar diagnose): every check first
+runs a vectorized *clean test* from the :mod:`repro.accel` backend
+registry over the layout's cached :class:`~repro.grid.table.WireTable`.
+A clean verdict is only returned when the scalar check provably
+accepts; on suspicion the original scalar sweep re-runs and produces
+its usual byte-identical error message (or accepts, for the few
+deliberately conservative kernels).  Error paths therefore cost one
+extra vector pass; accept paths -- the overwhelming majority in
+sweeps, serving, and fuzzing -- skip the per-object walks entirely.
+
+``validate_layout(layout, incremental=True)`` additionally enables
+dirty-region revalidation: the layout grows a
+:class:`~repro.grid.dirty.DirtyTracker`, mutations made through
+``GridLayout.replace_wire`` / ``add_wire`` / ``place`` record touched
+y-bands x layers, and subsequent incremental calls re-check only the
+wires and nodes intersecting those bands.  The verdict is relative to
+the last successful validation (conflicts purely among untouched
+elements were ruled out then); the tracker falls back to a full sweep
+when the dirty set exceeds ``incremental_threshold`` of the wires,
+when bands pile up past ``DirtyTracker.MAX_BANDS``, or after
+``invalidate_table`` signalled out-of-band mutation.
 """
 
 from __future__ import annotations
@@ -31,6 +53,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Hashable
 
+from repro import accel as _accel
 from repro import obs
 from repro.grid.layout import GridLayout
 from repro.grid.wire import Wire
@@ -48,6 +71,8 @@ def validate_layout(
     check_node_interference: bool = True,
     check_pins: bool = True,
     check_parity: bool = False,
+    incremental: bool = False,
+    incremental_threshold: float = 0.25,
 ) -> dict:
     """Check ``layout`` against the multilayer grid model rules.
 
@@ -63,9 +88,46 @@ def validate_layout(
         Additionally enforce the *scheme convention* that horizontal
         segments use odd layers and vertical segments even layers.  Not
         a model rule; useful when testing the orthogonal scheme.
+    incremental:
+        Re-check only the regions dirtied since the last successful
+        validation (see the module docstring).  The first incremental
+        call on a layout attaches the tracker and runs a full sweep.
+    incremental_threshold:
+        Fraction of the layout's wires above which an incremental call
+        falls back to a full sweep (dirty sets that large re-check
+        most of the layout anyway).
 
-    Returns a report dict (counts of segments, conflicts checked).
+    Returns a report dict (counts of segments, conflicts checked); an
+    incremental call adds an ``"incremental"`` sub-dict describing the
+    mode taken (``full`` / ``bands`` / ``clean``).
     """
+    if incremental:
+        return _validate_incremental(
+            layout,
+            check_node_interference=check_node_interference,
+            check_pins=check_pins,
+            check_parity=check_parity,
+            threshold=incremental_threshold,
+        )
+    report = _run_checks(
+        layout,
+        check_node_interference=check_node_interference,
+        check_pins=check_pins,
+        check_parity=check_parity,
+    )
+    tracker = layout._dirty
+    if tracker is not None:
+        tracker.reset_after_full(layout)
+    return report
+
+
+def _run_checks(
+    layout: GridLayout,
+    *,
+    check_node_interference: bool,
+    check_pins: bool,
+    check_parity: bool,
+) -> dict:
     checks: list = [_check_layer_budget]
     if check_parity:
         checks.append(_check_parity)
@@ -103,9 +165,114 @@ def validate_layout(
 
 
 # ---------------------------------------------------------------------------
+# Incremental revalidation
+
+
+def _validate_incremental(
+    layout: GridLayout,
+    *,
+    check_node_interference: bool,
+    check_pins: bool,
+    check_parity: bool,
+    threshold: float,
+) -> dict:
+    from repro.grid.dirty import DirtyTracker
+
+    kwargs = dict(
+        check_node_interference=check_node_interference,
+        check_pins=check_pins,
+        check_parity=check_parity,
+    )
+    tracker = layout._dirty
+    if tracker is None:
+        tracker = DirtyTracker()
+        layout._dirty = tracker
+    if tracker.needs_full():
+        report = _run_checks(layout, **kwargs)
+        tracker.reset_after_full(layout)
+        report["incremental"] = {"mode": "full", "reason": "untracked"}
+        return report
+    bands = tracker.coalesced_bands()
+    if not bands:
+        # Nothing touched since the last successful validation.
+        obs.count("validator.incremental_clean")
+        return {
+            "segments": 0,
+            "wires": 0,
+            "nodes": 0,
+            "layers": layout.layers,
+            "checks": 0,
+            "incremental": {"mode": "clean", "bands": 0, "wires_checked": 0},
+        }
+    sel = tracker.select_wires(bands)
+    n_wires = len(layout.wires)
+    if len(bands) > tracker.MAX_BANDS or len(sel) > threshold * n_wires:
+        report = _run_checks(layout, **kwargs)
+        tracker.reset_after_full(layout)
+        report["incremental"] = {
+            "mode": "full",
+            "reason": "threshold",
+            "bands": len(bands),
+            "wires_dirty": len(sel),
+        }
+        return report
+    sub = _band_sublayout(layout, sel, bands)
+    with obs.span(
+        "validate.incremental", bands=len(bands), wires=len(sel)
+    ):
+        report = _run_checks(sub, **kwargs)
+    tracker.clear_bands()
+    obs.count("validator.incremental_band_runs")
+    report["incremental"] = {
+        "mode": "bands",
+        "bands": len(bands),
+        "wires_checked": len(sel),
+    }
+    return report
+
+
+def _band_sublayout(layout: GridLayout, wire_idx, bands) -> GridLayout:
+    """The sub-layout of wires/nodes intersecting the dirty bands.
+
+    Placements are filtered by y-band overlap (their layer is part of
+    the band key for wires but nodes conflict via their own layer's
+    segments, which the selected wires carry); every selected wire's
+    endpoint nodes ride along so the pin check can resolve them.
+    """
+    wires = [layout.wires[i] for i in wire_idx]
+    placements = {}
+    for label, p in layout.placements.items():
+        r = p.rect
+        for y0, y1, _l0, _l1 in bands:
+            if r.y1 >= y0 and r.y0 <= y1:
+                placements[label] = p
+                break
+    for w in wires:
+        for label in (w.u, w.v):
+            if label not in placements:
+                p = layout.placements.get(label)
+                if p is not None:
+                    placements[label] = p
+    return GridLayout(
+        layers=layout.layers,
+        placements=placements,
+        wires=wires,
+        meta=layout.meta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checks: kernelized wrappers (fast accept) + scalar sweeps (diagnose)
 
 
 def _check_layer_budget(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    if _accel.get_backend().layer_budget_clean(table, layout.layers):
+        return
+    _layer_budget_scalar(layout)
+
+
+def _layer_budget_scalar(layout: GridLayout) -> None:
     for w in layout.wires:
         used = w.layers_used()
         if used and (min(used) < 1 or max(used) > layout.layers):
@@ -116,6 +283,13 @@ def _check_layer_budget(layout: GridLayout) -> None:
 
 
 def _check_parity(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    if _accel.get_backend().parity_clean(table):
+        return
+    _parity_scalar(layout)
+
+
+def _parity_scalar(layout: GridLayout) -> None:
     for w in layout.wires:
         for s in w.segments:
             if s.horizontal and s.layer % 2 == 0:
@@ -131,6 +305,13 @@ def _check_parity(layout: GridLayout) -> None:
 
 
 def _check_wire_self_consistency(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    if _accel.get_backend().self_consistency_clean(table):
+        return
+    _self_consistency_scalar(layout)
+
+
+def _self_consistency_scalar(layout: GridLayout) -> None:
     for w in layout.wires:
         for a, b in zip(w.segments, w.segments[1:]):
             if a.layer == b.layer and a.horizontal == b.horizontal:
@@ -142,6 +323,14 @@ def _check_wire_self_consistency(layout: GridLayout) -> None:
 
 def _check_edge_disjointness(layout: GridLayout) -> int:
     """Sweep each (layer, grid line) for properly-overlapping spans."""
+    table = layout.wire_table()
+    total, clean = _accel.get_backend().edge_sweep(table)
+    if clean:
+        return total
+    return _edge_disjointness_scalar(layout)
+
+
+def _edge_disjointness_scalar(layout: GridLayout) -> int:
     lines: dict[tuple, list[tuple[int, int, int]]] = defaultdict(list)
     for wi, w in enumerate(layout.wires):
         for s in w.segments:
@@ -171,6 +360,13 @@ def _check_edge_disjointness(layout: GridLayout) -> int:
 
 
 def _check_bend_exclusivity(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    if _accel.get_backend().bend_clean(table):
+        return
+    _bend_exclusivity_scalar(layout)
+
+
+def _bend_exclusivity_scalar(layout: GridLayout) -> None:
     """Bends and vias must be node-disjoint in the 3-D grid.
 
     A via between layers a and b occupies the 3-D grid nodes
@@ -207,6 +403,13 @@ def _check_bend_exclusivity(layout: GridLayout) -> None:
 
 
 def _check_via_occupancy(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    if _accel.get_backend().via_clean(table):
+        return
+    _via_occupancy_scalar(layout)
+
+
+def _via_occupancy_scalar(layout: GridLayout) -> None:
     """A via's z-run blocks its planar point on every layer it spans.
 
     The bend-exclusivity check covers via-vs-via and via-vs-bend; this
@@ -291,18 +494,42 @@ def _check_node_interference(layout: GridLayout) -> None:
     conflicts with a node only when its segment's layer matches the
     node's.  Multilayer *2-D* grid layouts place every node on layer 1,
     so for them this degenerates to the planar rule.
+
+    Both sweeps take the kernel fast path.  A clean node-overlap
+    verdict is exact *and* establishes the band-disjointness the
+    segment sweeps (kernel and scalar alike) rely on; on suspicion
+    the scalar overlap sweep diagnoses -- or, by accepting,
+    re-establishes that invariant -- before any segment sweep runs.
     """
+    table = layout.wire_table()
+    backend = _accel.get_backend()
+    if not backend.node_overlap_clean(table):
+        _node_overlap_scalar(layout)
+    if backend.node_sweep_clean(table):
+        return
+    _node_seg_sweep_scalar(layout)
+
+
+def _node_overlap_scalar(layout: GridLayout) -> None:
     by_layer: dict[int, list] = defaultdict(list)
     for p in layout.placements.values():
         by_layer[p.layer].append(p)
 
-    import bisect
-
     for layer, placements in by_layer.items():
-        placements.sort(key=lambda p: p.rect.x0)
+        # Sweep along whichever axis has more distinct coordinates:
+        # collinear schemes stack every node in one column (or row), and
+        # sweeping the shared axis would never retire anything from the
+        # active set, degenerating to a quadratic all-pairs scan.
+        if len({p.rect.x0 for p in placements}) >= len(
+            {p.rect.y0 for p in placements}
+        ):
+            lo, hi = (lambda r: r.x0), (lambda r: r.x1)
+        else:
+            lo, hi = (lambda r: r.y0), (lambda r: r.y1)
+        placements.sort(key=lambda p: lo(p.rect))
         active: list = []
         for p in placements:
-            active = [q for q in active if q.rect.x1 > p.rect.x0]
+            active = [q for q in active if hi(q.rect) > lo(p.rect)]
             for q in active:
                 if p.rect.intersects(q.rect):
                     raise LayoutError(
@@ -310,6 +537,14 @@ def _check_node_interference(layout: GridLayout) -> None:
                         f"{p.node!r} at {p.rect} and {q.node!r} at {q.rect}"
                     )
             active.append(p)
+
+
+def _node_seg_sweep_scalar(layout: GridLayout) -> None:
+    import bisect
+
+    by_layer: dict[int, list] = defaultdict(list)
+    for p in layout.placements.values():
+        by_layer[p.layer].append(p)
 
     # Wire segments may not pass through the open interior of a node
     # on the segment's own layer.  This is the validator's hottest
@@ -358,6 +593,26 @@ def _check_node_interference(layout: GridLayout) -> None:
 
 
 def _check_pins(layout: GridLayout) -> None:
+    table = layout.wire_table()
+    rows: dict[Hashable, int] = {}
+    for i, label in enumerate(layout.placements):
+        rows[label] = i
+    u_rows: list[int] = []
+    v_rows: list[int] = []
+    for w in layout.wires:
+        iu = rows.get(w.u)
+        iv = rows.get(w.v)
+        if iu is None or iv is None:
+            # Unplaced endpoint: let the scalar check raise its message.
+            return _pins_scalar(layout)
+        u_rows.append(iu)
+        v_rows.append(iv)
+    if _accel.get_backend().pins_clean(table, u_rows, v_rows):
+        return
+    _pins_scalar(layout)
+
+
+def _pins_scalar(layout: GridLayout) -> None:
     pin_owner: dict[tuple[Hashable, tuple[int, int]], int] = {}
     for wi, w in enumerate(layout.wires):
         pairing = _orient_endpoints(layout, w)
@@ -395,6 +650,33 @@ def _orient_endpoints(layout: GridLayout, w: Wire):
     if pu.rect.on_perimeter(e.x, e.y) and pv.rect.on_perimeter(s.x, s.y):
         return [(w.u, e), (w.v, s)]
     return None
+
+
+def _validate_scalar_reference(
+    layout: GridLayout,
+    *,
+    check_node_interference: bool = True,
+    check_pins: bool = True,
+    check_parity: bool = False,
+) -> None:
+    """Run every scalar sweep directly, bypassing the accel kernels.
+
+    The reference battery for the E7i bench and the cross-backend
+    parity tests: same checks, same order, same error messages as
+    ``validate_layout`` -- minus the kernel fast path.
+    """
+    _layer_budget_scalar(layout)
+    if check_parity:
+        _parity_scalar(layout)
+    _self_consistency_scalar(layout)
+    _edge_disjointness_scalar(layout)
+    _bend_exclusivity_scalar(layout)
+    _via_occupancy_scalar(layout)
+    if check_node_interference:
+        _node_overlap_scalar(layout)
+        _node_seg_sweep_scalar(layout)
+    if check_pins:
+        _pins_scalar(layout)
 
 
 def check_topology(layout: GridLayout, expected_edges: list[tuple]) -> None:

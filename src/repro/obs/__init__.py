@@ -36,6 +36,7 @@ from repro.obs import live  # noqa: F401  (heartbeats, watchdog, watch)
 from repro.obs.export import (
     chrome_trace,
     jsonl_events,
+    prometheus_info,
     prometheus_text,
     validate_chrome_trace,
     write_chrome_trace,
@@ -96,6 +97,7 @@ __all__ = [
     "validate_chrome_trace",
     "jsonl_events",
     "write_jsonl",
+    "prometheus_info",
     "prometheus_text",
     "write_prometheus",
     # metrics

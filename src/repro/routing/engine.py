@@ -25,9 +25,11 @@ where list indexing beats ndarray item access several-fold.
 
 Backend selection mirrors :mod:`repro.grid.table`: numpy when
 importable, a pure-python mirror otherwise, ``REPRO_ENGINE_FALLBACK=1``
-forces the fallback, and ``use_numpy=`` overrides per call.  Both
-backends share the scalar arbitration and scheduling helpers, so they
-cannot diverge from each other.
+(or ``REPRO_ACCEL_BACKEND=pure``, the registry-wide switch) forces the
+fallback, and ``use_numpy=`` overrides per call.  The batch bucket
+classification itself is the registry's ``classify_bucket`` kernel
+(:mod:`repro.accel`); both backends share the scalar arbitration and
+scheduling helpers, so they cannot diverge from each other.
 
 Parity caveat: when a hop's advance delay is 0 (``router_overhead=0``
 with zero-delay wires) a message hops several times inside one cycle
@@ -44,6 +46,7 @@ import heapq
 import os
 from typing import Callable, Hashable
 
+from repro import accel as _accel
 from repro import obs
 from repro.grid.layout import GridLayout
 from repro.obs.metrics import Histogram
@@ -64,7 +67,10 @@ try:  # vectorized path; the pure-python fallback mirrors it exactly
 except ImportError:  # pragma: no cover - numpy is a declared dependency
     _np = None
 
-if os.environ.get("REPRO_ENGINE_FALLBACK") == "1":
+if (
+    os.environ.get("REPRO_ENGINE_FALLBACK") == "1"
+    or _accel.active_backend() != "numpy"
+):
     _np = None
 
 __all__ = [
@@ -78,8 +84,11 @@ Node = Hashable
 Message = tuple[Node, Node]
 
 #: Whether the vectorized backend is active (numpy importable and not
-#: disabled via ``REPRO_ENGINE_FALLBACK=1``).
+#: disabled via ``REPRO_ENGINE_FALLBACK=1`` / ``REPRO_ACCEL_BACKEND=pure``).
 HAVE_NUMPY = _np is not None
+
+if HAVE_NUMPY:
+    _classify_bucket = _accel.get_backend("numpy").classify_bucket
 
 #: Below this many message events in a time bucket the scalar loop wins
 #: -- array setup costs more than it saves.
@@ -132,8 +141,8 @@ def simulate_fast(
         use_numpy = HAVE_NUMPY
     elif use_numpy and not HAVE_NUMPY:
         raise ValueError(
-            "use_numpy=True but numpy is unavailable "
-            "(not installed, or REPRO_ENGINE_FALLBACK=1)"
+            "use_numpy=True but numpy is unavailable (not installed, "
+            "REPRO_ENGINE_FALLBACK=1, or REPRO_ACCEL_BACKEND=pure)"
         )
 
     link_delay = _resolve_link_delay(layout, link_delay)
@@ -316,35 +325,17 @@ def simulate_fast(
             if movers_raw:
                 movers_raw.sort()
             if use_numpy and movers_raw and len(movers_raw) >= _VEC_MIN:
-                nmv = len(movers_raw)
-                mv = _np.asarray(movers_raw, dtype=_np.int64)
-                h = _np.fromiter(
-                    (hop[i] for i in movers_raw), _np.int64, count=nmv
+                n_done, top, blats, groups = _classify_bucket(
+                    movers_raw, hop, t_now, tail,
+                    nhops_a, route_start_a, flat_a, starts_a,
                 )
-                arr_mask = h >= nhops_a[mv]
-                if arr_mask.any():
-                    arr = mv[arr_mask]
-                    tails = _np.where(nhops_a[arr] > 0, tail, 0)
-                    done = t_now + tails
-                    top = int(done.max())
+                if n_done:
                     if top > makespan:
                         makespan = top
-                    lats.extend((done - starts_a[arr]).tolist())
-                    active -= int(arr.size)
-                movers = mv[~arr_mask]
-                if movers.size:
-                    ml = flat_a[route_start_a[movers] + h[~arr_mask]]
-                    order = _np.argsort(ml, kind="stable")
-                    sl = ml[order]
-                    sm = movers[order].tolist()
-                    n = len(sm)
-                    is_first = _np.empty(n, dtype=bool)
-                    is_first[0] = True
-                    is_first[1:] = sl[1:] != sl[:-1]
-                    gs = _np.flatnonzero(is_first)
-                    ge = _np.append(gs[1:], n)
-                    for a0, b0 in zip(gs.tolist(), ge.tolist()):
-                        resolve(int(sl[a0]), sm[a0:b0], t_now)
+                    lats.extend(blats)
+                    active -= n_done
+                for li, group in groups:
+                    resolve(li, group, t_now)
             elif movers_raw:
                 # Scalar path: one pass, each mover handled in place.
                 # Movers come sorted, so the first mover a link sees in

@@ -270,9 +270,21 @@ class LayoutServer:
             await send_json(writer, 200, self.stats(), close=close)
             return True
         if req.path == "/metrics" and req.method == "GET":
-            from repro.obs.export import prometheus_text
+            from repro.accel import backend_info
+            from repro.obs.export import prometheus_info, prometheus_text
 
-            body = prometheus_text().encode()
+            info = backend_info()
+            body = (
+                prometheus_text()
+                + prometheus_info(
+                    "accel_backend",
+                    {
+                        "backend": info["accel"],
+                        "table": info["table"],
+                        "engine": info["engine"],
+                    },
+                )
+            ).encode()
             from repro.serve.protocol import send_response
 
             await send_response(
@@ -594,10 +606,13 @@ class LayoutServer:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
+        from repro.accel import backend_info
+
         reg = obs.registry().snapshot()
         counters = reg.get("counters", {})
         return {
             "schema": SERVE_SCHEMA,
+            "backends": backend_info(),
             "uptime_s": round(time.time() - self.started_unix, 3),
             "requests": counters.get("serve.requests", 0),
             "hits": counters.get("serve.hits", 0),

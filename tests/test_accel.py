@@ -1,0 +1,349 @@
+"""The accel kernel registry: backend parity, byte for byte.
+
+Every kernel in :mod:`repro.accel` promises that routing a check
+through it never changes an observable result: validator verdicts and
+error messages, cutwidth values and certificates, and the fast
+engine's ``SimulationResult`` fields must be identical whichever
+backend computed them.  This module checks the pure and numpy backends
+against each other on the same zoo x layers matrix (plus the
+counterexample corpus) as ``test_wiretable.py``, checks the kernelized
+validator against the scalar reference battery on legal *and*
+corrupted layouts, and runs a ``REPRO_ACCEL_BACKEND=pure`` subprocess
+to pin the env override end to end.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import accel
+from repro.batch.spec import dispatch_scheme
+from repro.check.generate import mutate_layout
+from repro.check.shrink import iter_corpus
+from repro.cli import _zoo_networks
+from repro.grid.io import clone_layout
+from repro.grid.validate import (
+    LayoutError,
+    _validate_scalar_reference,
+    validate_layout,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+_LAYOUT_CACHE: dict = {}
+
+
+def _corpus_networks() -> list:
+    nets = []
+    seen = set()
+    for _path, case in iter_corpus(CORPUS_DIR):
+        if case.network.name not in seen:
+            seen.add(case.network.name)
+            nets.append(case.network)
+    return nets
+
+
+def _cases() -> list:
+    cases = []
+    for net in _zoo_networks():
+        for L in (2, 4):
+            cases.append((f"zoo:{net.name}:L{L}", net, L))
+    for net in _corpus_networks():
+        cases.append((f"corpus:{net.name}:L2", net, 2))
+    return cases
+
+
+_CASES = _cases()
+
+
+def _layout(case_id: str, net, layers: int):
+    lay = _LAYOUT_CACHE.get(case_id)
+    if lay is None:
+        lay = dispatch_scheme(net, layers=layers, scheme="auto")
+        _LAYOUT_CACHE[case_id] = lay
+    return lay
+
+
+def _pin_rows(lay):
+    rows = {label: i for i, label in enumerate(lay.placements)}
+    u_rows = [rows[w.u] for w in lay.wires]
+    v_rows = [rows[w.v] for w in lay.wires]
+    return u_rows, v_rows
+
+
+# ---------------------------------------------------------------------------
+# Registry semantics
+
+
+class TestRegistry:
+    def test_active_backend_is_registered(self):
+        assert accel.active_backend() in accel.BACKENDS
+        assert "pure" in accel.BACKENDS
+
+    def test_get_backend(self):
+        assert accel.get_backend("pure") is accel.pure
+        assert accel.get_backend() is accel.get_backend(
+            accel.active_backend()
+        )
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            accel.get_backend("bogus")
+
+    def test_backend_info_shape(self):
+        info = accel.backend_info()
+        assert info["accel"] in ("pure", "numpy")
+        assert info["table"] in ("numpy", "fallback")
+        assert info["engine"] in ("numpy", "python")
+        assert isinstance(info["numpy_importable"], bool)
+
+    def test_bad_env_value_rejected(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro.accel"],
+            env={**os.environ, "REPRO_ACCEL_BACKEND": "bogus",
+                 "PYTHONPATH": str(SRC_DIR)},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0
+        assert "REPRO_ACCEL_BACKEND" in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# Kernel parity: pure vs numpy on legal layouts
+
+
+@pytest.mark.skipif(not accel.HAVE_NUMPY, reason="numpy not importable")
+@pytest.mark.parametrize(
+    "case_id,net,layers", _CASES, ids=[c[0] for c in _CASES]
+)
+def test_kernel_parity_legal(case_id, net, layers):
+    """Every kernel agrees across backends on every zoo/corpus layout."""
+    lay = _layout(case_id, net, layers)
+    table = lay.wire_table()
+    pure = accel.get_backend("pure")
+    vec = accel.get_backend("numpy")
+
+    assert pure.edge_sweep(table) == vec.edge_sweep(table)
+    assert pure.self_consistency_clean(table) == (
+        vec.self_consistency_clean(table)
+    )
+    assert pure.layer_budget_clean(table, lay.layers) == (
+        vec.layer_budget_clean(table, lay.layers)
+    )
+    assert pure.parity_clean(table) == vec.parity_clean(table)
+    assert pure.bend_clean(table) == vec.bend_clean(table)
+    assert pure.via_clean(table) == vec.via_clean(table)
+    assert pure.node_overlap_clean(table) == vec.node_overlap_clean(table)
+    assert pure.node_sweep_clean(table) == vec.node_sweep_clean(table)
+    u_rows, v_rows = _pin_rows(lay)
+    assert pure.pins_clean(table, u_rows, v_rows) == (
+        vec.pins_clean(table, u_rows, v_rows)
+    )
+    pe = pure.wire_extents(table)
+    ve = vec.wire_extents(table)
+    assert [list(a) for a in pe] == [[int(x) for x in a] for a in ve]
+
+
+@pytest.mark.parametrize(
+    "case_id,net,layers", _CASES, ids=[c[0] for c in _CASES]
+)
+def test_kernelized_validator_accepts_legal(case_id, net, layers):
+    """The kernelized validator and the scalar battery both accept."""
+    lay = _layout(case_id, net, layers)
+    validate_layout(lay)
+    _validate_scalar_reference(lay)
+
+
+# ---------------------------------------------------------------------------
+# Verdict + message parity on corrupted layouts
+
+
+@pytest.mark.parametrize(
+    "case_id,net,layers",
+    [c for c in _CASES if c[0].startswith("zoo")][:12],
+    ids=[c[0] for c in _CASES if c[0].startswith("zoo")][:12],
+)
+def test_corrupted_verdict_and_message_parity(case_id, net, layers):
+    """Kernelized vs scalar: same verdict AND same message, always.
+
+    Random corruption of zoo layouts -- the kernel fast path must
+    never accept a layout the scalar battery rejects, and on rejection
+    the diagnosis re-runs the scalar sweep, so even the message text
+    matches.
+    """
+    base = _layout(case_id, net, layers)
+    rng = random.Random(hash(case_id) & 0xFFFF)
+    for round_no in range(8):
+        lay = clone_layout(base)
+        applied = 0
+        for _ in range(rng.randint(1, 3)):
+            applied += mutate_layout(lay, rng)
+        if not applied:
+            continue
+        try:
+            validate_layout(lay, check_pins=False)
+            fast = (True, "")
+        except LayoutError as exc:
+            fast = (False, str(exc))
+        try:
+            _validate_scalar_reference(lay, check_pins=False)
+            ref = (True, "")
+        except LayoutError as exc:
+            ref = (False, str(exc))
+        assert fast == ref, f"round {round_no}: {fast} != {ref}"
+
+
+# ---------------------------------------------------------------------------
+# Cutwidth kernels
+
+
+class TestCutwidthParity:
+    @pytest.mark.skipif(not accel.HAVE_NUMPY, reason="numpy not importable")
+    def test_dp_tables_match(self):
+        from repro.topology import CompleteGraph, Hypercube, Ring
+
+        for net in (Ring(7), Hypercube(3), CompleteGraph(5)):
+            n = net.num_nodes
+            dp_p, cut_p = accel.get_backend("pure").cutwidth_dp(net, n)
+            dp_v, cut_v = accel.get_backend("numpy").cutwidth_dp(net, n)
+            assert list(dp_p) == [int(x) for x in dp_v]
+            assert list(cut_p) == [int(x) for x in cut_v]
+
+    @pytest.mark.skipif(not accel.HAVE_NUMPY, reason="numpy not importable")
+    def test_cut_profile_matches(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            pairs = []
+            for _ in range(rng.randint(0, 24)):
+                a, b = rng.randrange(n), rng.randrange(n)
+                if a > b:
+                    a, b = b, a
+                pairs.append((a, b))
+            p = accel.get_backend("pure").cut_profile(n, pairs)
+            v = accel.get_backend("numpy").cut_profile(n, pairs)
+            assert p == v
+
+    def test_certificate_profile_equals_dp_value(self):
+        from repro.collinear.cutwidth import (
+            cutwidth_certificate,
+            exact_cutwidth,
+        )
+        from repro.topology import Hypercube, KAryNCube
+
+        for net in (Hypercube(3), KAryNCube(3, 2)):
+            cw, order = cutwidth_certificate(net)
+            assert cw == exact_cutwidth(net)
+            assert sorted(map(repr, order)) == sorted(
+                map(repr, net.nodes)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Engine kernel
+
+
+@pytest.mark.skipif(not accel.HAVE_NUMPY, reason="numpy not importable")
+def test_classify_bucket_parity():
+    """Synthetic buckets: arrivals, latencies, and link groups match."""
+    import numpy as np
+
+    rng = random.Random(23)
+    pure = accel.get_backend("pure")
+    vec = accel.get_backend("numpy")
+    for trial in range(30):
+        n_msgs = rng.randint(20, 80)
+        nhops = [rng.randint(0, 5) for _ in range(n_msgs)]
+        offsets = [0]
+        flat = []
+        for h in nhops:
+            flat.extend(rng.randrange(10) for _ in range(h))
+            offsets.append(len(flat))
+        starts = [rng.randint(0, 4) for _ in range(n_msgs)]
+        hop = [rng.randint(0, nhops[i]) for i in range(n_msgs)]
+        movers = sorted(rng.sample(range(n_msgs), rng.randint(16, n_msgs)))
+        t_now = rng.randint(5, 40)
+        tail = rng.choice((0, 3))
+        p = pure.classify_bucket(
+            movers, hop, t_now, tail, nhops, offsets[:-1], flat, starts
+        )
+        v = vec.classify_bucket(
+            movers, hop, t_now, tail,
+            np.asarray(nhops, dtype=np.int64),
+            np.asarray(offsets[:-1], dtype=np.int64),
+            np.asarray(flat, dtype=np.int64),
+            np.asarray(starts, dtype=np.int64),
+        )
+        assert p[0] == v[0], f"trial {trial}: n_done"
+        if p[0]:
+            assert p[1] == v[1], f"trial {trial}: top"
+        assert p[2] == v[2], f"trial {trial}: done_lats"
+        assert p[3] == v[3], f"trial {trial}: groups"
+
+
+# ---------------------------------------------------------------------------
+# Env override, end to end
+
+
+_SUBPROC_SCRIPT = r"""
+import json, sys
+from repro import accel
+from repro.batch.spec import dispatch_scheme
+from repro.cli import _zoo_networks
+from repro.collinear.cutwidth import exact_cutwidth
+from repro.grid.validate import validate_layout
+from repro.routing.engine import HAVE_NUMPY, simulate_fast
+from repro.routing.traffic import make_workload
+from repro.topology import Hypercube, Ring
+
+out = {
+    "active": accel.active_backend(),
+    "engine_numpy": HAVE_NUMPY,
+    "info": accel.backend_info(),
+}
+net = Hypercube(3)
+lay = dispatch_scheme(net, layers=4, scheme="auto")
+out["report"] = validate_layout(lay)
+out["cutwidth"] = exact_cutwidth(Ring(7))
+msgs = make_workload("uniform", net, seed=5, rate=0.4, duration=6)
+out["sim"] = simulate_fast(net, msgs).as_dict()
+json.dump(out, sys.stdout)
+"""
+
+
+def _run_subproc(env_extra: dict) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROC_SCRIPT],
+        env={**os.environ, "PYTHONPATH": str(SRC_DIR), **env_extra},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_forced_pure_backend_matches_active():
+    """``REPRO_ACCEL_BACKEND=pure`` flips every backend and changes
+    no observable result: validator report, cutwidth, engine fields."""
+    pure = _run_subproc({"REPRO_ACCEL_BACKEND": "pure"})
+    assert pure["active"] == "pure"
+    assert pure["engine_numpy"] is False
+    assert pure["info"]["accel"] == "pure"
+    assert pure["info"]["engine"] == "python"
+
+    default = _run_subproc({})
+    assert pure["report"] == default["report"]
+    assert pure["cutwidth"] == default["cutwidth"]
+    assert pure["sim"] == default["sim"]
+
+
+@pytest.mark.skipif(not accel.HAVE_NUMPY, reason="numpy not importable")
+def test_forced_numpy_backend(monkeypatch):
+    out = _run_subproc({"REPRO_ACCEL_BACKEND": "numpy"})
+    assert out["active"] == "numpy"
+    assert out["info"]["accel_env"] == "numpy"

@@ -142,10 +142,12 @@ class TestFallbackAgreement:
         ids=lambda n: n.name,
     )
     def test_python_fallback_matches(self, net, monkeypatch):
+        from repro import accel
         from repro.collinear import cutwidth as mod
 
         reference = exact_cutwidth(net)
-        monkeypatch.setattr(mod, "_np", None)
+        pure = accel.get_backend("pure")
+        monkeypatch.setattr(mod._accel, "get_backend", lambda name=None: pure)
         assert exact_cutwidth(net) == reference
         cw, order = cutwidth_certificate(net)
         assert cw == reference

@@ -182,6 +182,40 @@ def test_table_cache_invalidation():
     assert lay.wire_table() is not t2
 
 
+def test_table_cache_survives_id_reuse():
+    """A replaced wire's recycled address must not serve a stale table.
+
+    CPython frees the old ``Wire`` the moment the last reference
+    drops and eagerly hands its address to the next allocation, so a
+    stamp of stored ``id()`` ints can collide with a *different* wire
+    at the same address and keep a stale cache (the fuzzer's
+    dirty-region stage caught ``clone_layout`` serializing pre-edit
+    geometry this way).  Assert the two mechanisms that close the
+    hole: the stamp strong-references the stamped wires (their ids
+    cannot be recycled while the cache lives), and the mutation API
+    drops the cache without consulting the stamp at all.
+    """
+    from repro.grid.wire import Wire
+    from repro.topology import Ring
+
+    lay = dispatch_scheme(Ring(6), layers=2, scheme="auto")
+    t1 = lay.wire_table()
+    stamped = lay._table_stamp[1]
+    assert len(stamped) == len(lay.wires)
+    assert all(a is b for a, b in zip(stamped, lay.wires))
+
+    w0 = lay.wires[0]
+    lay.replace_wire(
+        0, Wire(w0.u, w0.v, list(w0.segments), edge_key=w0.edge_key)
+    )
+    assert lay._table is None, "mutation API must drop the cache eagerly"
+    t2 = lay.wire_table()
+    assert t2 is not t1
+    # The old stamp kept w0 alive until the rebuild; the new one holds
+    # the replacement.
+    assert lay._table_stamp[1][0] is lay.wires[0]
+
+
 def test_fallback_env_flag():
     """REPRO_TABLE_FALLBACK=1 forces the pure-python backend."""
     import os
