@@ -347,7 +347,8 @@ class LayoutCache:
                     flight.entry = entry
                     return entry, "cache"
                 olog.info("cache.build", key=key[:16])
-                layout_json, metrics = build()
+                with obs.span("cache.build", key=key[:16]):
+                    layout_json, metrics = build()
                 self.put(key, key_doc, layout_json, metrics)
                 entry = CacheEntry(
                     key=key, layout_json=layout_json, metrics=metrics

@@ -49,6 +49,7 @@ from repro.batch.spec import SweepJob, SweepSpec, dispatch_scheme
 from repro.core.metrics import measure
 from repro.grid.io import layout_to_json
 from repro.grid.validate import validate_layout
+from repro.obs import context as ocontext
 from repro.obs import live
 from repro.obs import logging as olog
 
@@ -163,7 +164,18 @@ def run_sweep_job(
     net = job.build_network()
 
     def build() -> tuple:
-        with obs.span("sweep.job", job=job.job_id):
+        # When a trace context is active -- a serve request shipped
+        # into a pool worker, or a sweep run stamped its own -- the
+        # job span carries the trace id and a request-style id, so a
+        # built row links straight to its trace document.
+        attrs: dict = {"job": job.job_id}
+        ctx = ocontext.current_context()
+        if ctx is not None:
+            attrs["trace_id"] = ctx.trace_id
+            attrs["request_id"] = (
+                f"j{job.index:05d}-{ctx.trace_id[:8]}"
+            )
+        with obs.span("sweep.job", **attrs):
             layout = dispatch_scheme(
                 net, layers=job.layers, scheme=job.scheme
             )
@@ -264,6 +276,12 @@ def _worker_main(payload: dict) -> None:
         # counts and spans, which must not be double-reported.
         obs.reset()
         obs.enable()
+    trace_doc = payload.get("trace")
+    if trace_doc:
+        # Adopt the run's trace context (each worker got its own
+        # span id), so sweep.job spans in children carry the same
+        # trace id as the parent's.
+        ocontext.set_context(ocontext.TraceContext.from_dict(trace_doc))
     hb = live.HeartbeatWriter(
         run_dir,
         wid,
@@ -398,16 +416,22 @@ class SweepRunner:
                 olog.configure(os.path.join(run_dir, live.LOG_NAME))
                 log_here = True
         t0 = time.perf_counter()
+        # Every run executes under a trace context: inherited when a
+        # caller (e.g. a serve worker) already carries one, otherwise
+        # a fresh root, so sweep.job spans are id-stitched the same
+        # way serve requests are.
+        run_ctx = ocontext.current_context() or ocontext.new_context()
         try:
-            with obs.span(
+            with ocontext.use_context(run_ctx), obs.span(
                 "sweep.run", spec=spec.name, jobs=len(jobs),
-                workers=self.workers,
+                workers=self.workers, trace_id=run_ctx.trace_id,
             ):
                 olog.info(
                     "sweep.start",
                     spec=spec.name,
                     jobs=len(jobs),
                     workers=self.workers,
+                    trace=run_ctx.trace_id,
                 )
                 if self.workers == 1 or len(jobs) <= 1:
                     result = self._run_serial(spec, jobs, run_dir)
@@ -565,6 +589,7 @@ class SweepRunner:
             workers=len(slices),
         )
         observe = obs.enabled()
+        run_ctx = ocontext.current_context()
         log_path = None
         cfg_run_id = olog.run_id()
         if olog.configured():
@@ -589,6 +614,11 @@ class SweepRunner:
                 "heartbeat_s": self.heartbeat_s,
                 "log_path": log_path,
                 "run_id": cfg_run_id,
+                "trace": (
+                    run_ctx.child().as_dict()
+                    if run_ctx is not None
+                    else None
+                ),
             }
             p = ctx.Process(
                 target=_worker_main,

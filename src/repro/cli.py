@@ -294,7 +294,23 @@ def _cmd_stats(args) -> int:
                 for name, h in sorted(hists.items())
             ],
         )
+        _print_exemplars(hists)
     return 0
+
+
+def _print_exemplars(hists: dict) -> None:
+    """One row per retained exemplar: the trace behind each bucket."""
+    rows = [
+        [name, key, f"{ex['value']:.2f}", ex["trace_id"]]
+        for name, h in sorted(hists.items())
+        for key, ex in sorted((h.get("exemplars") or {}).items())
+    ]
+    if rows:
+        print_table(
+            "histogram exemplars (last trace observed per bucket)",
+            ["histogram", "bucket", "ms", "trace id"],
+            rows,
+        )
 
 
 def _cmd_stats_mem(args) -> int:
@@ -607,6 +623,10 @@ def _cmd_serve(args) -> int:
         request_timeout_s=args.request_timeout,
         run_dir=args.run_dir,
         ready_file=args.ready_file,
+        trace_sample=args.trace_sample,
+        slo_latency_ms=args.slo_latency_ms,
+        slo_target=args.slo_target,
+        debug_requests=args.debug_requests,
     )
     try:
         asyncio.run(run_server(config))
@@ -645,6 +665,7 @@ def _cmd_loadgen(args) -> int:
         scheme=args.scheme,
         timeout=args.timeout,
         retries=args.retries,
+        slowest=args.slowest,
     )
     lat = report["latency_ms"]
     print_table(
@@ -668,6 +689,21 @@ def _cmd_loadgen(args) -> int:
             + ", ".join(
                 f"{code}x{n}" for code, n in report["status"].items()
             )
+        )
+    if report.get("slowest"):
+        print_table(
+            f"slowest {len(report['slowest'])} requests "
+            "(fetch /debug/trace/<trace id> on the server for "
+            "the span tree)",
+            ["ms", "network", "L", "source", "request id", "trace id"],
+            [
+                [
+                    s["latency_ms"], s["network"], s["layers"],
+                    s["source"] or "-", s["request_id"] or "-",
+                    s["trace_id"] or "-",
+                ]
+                for s in report["slowest"]
+            ],
         )
     if args.json:
         with open(args.json, "w") as fh:
@@ -720,6 +756,24 @@ def _print_watch(snap: dict) -> None:
         f"cache hit-rate "
         f"{'%.0f%%' % (100 * hit) if hit is not None else '-'}"
     )
+    slo = snap.get("slo")
+    if slo:
+        comp = slo.get("compliance")
+        burn = slo.get("burn_rate")
+        print(
+            f"slo {slo['objective_ms']:g}ms@"
+            f"{100 * slo['target']:g}%  "
+            f"requests {slo['requests']}  "
+            f"compliance "
+            f"{'%.2f%%' % (100 * comp) if comp is not None else '-'}  "
+            f"burn rate "
+            f"{'%.2f' % burn if burn is not None else '-'}"
+            + (
+                "  ** BUDGET BURNING **"
+                if burn is not None and burn > 1.0
+                else ""
+            )
+        )
     if snap["workers"]:
         print_table(
             f"workers ({tot['ok']} ok, {tot['done']} done, "
@@ -1057,6 +1111,20 @@ def build_parser() -> argparse.ArgumentParser:
                    "(scripts poll this to learn a --port 0 binding)")
     p.add_argument("--no-validate", dest="validate", action="store_false",
                    help="skip layout validation on cache misses")
+    p.add_argument("--trace-sample", type=float, default=1.0, metavar="R",
+                   help="fraction of header-less requests whose span "
+                   "tree is retained for /debug/trace (default 1.0; "
+                   "inbound x-repro-trace flags always win)")
+    p.add_argument("--slo-latency-ms", type=float, default=250.0,
+                   metavar="MS",
+                   help="SLO latency objective per request "
+                   "(default 250)")
+    p.add_argument("--slo-target", type=float, default=0.99, metavar="F",
+                   help="fraction of requests that must meet the "
+                   "objective (default 0.99)")
+    p.add_argument("--debug-requests", type=int, default=256, metavar="N",
+                   help="tail-sampled request ring size behind "
+                   "/debug/requests (default 256)")
     p.set_defaults(fn=_cmd_serve)
 
     p = add_parser(
@@ -1092,6 +1160,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry budget for 429/503 answers (default 3)")
     p.add_argument("--save-trace", metavar="FILE",
                    help="also write the replayed rows as a trace JSONL")
+    p.add_argument("--slowest", type=int, default=5,
+                   metavar="N",
+                   help="name the N slowest requests (server request "
+                   "id, trace id, source) in the report "
+                   "(default %(default)s)")
     p.add_argument("--json", metavar="FILE",
                    help="write the full report document to FILE")
     p.set_defaults(fn=_cmd_loadgen)

@@ -33,6 +33,18 @@ Usage::
 from repro.obs import trace as _trace
 from repro.obs import logging  # noqa: F401  (structured JSONL logger)
 from repro.obs import live  # noqa: F401  (heartbeats, watchdog, watch)
+from repro.obs import context  # noqa: F401  (trace-context propagation)
+from repro.obs import slo  # noqa: F401  (latency objectives, burn rate)
+from repro.obs.context import (
+    RequestLog,
+    RequestRecord,
+    RequestTrace,
+    TraceContext,
+    current_context,
+    new_context,
+    parse_traceparent,
+    use_context,
+)
 from repro.obs.export import (
     chrome_trace,
     jsonl_events,
@@ -65,10 +77,12 @@ from repro.obs.trace import (
     disable,
     enable,
     enabled,
+    find_spans,
     format_span_tree,
     phase_totals,
     reset_trace,
     span,
+    span_names,
     trace_roots,
 )
 
@@ -88,6 +102,20 @@ __all__ = [
     "phase_totals",
     "format_span_tree",
     "current_span_name",
+    "span_names",
+    "find_spans",
+    # trace context + request telemetry
+    "context",
+    "TraceContext",
+    "RequestTrace",
+    "RequestLog",
+    "RequestRecord",
+    "new_context",
+    "parse_traceparent",
+    "current_context",
+    "use_context",
+    # SLO tracking
+    "slo",
     # live telemetry
     "logging",
     "live",
@@ -124,10 +152,21 @@ def count(name: str, n: int = 1) -> None:
         registry().counter(name).inc(n)
 
 
-def observe(name: str, value: float, bounds: tuple | None = None) -> None:
-    """Record ``value`` into histogram ``name`` (no-op while disabled)."""
+def observe(
+    name: str,
+    value: float,
+    bounds: tuple | None = None,
+    *,
+    exemplar: str | None = None,
+) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled).
+
+    ``exemplar`` tags the receiving bucket with a trace id (last
+    observation wins), surfaced in the Prometheus rendering and
+    ``repro stats`` so a bucket links back to a concrete request.
+    """
     if _trace._enabled:
-        registry().histogram(name, bounds).observe(value)
+        registry().histogram(name, bounds).observe(value, exemplar=exemplar)
 
 
 def gauge(name: str, value: float) -> None:

@@ -305,6 +305,12 @@ def prometheus_text(
     and ``_count``.  Dots and other illegal characters in registry
     names are mapped to underscores (``cache.hits`` ->
     ``repro_cache_hits_total``).
+
+    Histogram buckets carrying an exemplar (a trace id recorded by
+    ``Histogram.observe(..., exemplar=...)``) render it OpenMetrics
+    style as a ``# {trace_id="..."} <value>`` suffix on the bucket
+    line, so a spike in a latency bucket links straight to a trace.
+    Snapshots without exemplars render byte-identically to before.
     """
     if snapshot is None:
         snapshot = _metrics.registry().snapshot()
@@ -323,14 +329,24 @@ def prometheus_text(
         bounds, counts, overflow = _metrics._parse_buckets(
             h.get("buckets", {})
         )
+        exemplars = h.get("exemplars") or {}
+
+        def bucket_line(label: str, cum: int, key: str) -> str:
+            line = f'{metric}_bucket{{le="{label}"}} {cum}'
+            ex = exemplars.get(key)
+            if ex and ex.get("trace_id"):
+                line += (
+                    f' # {{trace_id="{ex["trace_id"]}"}}'
+                    f' {_prom_num(float(ex.get("value", 0.0)))}'
+                )
+            return line
+
         cum = 0
         for edge, n in zip(bounds, counts):
             cum += n
-            lines.append(
-                f'{metric}_bucket{{le="{_prom_num(edge)}"}} {cum}'
-            )
+            lines.append(bucket_line(_prom_num(edge), cum, f"le_{edge}"))
         cum += overflow
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {cum}')
+        lines.append(bucket_line("+Inf", cum, "overflow"))
         lines.append(f"{metric}_sum {_prom_num(h.get('sum', 0))}")
         lines.append(f"{metric}_count {h.get('count', 0)}")
     return "\n".join(lines) + "\n"

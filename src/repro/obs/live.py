@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_STALL_AFTER_S",
     "HEARTBEAT_SCHEMA",
     "MANIFEST_SCHEMA",
+    "METRICS_NAME",
     "WATCH_SCHEMA",
     "HeartbeatWriter",
     "Watchdog",
@@ -68,6 +69,10 @@ DEFAULT_STALL_AFTER_S = 10.0
 
 MANIFEST_NAME = "manifest.json"
 LOG_NAME = "log.jsonl"
+#: Per-run Prometheus exposition file, rewritten live by the sweep
+#: runner's watchdog tick and the serve daemon's; the ``repro watch``
+#: SLO panel reads it back.
+METRICS_NAME = "metrics.prom"
 _HEARTBEAT_RE = re.compile(r"^heartbeat-(\d+)\.json$")
 
 
@@ -564,7 +569,7 @@ def watch_snapshot(
             round(hits / looked_up, 4) if looked_up else None
         ),
     }
-    return {
+    snap = {
         "schema": WATCH_SCHEMA,
         "time_unix": round(now_unix, 3),
         "run_dir": run_dir,
@@ -575,3 +580,24 @@ def watch_snapshot(
             os.path.join(run_dir, LOG_NAME), n=log_lines
         ),
     }
+    slo_panel = _read_slo_panel(os.path.join(run_dir, METRICS_NAME))
+    if slo_panel is not None:
+        snap["slo"] = slo_panel
+    return snap
+
+
+def _read_slo_panel(metrics_path: str) -> dict | None:
+    """The SLO panel from a run dir's live metrics file, if any.
+
+    Serve run dirs carry ``repro_slo_*`` gauges in ``metrics.prom``
+    (rewritten on every watchdog tick); sweep run dirs don't, and
+    return ``None`` so the panel is omitted.
+    """
+    from repro.obs import slo as _slo
+
+    try:
+        with open(metrics_path) as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    return _slo.slo_from_prometheus(text)

@@ -39,6 +39,7 @@ import sys
 import threading
 import time
 
+from repro.obs import context as _context
 from repro.obs import trace as _trace
 
 __all__ = [
@@ -222,6 +223,9 @@ def log(level: str | int, event: str, /, **fields) -> None:
     span = _trace.current_span_name()
     if span is not None:
         rec["span"] = span
+    ctx = _context.current_context()
+    if ctx is not None:
+        rec["trace"] = ctx.trace_id
     rec.update(fields)
     try:
         line = json.dumps(rec, default=str)

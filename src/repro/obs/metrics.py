@@ -58,7 +58,10 @@ class Histogram:
     two, a good fit for queue depths and cycle counts.
     """
 
-    __slots__ = ("_lock", "bounds", "buckets", "count", "total", "min", "max")
+    __slots__ = (
+        "_lock", "bounds", "buckets", "count", "total", "min", "max",
+        "exemplars",
+    )
 
     DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
@@ -70,8 +73,17 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        # Per-bucket exemplars: bucket label ("le_<edge>"/"overflow")
+        # -> {"trace_id": ..., "value": ...}, last observation wins.
+        # Keyed by edge label, not index, so widening needs no remap.
+        self.exemplars: dict[str, dict] = {}
 
-    def observe(self, v: float) -> None:
+    def _bucket_key(self, index: int) -> str:
+        if index < len(self.bounds):
+            return f"le_{self.bounds[index]}"
+        return "overflow"
+
+    def observe(self, v: float, exemplar: str | None = None) -> None:
         with self._lock:
             self.count += 1
             self.total += v
@@ -84,7 +96,13 @@ class Histogram:
                     self.buckets[i] += 1
                     break
             else:
+                i = len(self.bounds)
                 self.buckets[-1] += 1
+            if exemplar is not None:
+                self.exemplars[self._bucket_key(i)] = {
+                    "trace_id": str(exemplar),
+                    "value": v,
+                }
 
     @property
     def mean(self) -> float:
@@ -154,10 +172,12 @@ class Histogram:
         h.total = float(data.get("sum", 0.0))
         h.min = data.get("min")
         h.max = data.get("max")
+        for key, ex in (data.get("exemplars") or {}).items():
+            h.exemplars[str(key)] = dict(ex)
         return h
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -171,6 +191,11 @@ class Histogram:
             }
             | {"overflow": self.buckets[-1]},
         }
+        # Exemplars ride as a sibling of "buckets" so pre-exemplar
+        # consumers (and `_parse_buckets`) never see the new key.
+        if self.exemplars:
+            doc["exemplars"] = {k: dict(v) for k, v in self.exemplars.items()}
+        return doc
 
     def _widen(self, new_bounds: tuple) -> None:
         """Rebucket onto ``new_bounds`` (a superset of ``self.bounds``).
@@ -196,6 +221,12 @@ class Histogram:
         max) combine exactly, while bucket counts keep upper-edge
         placement (a count recorded against edge ``e`` stays at ``e``
         even if the union introduces finer edges below it).
+
+        Exemplars survive in both directions: a snapshot from a
+        pre-exemplar worker (no ``"exemplars"`` key) leaves ours in
+        place, while incoming exemplars win per bucket (they are the
+        newer observation).  Exemplar keys are edge labels, so they
+        stay valid across the widening above.
         """
         other_bounds, other_counts, overflow = _parse_buckets(
             data.get("buckets", {})
@@ -216,6 +247,8 @@ class Histogram:
                     continue
                 mine = getattr(self, key)
                 setattr(self, key, v if mine is None else pick(mine, v))
+            for key, ex in (data.get("exemplars") or {}).items():
+                self.exemplars[str(key)] = dict(ex)
 
 
 def _clamp(v: float, lo: float | None, hi: float | None) -> float:

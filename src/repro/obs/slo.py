@@ -1,0 +1,221 @@
+"""Service-level objectives: latency targets, error budget, burn rate.
+
+An :class:`SLOConfig` states the objective — "``target`` of requests
+complete within ``latency_ms`` and without a server error" — and
+:func:`slo_snapshot` measures the serve path against it from the
+cumulative ``serve.request_ms`` histogram plus the error counter,
+all of which already flow through the metrics registry.
+
+Definitions (all fractions in ``[0, 1]``):
+
+* ``compliance``   — fraction of requests that met the objective
+  (within latency, interpolated inside the deciding bucket) minus
+  the server-error fraction;
+* ``budget``       — ``1 - target``: the tolerated bad fraction;
+* ``burn_rate``    — ``(1 - compliance) / budget``: 1.0 means the
+  budget is being consumed exactly as provisioned, above 1.0 the
+  objective will be missed;
+* ``budget_remaining`` — fraction of the error budget left over the
+  observed window (clamped at 0).
+
+The gauges land in the shared registry (``slo.*``), are rendered in
+``/metrics`` and the per-run ``metrics.prom``, and are read back by
+the ``repro watch`` SLO panel via :func:`slo_from_prometheus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import metrics as _metrics
+
+__all__ = [
+    "SLOConfig",
+    "fraction_within",
+    "slo_snapshot",
+    "update_slo_gauges",
+    "parse_prometheus_gauges",
+    "slo_from_prometheus",
+]
+
+REQUEST_HIST = "serve.request_ms"
+#: 5xx-only: client errors (4xx) don't burn the server's budget.
+ERROR_COUNTER = "serve.errors_5xx"
+
+GAUGE_COMPLIANCE = "slo.compliance"
+GAUGE_BURN_RATE = "slo.burn_rate"
+GAUGE_BUDGET_REMAINING = "slo.budget_remaining"
+GAUGE_OBJECTIVE_MS = "slo.objective_ms"
+GAUGE_TARGET = "slo.target"
+GAUGE_REQUESTS = "slo.requests"
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """A latency objective over the serve path.
+
+    ``latency_ms`` is the per-request latency bound; ``target`` the
+    fraction of requests that must meet it (e.g. ``0.99`` = "99% of
+    requests under 250 ms").
+    """
+
+    latency_ms: float = 250.0
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+
+def fraction_within(hist: dict, threshold: float) -> Optional[float]:
+    """Fraction of observations ``<= threshold`` from an as_dict form.
+
+    Interpolates linearly inside the bucket that straddles the
+    threshold (same estimator family as ``Histogram.percentile``).
+    Returns ``None`` when the histogram is empty.
+    """
+    count = int(hist.get("count", 0))
+    if count <= 0:
+        return None
+    bounds, counts, overflow = _metrics._parse_buckets(
+        hist.get("buckets", {})
+    )
+    lo_min = hist.get("min")
+    hi_max = hist.get("max")
+    if hi_max is not None and threshold >= hi_max:
+        return 1.0
+    if lo_min is not None and threshold < lo_min:
+        return 0.0
+    cum = 0.0
+    prev_edge = lo_min if lo_min is not None else 0.0
+    for edge, n in zip(bounds, counts):
+        if threshold <= edge:
+            lo = _metrics._clamp(prev_edge, lo_min, hi_max)
+            hi = _metrics._clamp(edge, lo_min, hi_max)
+            if n and hi > lo:
+                cum += n * max(
+                    0.0, min(1.0, (threshold - lo) / (hi - lo))
+                )
+            elif n and threshold >= hi:
+                cum += n
+            return max(0.0, min(1.0, cum / count))
+        cum += n
+        prev_edge = edge
+    # Threshold beyond the last finite edge: everything but a share
+    # of the overflow bucket qualifies.
+    if overflow and hi_max is not None and hi_max > prev_edge:
+        cum += overflow * max(
+            0.0, min(1.0, (threshold - prev_edge) / (hi_max - prev_edge))
+        )
+    return max(0.0, min(1.0, cum / count))
+
+
+def slo_snapshot(
+    config: SLOConfig,
+    snapshot: Optional[dict] = None,
+    *,
+    hist_name: str = REQUEST_HIST,
+    error_counter: str = ERROR_COUNTER,
+) -> dict:
+    """Measure the registry (or a snapshot of one) against ``config``."""
+    if snapshot is None:
+        snapshot = _metrics.registry().snapshot()
+    hist = snapshot.get("histograms", {}).get(hist_name, {})
+    requests = int(hist.get("count", 0))
+    errors = int(snapshot.get("counters", {}).get(error_counter, 0))
+    doc = {
+        "objective_ms": config.latency_ms,
+        "target": config.target,
+        "requests": requests,
+        "errors": errors,
+        "compliance": None,
+        "burn_rate": None,
+        "budget_remaining": None,
+    }
+    within = fraction_within(hist, config.latency_ms)
+    if within is None:
+        return doc
+    error_frac = min(1.0, errors / requests) if requests else 0.0
+    compliance = max(0.0, within - error_frac)
+    bad = 1.0 - compliance
+    burn = bad / config.budget
+    doc["compliance"] = compliance
+    doc["burn_rate"] = burn
+    doc["budget_remaining"] = max(0.0, 1.0 - burn)
+    return doc
+
+
+def update_slo_gauges(
+    config: SLOConfig,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+) -> dict:
+    """Refresh the ``slo.*`` gauges from the current registry state.
+
+    Returns the snapshot used, so callers rendering ``/stats`` or
+    ``/metrics`` get one consistent view.
+    """
+    reg = registry if registry is not None else _metrics.registry()
+    doc = slo_snapshot(config, reg.snapshot())
+    reg.gauge(GAUGE_OBJECTIVE_MS).set(config.latency_ms)
+    reg.gauge(GAUGE_TARGET).set(config.target)
+    reg.gauge(GAUGE_REQUESTS).set(float(doc["requests"]))
+    if doc["compliance"] is not None:
+        reg.gauge(GAUGE_COMPLIANCE).set(doc["compliance"])
+        reg.gauge(GAUGE_BURN_RATE).set(doc["burn_rate"])
+        reg.gauge(GAUGE_BUDGET_REMAINING).set(doc["budget_remaining"])
+    return doc
+
+
+def parse_prometheus_gauges(text: str) -> dict:
+    """Unlabeled ``name value`` samples from a Prometheus text file.
+
+    Minimal on purpose: comments, labeled series (``_bucket{...}``),
+    and unparsable lines are skipped.  Enough to read back the
+    ``repro_slo_*`` gauges the serve daemon writes to its run dir.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        try:
+            out[parts[0]] = float(parts[1])
+        except ValueError:
+            continue
+    return out
+
+
+def slo_from_prometheus(text: str, prefix: str = "repro_") -> Optional[dict]:
+    """Recover the SLO panel from a rendered metrics file.
+
+    Returns ``None`` when the file carries no SLO gauges (e.g. a
+    sweep run dir), so callers can omit the panel entirely.
+    """
+    values = parse_prometheus_gauges(text)
+
+    def get(name: str) -> Optional[float]:
+        return values.get(prefix + name.replace(".", "_"))
+
+    objective = get(GAUGE_OBJECTIVE_MS)
+    target = get(GAUGE_TARGET)
+    if objective is None or target is None:
+        return None
+    doc = {
+        "objective_ms": objective,
+        "target": target,
+        "requests": int(get(GAUGE_REQUESTS) or 0),
+        "compliance": get(GAUGE_COMPLIANCE),
+        "burn_rate": get(GAUGE_BURN_RATE),
+        "budget_remaining": get(GAUGE_BUDGET_REMAINING),
+    }
+    return doc

@@ -33,6 +33,8 @@ __all__ = [
     "reset_trace",
     "phase_totals",
     "format_span_tree",
+    "span_names",
+    "find_spans",
 ]
 
 _enabled = False
@@ -83,6 +85,14 @@ class SpanRecord:
     def end(self) -> float:
         """``start + duration``: when the span closed (monotonic)."""
         return self.start + self.duration
+
+    def walk(self):
+        """Depth-first iterator over this span and every descendant."""
+        stack = [self]
+        while stack:
+            rec = stack.pop()
+            yield rec
+            stack.extend(reversed(rec.children))
 
 
 class _Collector:
@@ -250,6 +260,32 @@ def trace_roots() -> list[SpanRecord]:
 def reset_trace() -> None:
     """Drop all collected spans (the enabled flag is untouched)."""
     _collector.reset()
+
+
+def span_names(roots: list[SpanRecord] | None = None) -> set[str]:
+    """The set of span names appearing anywhere in the forest.
+
+    The request-trace tests compare these sets across worker counts:
+    the names a request produces must not depend on which process
+    built the layout.
+    """
+    names: set[str] = set()
+    for root in roots if roots is not None else trace_roots():
+        for rec in root.walk():
+            names.add(rec.name)
+    return names
+
+
+def find_spans(
+    name: str, roots: list[SpanRecord] | None = None
+) -> list[SpanRecord]:
+    """Every span named ``name`` in the forest, depth-first order."""
+    found: list[SpanRecord] = []
+    for root in roots if roots is not None else trace_roots():
+        for rec in root.walk():
+            if rec.name == name:
+                found.append(rec)
+    return found
 
 
 def phase_totals(

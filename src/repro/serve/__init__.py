@@ -16,12 +16,18 @@ The serving stack, bottom to top:
 
 from repro.serve.loadgen import run_loadgen, synth_rows
 from repro.serve.pool import WorkerPool
-from repro.serve.protocol import SERVE_SCHEMA, HttpError, http_request
+from repro.serve.protocol import (
+    SERVE_SCHEMA,
+    TRACE_HEADER,
+    HttpError,
+    http_request,
+)
 from repro.serve.quotas import AdmissionGate, QuotaManager, TokenBucket
 from repro.serve.server import LayoutServer, ServeConfig, run_server
 
 __all__ = [
     "SERVE_SCHEMA",
+    "TRACE_HEADER",
     "AdmissionGate",
     "HttpError",
     "LayoutServer",

@@ -26,14 +26,22 @@ row is what the report counts.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 import time
 
 from repro import obs
+from repro.obs import context as ocontext
 from repro.obs import logging as olog
-from repro.serve.protocol import CLIENT_HEADER, json_body, read_response
+from repro.serve.protocol import (
+    CLIENT_HEADER,
+    TRACE_HEADER,
+    json_body,
+    read_response,
+)
 
 __all__ = [
+    "DEFAULT_SLOWEST",
     "LOADGEN_SCHEMA",
     "run_loadgen",
     "synth_rows",
@@ -49,6 +57,9 @@ LATENCY_BOUNDS_MS = (
 )
 
 HIST_NAME = "loadgen.latency_ms"
+
+#: How many of the slowest requests the report names by id.
+DEFAULT_SLOWEST = 5
 
 
 def synth_rows(
@@ -127,10 +138,12 @@ async def _replay(
     scheme: str,
     timeout: float,
     retries: int,
+    slowest: int,
 ) -> dict:
     hist = obs.registry().histogram(HIST_NAME, LATENCY_BOUNDS_MS)
     status_counts: dict[int, int] = {}
     final: list[int] = []
+    samples: list[dict] = []
     retried = 0
     queue: asyncio.Queue = asyncio.Queue()
     for row in rows:
@@ -159,11 +172,25 @@ async def _replay(
                 }
                 status = 0
                 for attempt in range(retries + 1):
+                    # Every attempt gets its own trace context: the
+                    # server reroots its spans under this trace id,
+                    # so a slow sample links straight to a
+                    # /debug/trace/<id> document.
+                    ctx = ocontext.new_context()
                     sent = time.perf_counter()
                     try:
-                        status, resp_headers, _ = await asyncio.wait_for(
-                            conn.request("/v1/layout", body, headers),
-                            timeout,
+                        status, resp_headers, resp_body = (
+                            await asyncio.wait_for(
+                                conn.request(
+                                    "/v1/layout",
+                                    body,
+                                    {
+                                        **headers,
+                                        TRACE_HEADER: ctx.to_traceparent(),
+                                    },
+                                ),
+                                timeout,
+                            )
                         )
                     except (
                         ConnectionError,
@@ -184,8 +211,25 @@ async def _replay(
                         status_counts.get(status, 0) + 1
                     )
                     if status == 200:
-                        hist.observe(
-                            (time.perf_counter() - sent) * 1000.0
+                        latency_ms = (
+                            time.perf_counter() - sent
+                        ) * 1000.0
+                        hist.observe(latency_ms, exemplar=ctx.trace_id)
+                        try:
+                            doc = json.loads(resp_body)
+                        except ValueError:
+                            doc = {}
+                        samples.append(
+                            {
+                                "latency_ms": round(latency_ms, 3),
+                                "network": str(network),
+                                "layers": int(layers),
+                                "request_id": doc.get("request_id"),
+                                "trace_id": doc.get(
+                                    "trace_id", ctx.trace_id
+                                ),
+                                "source": doc.get("source"),
+                            }
                         )
                         break
                     if status in (429, 503) and attempt < retries:
@@ -220,6 +264,12 @@ async def _replay(
         "min": round(hist.min, 3) if hist.min is not None else None,
         "max": round(hist.max, 3) if hist.max is not None else None,
     }
+    # Slowest-N by latency: the report names the exact requests
+    # behind a bad p99, with the server-assigned request id and the
+    # source (cold build vs coalesced vs cache) of each.
+    slow = sorted(
+        samples, key=lambda s: -s["latency_ms"]
+    )[: max(0, slowest)]
     return {
         "schema": LOADGEN_SCHEMA,
         "target": f"{host}:{port}",
@@ -233,6 +283,7 @@ async def _replay(
         },
         "concurrency": max(1, concurrency),
         "latency_ms": latency,
+        "slowest": slow,
         "elapsed_s": round(elapsed, 4),
         "rps": round(len(final) / elapsed, 2) if elapsed > 0 else None,
     }
@@ -249,12 +300,16 @@ def run_loadgen(
     scheme: str = "auto",
     timeout: float = 60.0,
     retries: int = 3,
+    slowest: int = DEFAULT_SLOWEST,
 ) -> dict:
     """Replay ``rows`` and return the latency/status report document.
 
     Enables :mod:`repro.obs` collection for the replay if it is not
     already on, so the ``loadgen.latency_ms`` histogram always exists
-    for the report (and for ``--metrics-out``).
+    for the report (and for ``--metrics-out``).  Each request carries
+    a fresh ``x-repro-trace`` context; the report's ``slowest`` list
+    names the ``slowest``-N requests by server-assigned request id,
+    trace id, and source.
     """
     enabled_here = not obs.enabled()
     if enabled_here:
@@ -271,6 +326,7 @@ def run_loadgen(
                 scheme=scheme,
                 timeout=timeout,
                 retries=retries,
+                slowest=slowest,
             )
         )
     finally:

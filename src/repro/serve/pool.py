@@ -29,9 +29,11 @@ import os
 import threading
 import time
 
+from repro import obs
 from repro.batch.cache import LayoutCache
 from repro.batch.runner import _mp_context, run_sweep_job
 from repro.batch.spec import SweepJob
+from repro.obs import context as ocontext
 from repro.obs import live
 from repro.obs import logging as olog
 
@@ -83,6 +85,22 @@ def _pool_worker(wid: int, tasks, results, cfg: dict) -> None:
             hb.beat(force=True)
         if delay_s > 0:
             time.sleep(delay_s)
+        # Rehydrate the request's trace context so log lines carry
+        # its trace id and, when the request is sampled, collect this
+        # job's span forest to ship home with the result -- the
+        # server reroots it under the request's root span.
+        trace = task.get("trace")
+        ctx = (
+            ocontext.TraceContext.from_dict(trace)
+            if trace is not None
+            else None
+        )
+        collect = ctx is not None and ctx.sampled
+        token = ocontext.set_context(ctx) if ctx is not None else None
+        was_enabled = obs.enabled()
+        if collect:
+            obs.reset_trace()
+            obs.enable()
         try:
             res = run_sweep_job(job, cache, validate=cfg["validate"])
         except (Exception, SystemExit) as exc:  # noqa: BLE001 - to parent
@@ -101,12 +119,22 @@ def _pool_worker(wid: int, tasks, results, cfg: dict) -> None:
                 }
             )
             continue
+        finally:
+            spans = None
+            if collect:
+                spans = [r.as_dict() for r in obs.trace_roots()]
+                obs.reset_trace()
+                if not was_enabled:
+                    obs.disable()
+            if token is not None:
+                ocontext.reset_context(token)
         results.put(
             {
                 "id": task["id"],
                 "ok": True,
                 "result": res.as_dict(),
                 "worker": wid,
+                "spans": spans,
             }
         )
         if hb is not None:
@@ -192,15 +220,34 @@ class WorkerPool:
                 continue
             if doc.get("ok"):
                 self._loop.call_soon_threadsafe(
-                    _resolve, fut, doc["result"]
+                    _resolve,
+                    fut,
+                    {
+                        "result": doc["result"],
+                        "worker": doc.get("worker"),
+                        "spans": doc.get("spans"),
+                    },
                 )
             else:
                 self._loop.call_soon_threadsafe(
                     _reject, fut, RuntimeError(doc.get("error", "worker error"))
                 )
 
-    def submit(self, network: str, scheme: str, layers: int) -> asyncio.Future:
-        """Queue one build; the future resolves to a job-result dict."""
+    def submit(
+        self,
+        network: str,
+        scheme: str,
+        layers: int,
+        *,
+        trace: dict | None = None,
+    ) -> asyncio.Future:
+        """Queue one build; the future resolves to an envelope dict.
+
+        The envelope carries ``result`` (the job-result dict),
+        ``worker`` (which process built it), and ``spans`` (the
+        worker's serialized span forest when ``trace`` named a
+        sampled context, else ``None``).
+        """
         if self._loop is None:
             raise RuntimeError("WorkerPool.start() not called")
         if self._closed:
@@ -216,6 +263,7 @@ class WorkerPool:
                 "network": network,
                 "scheme": scheme,
                 "layers": layers,
+                "trace": trace,
             }
         )
         return fut

@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 __all__ = [
+    "CLIENT_HEADER",
     "DEFAULT_MAX_BODY",
     "MAX_HEADER_BYTES",
     "SERVE_SCHEMA",
+    "TRACE_HEADER",
     "ChunkedJsonWriter",
     "HttpError",
     "HttpRequest",
@@ -65,6 +67,12 @@ REASONS = {
 #: Header naming the requesting client for per-client quotas; absent
 #: clients share one ``"anonymous"`` bucket.
 CLIENT_HEADER = "x-repro-client"
+
+#: W3C-traceparent-style trace context header
+#: (``00-<32hex trace>-<16hex span>-<2hex flags>``); parsed with
+#: :func:`repro.obs.context.parse_traceparent`.  Malformed values
+#: degrade to "no inbound context", never a 4xx.
+TRACE_HEADER = "x-repro-trace"
 
 
 class HttpError(Exception):

@@ -40,11 +40,16 @@ from dataclasses import dataclass
 from repro import obs
 from repro.batch.cache import LayoutCache
 from repro.batch.spec import SCHEMES, SweepSpec, parse_network
+from repro.obs import context as ocontext
 from repro.obs import live
 from repro.obs import logging as olog
+from repro.obs import slo as oslo
+from repro.obs.export import chrome_trace, write_prometheus
+from repro.obs.trace import SpanRecord
 from repro.serve.pool import WorkerPool
 from repro.serve.protocol import (
     SERVE_SCHEMA,
+    TRACE_HEADER,
     ChunkedJsonWriter,
     HttpError,
     HttpRequest,
@@ -80,6 +85,19 @@ class ServeConfig:
     request_timeout_s: float = 120.0
     run_dir: str | None = None
     ready_file: str | None = None
+    #: Head-sampling rate for requests arriving without an
+    #: ``x-repro-trace`` header (inbound headers carry their own
+    #: decision).  1.0 = trace everything.
+    trace_sample: float = 1.0
+    #: Latency objective: ``slo_target`` of requests must finish
+    #: within ``slo_latency_ms`` and without a 5xx.
+    slo_latency_ms: float = 250.0
+    slo_target: float = 0.99
+    #: Ring-buffer capacity of the ``/debug/requests`` request log.
+    debug_requests: int = 256
+    #: Watchdog poll cadence when ``run_dir`` is set (None = derive
+    #: from the stall threshold, as sweeps do).
+    watch_interval_s: float | None = None
 
 
 class LayoutServer:
@@ -97,8 +115,16 @@ class LayoutServer:
             rate=config.quota_rate, burst=config.quota_burst
         )
         self.gate = AdmissionGate(config.max_inflight)
+        self.slo = oslo.SLOConfig(
+            latency_ms=config.slo_latency_ms, target=config.slo_target
+        )
+        self.requests = ocontext.RequestLog(
+            capacity=config.debug_requests
+        )
+        self._req_seq = 0
         self._flights: dict[tuple, asyncio.Task] = {}
         self._server: asyncio.AbstractServer | None = None
+        self._watchdog: live.Watchdog | None = None
         self._obs_here = False
         self.started_unix = 0.0
 
@@ -131,6 +157,17 @@ class LayoutServer:
             validate=cfg.validate,
             run_dir=cfg.run_dir,
         ).start(loop)
+        if cfg.run_dir is not None:
+            # The same live loop a sweep run gets: classify pool
+            # worker heartbeats and rewrite <run_dir>/metrics.prom
+            # (with the SLO gauges) so `repro watch RUNDIR` works
+            # against the live daemon.
+            self._on_watch_tick({})
+            self._watchdog = live.Watchdog(
+                cfg.run_dir,
+                interval_s=cfg.watch_interval_s,
+                on_tick=self._on_watch_tick,
+            ).start()
         self._server = await asyncio.start_server(
             self._handle_connection, cfg.host, cfg.port
         )
@@ -161,8 +198,26 @@ class LayoutServer:
         async with self._server:
             await self._server.serve_forever()
 
+    def _on_watch_tick(self, health: dict) -> None:
+        """Watchdog callback: refresh gauges + the live metrics file."""
+        cfg = self.config
+        try:
+            if self.pool is not None:
+                obs.gauge("serve.live.workers_alive", self.pool.alive())
+            obs.gauge("serve.live.inflight_keys", len(self._flights))
+            oslo.update_slo_gauges(self.slo)
+            if cfg.run_dir is not None:
+                write_prometheus(
+                    os.path.join(cfg.run_dir, live.METRICS_NAME)
+                )
+        except Exception:  # pragma: no cover - telemetry must not kill
+            pass
+
     async def aclose(self) -> None:
         olog.info("serve.stop")
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -242,6 +297,88 @@ class LayoutServer:
             except (ConnectionError, OSError):
                 pass
 
+    # -- request tracing ---------------------------------------------------
+
+    def _begin_request(self, req: HttpRequest) -> ocontext.RequestTrace:
+        """Open the per-request root span and assign a request id.
+
+        The inbound ``x-repro-trace`` header (stamped by loadgen or
+        an upstream) wins; a request without one gets a fresh context
+        head-sampled at ``--trace-sample``.
+        """
+        ctx = ocontext.parse_traceparent(req.headers.get(TRACE_HEADER))
+        if ctx is None:
+            ctx = ocontext.new_context(
+                sampled=ocontext.should_sample(self.config.trace_sample)
+            )
+        self._req_seq += 1
+        request_id = f"r{self._req_seq:06d}-{ctx.trace_id[:8]}"
+        return ocontext.RequestTrace(
+            ctx,
+            request_id,
+            path=req.path,
+            client=req.client_id,
+        )
+
+    def _finish_request(
+        self,
+        rt: ocontext.RequestTrace,
+        status: int,
+        *,
+        source: str | None = None,
+        error: str | None = None,
+        **attrs,
+    ) -> None:
+        """Close the root span, observe latency, retain the request.
+
+        One exit point for success and failure alike: the latency
+        histogram gets an exemplar naming this trace, 5xx statuses
+        feed the SLO error budget, and the tail-sampling ring buffer
+        keeps the record (spans included when sampled) for
+        ``/debug/requests`` / ``/debug/trace/<id>``.
+        """
+        if source is not None:
+            attrs["source"] = source
+        if error is not None:
+            attrs["error"] = error
+        root = rt.finish(status, **attrs)
+        obs.observe(
+            "serve.request_ms",
+            rt.latency_ms,
+            LATENCY_BOUNDS_MS,
+            exemplar=rt.ctx.trace_id,
+        )
+        if status >= 500:
+            obs.count("serve.errors_5xx")
+        self.requests.add(
+            ocontext.RequestRecord(
+                request_id=rt.request_id,
+                trace_id=rt.ctx.trace_id,
+                path=str(root.attrs.get("path", "")),
+                status=status,
+                latency_ms=rt.latency_ms,
+                time_unix=time.time(),
+                sampled=rt.ctx.sampled,
+                source=source,
+                error=error,
+                attrs={
+                    k: v
+                    for k, v in root.attrs.items()
+                    if k in ("network", "scheme", "layers", "jobs", "client")
+                },
+                root=root if rt.ctx.sampled else None,
+            )
+        )
+        olog.info(
+            "serve.request",
+            request_id=rt.request_id,
+            trace=rt.ctx.trace_id,
+            path=root.attrs.get("path"),
+            status=status,
+            latency_ms=round(rt.latency_ms, 3),
+            source=source,
+        )
+
     async def _route(
         self,
         req: HttpRequest,
@@ -251,7 +388,6 @@ class LayoutServer:
     ) -> bool:
         """Dispatch one request; True keeps the connection usable."""
         obs.count("serve.requests")
-        t0 = time.perf_counter()
         if req.path == "/healthz" and req.method == "GET":
             await send_json(
                 writer,
@@ -273,6 +409,7 @@ class LayoutServer:
             from repro.accel import backend_info
             from repro.obs.export import prometheus_info, prometheus_text
 
+            oslo.update_slo_gauges(self.slo)
             info = backend_info()
             body = (
                 prometheus_text()
@@ -295,29 +432,120 @@ class LayoutServer:
                 close=close,
             )
             return True
+        if req.path == "/debug/requests" and req.method == "GET":
+            limit = None
+            if "limit" in req.query:
+                try:
+                    limit = int(req.query["limit"])
+                except ValueError:
+                    raise HttpError(400, "limit must be an integer") from None
+            await send_json(
+                writer,
+                200,
+                {
+                    "schema": SERVE_SCHEMA,
+                    "requests": self.requests.requests(limit),
+                    "totals": self.requests.snapshot(),
+                },
+                close=close,
+            )
+            return True
+        if req.path.startswith("/debug/trace/") and req.method == "GET":
+            await send_json(
+                writer,
+                200,
+                self._trace_document(req.path[len("/debug/trace/"):]),
+                close=close,
+            )
+            return True
         if req.path == "/v1/layout" and req.method == "POST":
-            doc = await self._layout_request(req)
-            obs.observe(
-                "serve.request_ms",
-                (time.perf_counter() - t0) * 1000.0,
-                LATENCY_BOUNDS_MS,
+            rt = self._begin_request(req)
+            token = ocontext.set_context(rt.ctx)
+            try:
+                doc = await self._layout_request(req, rt)
+            except HttpError as exc:
+                self._finish_request(rt, exc.status, error=exc.message)
+                raise
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:
+                self._finish_request(
+                    rt, 500, error=f"{type(exc).__name__}: {exc}"
+                )
+                raise
+            finally:
+                ocontext.reset_context(token)
+            doc = {
+                **doc,
+                "request_id": rt.request_id,
+                "trace_id": rt.ctx.trace_id,
+            }
+            self._finish_request(
+                rt,
+                200,
+                source=doc.get("source"),
+                network=doc.get("network"),
+                scheme=doc.get("scheme"),
+                layers=doc.get("layers"),
             )
             await send_json(writer, 200, doc, close=close)
             return True
         if req.path == "/v1/sweep" and req.method == "POST":
-            await self._sweep_request(req, writer)
-            obs.observe(
-                "serve.request_ms",
-                (time.perf_counter() - t0) * 1000.0,
-                LATENCY_BOUNDS_MS,
-            )
+            rt = self._begin_request(req)
+            token = ocontext.set_context(rt.ctx)
+            try:
+                await self._sweep_request(req, writer, rt)
+            except HttpError as exc:
+                self._finish_request(rt, exc.status, error=exc.message)
+                raise
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:
+                self._finish_request(
+                    rt, 500, error=f"{type(exc).__name__}: {exc}"
+                )
+                raise
+            finally:
+                ocontext.reset_context(token)
+            self._finish_request(rt, 200, source="sweep")
             # Chunked responses end the framing cleanly, but any error
             # mid-stream already wrote a partial body: simplest safe
             # policy is one sweep per connection.
             return False
-        if req.path in ("/healthz", "/stats", "/metrics", "/v1/layout", "/v1/sweep"):
+        known = (
+            "/healthz", "/stats", "/metrics", "/debug/requests",
+            "/v1/layout", "/v1/sweep",
+        )
+        if req.path in known or req.path.startswith("/debug/trace/"):
             raise HttpError(405, f"{req.method} not allowed on {req.path}")
         raise HttpError(404, f"no such endpoint: {req.path}")
+
+    def _trace_document(self, ident: str) -> dict:
+        """The Chrome-trace JSON for one retained request."""
+        rec = self.requests.find(ident.strip("/"))
+        if rec is None:
+            raise HttpError(
+                404, f"no retained request for id {ident!r}"
+            )
+        if rec.root is None:
+            raise HttpError(
+                404,
+                f"request {rec.request_id} was retained without spans "
+                "(not sampled)",
+            )
+        doc = chrome_trace(
+            [rec.root], {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        doc["otherData"].update(
+            {
+                "trace_id": rec.trace_id,
+                "request_id": rec.request_id,
+                "path": rec.path,
+                "status": rec.status,
+                "latency_ms": round(rec.latency_ms, 3),
+            }
+        )
+        return doc
 
     # -- admission ---------------------------------------------------------
 
@@ -366,10 +594,13 @@ class LayoutServer:
         include_layout = bool(doc.get("include_layout", False))
         return network, scheme, layers, include_layout
 
-    async def _layout_request(self, req: HttpRequest) -> dict:
+    async def _layout_request(
+        self, req: HttpRequest, rt: ocontext.RequestTrace
+    ) -> dict:
         network, scheme, layers, include_layout = self._parse_layout_body(
             req.json()
         )
+        rt.annotate(network=network, scheme=scheme, layers=layers)
         if include_layout and self.cache is None:
             raise HttpError(
                 400,
@@ -385,7 +616,7 @@ class LayoutServer:
                 retry_after=1.0,
             )
         try:
-            doc = await self._resolve(network, scheme, layers)
+            doc = await self._resolve(network, scheme, layers, rt)
         finally:
             self.gate.leave()
         if include_layout:
@@ -395,18 +626,34 @@ class LayoutServer:
         return doc
 
     async def _resolve(
-        self, network: str, scheme: str, layers: int
+        self,
+        network: str,
+        scheme: str,
+        layers: int,
+        rt: ocontext.RequestTrace,
     ) -> dict:
-        """One coalesced lookup-or-build; returns a response document."""
+        """One coalesced lookup-or-build; returns a response document.
+
+        The *leader* request (the one that starts the flight) owns
+        the build spans: cache probe, pool dispatch, and the worker's
+        shipped forest all land under its root.  A coalesced follower
+        instead records exactly one link-span naming the leader's
+        trace id -- its trace shows the wait, not duplicated work.
+        """
         key = (network, scheme, layers)
         task = self._flights.get(key)
         if task is not None:
             obs.count("serve.coalesced")
+            leader_trace = getattr(task, "leader_trace", None)
+            link = rt.link(leader_trace or "unknown")
+            t_wait = time.perf_counter()
             doc = await self._await_flight(task)
+            link.duration = time.perf_counter() - t_wait
             return {**doc, "source": "coalesced"}
         task = asyncio.ensure_future(
-            self._lookup_or_build(network, scheme, layers)
+            self._lookup_or_build(network, scheme, layers, rt)
         )
+        task.leader_trace = rt.ctx.trace_id
         self._flights[key] = task
         task.add_done_callback(
             lambda _t, _k=key: self._flights.pop(_k, None)
@@ -447,11 +694,16 @@ class LayoutServer:
         return entry
 
     async def _lookup_or_build(
-        self, network: str, scheme: str, layers: int
+        self,
+        network: str,
+        scheme: str,
+        layers: int,
+        rt: ocontext.RequestTrace,
     ) -> dict:
         t0 = time.perf_counter()
         net = _parse_net(network)  # 400 before the pool sees bad specs
-        entry = await self._cache_probe(network, scheme, layers)
+        with rt.child("cache.probe", network=network):
+            entry = await self._cache_probe(network, scheme, layers)
         if entry is not None:
             obs.count("serve.hits")
             olog.debug(
@@ -476,7 +728,17 @@ class LayoutServer:
             "serve.build", network=network, scheme=scheme, layers=layers
         )
         assert self.pool is not None
-        res = await self.pool.submit(network, scheme, layers)
+        trace = (
+            rt.ctx.child().as_dict() if rt.ctx.sampled else None
+        )
+        with rt.child(
+            "pool.build", network=network, scheme=scheme, layers=layers
+        ) as build_span:
+            env = await self.pool.submit(
+                network, scheme, layers, trace=trace
+            )
+            self._graft_worker_spans(build_span, env)
+        res = env["result"]
         return {
             "schema": SERVE_SCHEMA,
             "job_id": res["job_id"],
@@ -490,10 +752,41 @@ class LayoutServer:
             "elapsed_ms": round((time.perf_counter() - t0) * 1000.0, 3),
         }
 
+    @staticmethod
+    def _graft_worker_spans(
+        build_span: SpanRecord, env: dict
+    ) -> None:
+        """Reroot a pool worker's shipped forest under the request.
+
+        The forest is wrapped in a ``pool.worker`` span whose integer
+        ``worker_id`` attr lifts it onto its own process row in the
+        Chrome-trace rendering -- the same convention sweep worker
+        forests use.  Fork shares ``perf_counter``'s clock on the
+        platforms we fork on, so child timestamps line up with the
+        server's spans.
+        """
+        spans = env.get("spans")
+        if not spans:
+            return
+        forest = [SpanRecord.from_dict(d) for d in spans]
+        start = min((r.start for r in forest if r.start), default=0.0)
+        end = max((r.end() for r in forest), default=start)
+        wrapper = SpanRecord(
+            name="pool.worker",
+            attrs={"worker_id": env.get("worker")},
+            start=start,
+            duration=max(0.0, end - start),
+            children=forest,
+        )
+        build_span.children.append(wrapper)
+
     # -- /v1/sweep ---------------------------------------------------------
 
     async def _sweep_request(
-        self, req: HttpRequest, writer: asyncio.StreamWriter
+        self,
+        req: HttpRequest,
+        writer: asyncio.StreamWriter,
+        rt: ocontext.RequestTrace,
     ) -> None:
         body = req.json()
         networks = body.get("networks")
@@ -525,6 +818,7 @@ class LayoutServer:
                 f"sweep expands to {len(jobs)} jobs "
                 f"(limit {MAX_SWEEP_JOBS})",
             )
+        rt.annotate(sweep=spec.name, jobs=len(jobs))
         self._admit(req, float(len(jobs)))
         if not self.gate.try_enter():
             obs.count("serve.rejected_busy")
@@ -550,7 +844,7 @@ class LayoutServer:
         try:
             pending = {
                 asyncio.ensure_future(
-                    self._resolve(j.network, j.scheme, j.layers)
+                    self._resolve(j.network, j.scheme, j.layers, rt)
                 ): j
                 for j in jobs
             }
@@ -608,6 +902,7 @@ class LayoutServer:
     def stats(self) -> dict:
         from repro.accel import backend_info
 
+        slo_doc = oslo.update_slo_gauges(self.slo)
         reg = obs.registry().snapshot()
         counters = reg.get("counters", {})
         return {
@@ -628,6 +923,8 @@ class LayoutServer:
             "cache": (
                 self.cache.stats.as_dict() if self.cache else None
             ),
+            "slo": slo_doc,
+            "debug_requests": self.requests.snapshot(),
         }
 
 

@@ -102,3 +102,89 @@ class TestMergedPercentiles:
         assert h.percentile(0.5) == 0.0
         h.merge_dict(Histogram((2, 4)).as_dict())
         assert h.percentile(0.99) == 0.0
+
+
+class TestExemplarMerge:
+    """Exemplars must survive merge/round-trip against pre-exemplar
+    peers: widening may rebucket counts but never drops trace ids."""
+
+    def test_as_dict_omits_empty_exemplars(self):
+        h = Histogram((8,))
+        h.observe(4.0)
+        assert "exemplars" not in h.as_dict()
+
+    def test_exemplar_round_trips_through_as_dict(self):
+        h = Histogram((8, 64))
+        h.observe(4.0, exemplar="a" * 32)
+        h.observe(100.0, exemplar="b" * 32)
+        doc = h.as_dict()
+        assert doc["exemplars"]["le_8"]["trace_id"] == "a" * 32
+        assert doc["exemplars"]["overflow"]["trace_id"] == "b" * 32
+        back = Histogram.from_dict(doc)
+        assert back.exemplars == h.exemplars
+        assert back.as_dict() == doc
+
+    def test_merge_from_pre_exemplar_peer_keeps_ours(self):
+        """A peer snapshot without an "exemplars" key (an old worker)
+        must widen the buckets without dropping our exemplars."""
+        mine = Histogram((8,))
+        mine.observe(4.0, exemplar="c" * 32)
+        peer = Histogram((2, 8)).as_dict()
+        assert "exemplars" not in peer
+        mine.merge_dict(peer)
+        assert mine.exemplars["le_8"]["trace_id"] == "c" * 32
+
+    def test_merge_into_pre_exemplar_histogram_adopts_incoming(self):
+        mine = Histogram((8,))
+        mine.observe(4.0)
+        peer = Histogram((8,))
+        peer.observe(2.0, exemplar="d" * 32)
+        mine.merge_dict(peer.as_dict())
+        assert mine.exemplars["le_8"]["trace_id"] == "d" * 32
+
+    def test_incoming_exemplar_wins_per_bucket(self):
+        mine = Histogram((8, 64))
+        mine.observe(4.0, exemplar="old-le8")
+        mine.observe(32.0, exemplar="old-le64")
+        peer = Histogram((8, 64))
+        peer.observe(5.0, exemplar="new-le8")
+        mine.merge_dict(peer.as_dict())
+        # Incoming is newer for le_8; le_64 untouched.
+        assert mine.exemplars["le_8"]["trace_id"] == "new-le8"
+        assert mine.exemplars["le_64"]["trace_id"] == "old-le64"
+
+    def test_registry_merge_carries_exemplars(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (8,)).observe(1.0)
+        other = MetricsRegistry()
+        other.histogram("h", (2, 8)).observe(1.5, exemplar="e" * 32)
+        reg.merge(other.snapshot())
+        assert reg.histogram("h").exemplars["le_2"]["trace_id"] == "e" * 32
+
+    def test_exemplar_keys_stable_across_widening(self):
+        """Edge-labeled keys mean widening needs no remap: after a
+        merge introduces new edges, an old exemplar still names the
+        same (edge-labeled) bucket."""
+        mine = Histogram((100,))
+        mine.observe(50.0, exemplar="f" * 32)
+        mine.merge_dict(Histogram((2, 100)).as_dict())
+        assert set(mine.exemplars) == {"le_100"}
+        assert tuple(mine.bounds) == (2, 100)
+
+    def test_prometheus_text_renders_and_skips_exemplars(self):
+        from repro.obs.export import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.histogram("serve.request_ms", (8, 64)).observe(
+            4.0, exemplar="ab" * 16
+        )
+        reg.histogram("plain_ms", (8,)).observe(4.0)
+        text = prometheus_text(reg.snapshot())
+        lines = text.splitlines()
+        tagged = [ln for ln in lines if "# {" in ln]
+        assert any(
+            'le="8"' in ln and f'trace_id="{"ab" * 16}"' in ln
+            for ln in tagged
+        )
+        # Exemplar-free histograms render exactly as before.
+        assert not any("plain_ms" in ln for ln in tagged)

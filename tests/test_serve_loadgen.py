@@ -87,6 +87,54 @@ class TestLoadgen:
         assert lat["min"] <= lat["p50"] <= lat["p90"] <= lat["p99"]
         assert lat["p99"] <= lat["max"] + 1e-9
         assert report["rps"] > 0
+        # Slowest-N: descending latency, each row naming the
+        # server-assigned ids and the answer's source.
+        slow = report["slowest"]
+        assert 1 <= len(slow) <= 5
+        assert slow == sorted(
+            slow, key=lambda s: -s["latency_ms"]
+        )
+        assert slow[0]["latency_ms"] == pytest.approx(
+            lat["max"], abs=0.001
+        )
+        for s in slow:
+            assert s["request_id"].startswith("r")
+            assert len(s["trace_id"]) == 32
+            assert s["source"] in ("built", "cache", "coalesced")
+
+    def test_slowest_zero_disables_naming(self, live_server):
+        rows = synth_rows(["ring:4"], 5, seed=1)
+        report = run_loadgen(
+            "127.0.0.1", live_server, rows, slowest=0
+        )
+        assert report["slowest"] == []
+
+    def test_loadgen_trace_ids_resolve_on_server(self, live_server):
+        """The exemplar promise: a slow sample's trace id fetches a
+        span tree from the server it was measured against."""
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        from repro.serve.protocol import http_request
+
+        rows = synth_rows(["hypercube:3"], 4, seed=0)
+        report = run_loadgen(
+            "127.0.0.1", live_server, rows, slowest=2
+        )
+        assert report["slowest"]
+        ident = report["slowest"][0]["trace_id"]
+
+        async def fetch():
+            return await http_request(
+                "127.0.0.1", live_server, "GET",
+                f"/debug/trace/{ident}",
+            )
+
+        st, _, body = asyncio.run(fetch())
+        assert st == 200
+        doc = json.loads(body)
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["trace_id"] == ident
 
     def test_percentiles_come_from_obs_histogram(self, live_server):
         """The reported numbers are the repro.obs estimator's."""
